@@ -1,0 +1,48 @@
+"""Paper-reported reference values, used by the benches for the
+side-by-side "paper vs measured" printouts recorded in EXPERIMENTS.md.
+"""
+
+# §3.1 timeline (seconds).
+FIG5_TIMELINE = {
+    "T_en_det": 1.28e-6,
+    "T_xcorr_det": 2.56e-6,
+    "T_init": 80e-9,
+    "T_resp(energy)": 1.36e-6,
+    "T_resp(xcorr)": 2.64e-6,
+}
+
+# Fig. 6: long preamble, FA 0.083/s. "slightly above 50 % for SNR over
+# 5 dB" (single preamble), "over 75 % for SNR above 5 dB" (full frames).
+FIG6_SINGLE_PLATEAU = 0.5
+FIG6_FULL_PLATEAU = 0.75
+
+# Fig. 7: short preambles, FA 0.059/s: "over 90 % at -3 dB, over 99 %
+# above 3 dB".
+FIG7_MINUS3DB = 0.90
+FIG7_3DB = 0.99
+
+# Fig. 8: energy differentiator at 10 dB threshold: no detection below
+# -3 dB, multiple detections/frame between -3 and 8 dB, exactly one
+# per frame above 10 dB.
+FIG8_SINGLE_DETECTION_SNR = 10.0
+
+# Table 1 insertion losses (dB), (input, output), None = isolated.
+TABLE1 = {
+    (1, 2): -51.0, (1, 3): -25.2, (1, 4): -38.4, (1, 5): -39.3,
+    (2, 1): -51.0, (2, 3): -31.7, (2, 4): -32.0, (2, 5): -32.8,
+    (3, 1): -25.2, (3, 2): -31.7, (3, 4): -19.1, (3, 5): -19.9,
+    (4, 1): -38.4, (4, 2): -32.0, (4, 3): -19.1, (4, 5): None,
+    (5, 1): -39.2, (5, 2): -32.8, (5, 3): -19.8, (5, 4): None,
+}
+
+# Figs. 10/11: SIR (dB at the AP) where each jammer drives the link to
+# zero bandwidth / zero PRR, plus the unjammed ceiling.
+FIG10_MAX_BANDWIDTH_MBPS = 29.0
+FIG10_CONTINUOUS_ZERO_SIR = 33.85
+FIG10_REACTIVE_01MS_ZERO_SIR = 15.94
+FIG10_REACTIVE_001MS_ZERO_SIR = 2.79
+FIG10_REACTIVE_01MS_HALF_SIR = 33.85  # "reduced bandwidth by half"
+
+# Fig. 12: xcorr-only misses ~2/3 of WiMAX frames; combined = 100 %.
+FIG12_XCORR_MISDETECTION = 2.0 / 3.0
+FIG12_COMBINED_DETECTION = 1.0

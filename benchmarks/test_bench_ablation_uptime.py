@@ -1,0 +1,48 @@
+"""Ablation — jammer uptime sweep (DESIGN.md).
+
+The paper evaluates two reactive uptimes (0.1 ms and 0.01 ms).  This
+bench sweeps the uptime across four decades at two fixed SIRs and
+reports the iperf bandwidth, exposing the energy/stealth trade the
+paper discusses: longer bursts disrupt at weaker relative power, while
+shorter bursts must be overwhelming to matter.
+"""
+
+from __future__ import annotations
+
+from repro.core.presets import reactive_jammer
+from repro.experiments.wifi_jamming import WifiJammingTestbed
+
+UPTIMES_S = [4e-6, 1e-5, 4e-5, 1e-4, 4e-4]
+SIRS_DB = [20.0, 8.0]
+DURATION_S = 0.2
+
+
+def _run():
+    bed = WifiJammingTestbed(duration_s=DURATION_S)
+    table: dict[float, dict[float, float]] = {}
+    for sir_db in SIRS_DB:
+        table[sir_db] = {}
+        for uptime in UPTIMES_S:
+            point = bed.run_point(reactive_jammer(uptime), sir_db)
+            table[sir_db][uptime] = point.report.bandwidth_mbps
+    return table
+
+
+def test_bench_ablation_uptime(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\nAblation — reactive jammer uptime vs UDP bandwidth (Mbps)")
+    print("uptime           " + "".join(f"{u * 1e6:>9.0f}us" for u in UPTIMES_S))
+    for sir_db, row in table.items():
+        print(f"SIR {sir_db:>4.0f} dB      " + "".join(
+            f"{row[u]:>11.1f}" for u in UPTIMES_S))
+
+    # At moderate SIR (20 dB) only long bursts bite: bandwidth is a
+    # non-increasing function of uptime.
+    at20 = [table[20.0][u] for u in UPTIMES_S]
+    assert at20[0] > 25.0
+    assert all(a >= b - 1.0 for a, b in zip(at20, at20[1:]))
+    # At strong jamming (8 dB SIR) the 0.1 ms burst already kills the
+    # link while the shortest burst still leaves it mostly alive.
+    assert table[8.0][1e-4] < 1.0
+    assert table[8.0][4e-6] > 20.0

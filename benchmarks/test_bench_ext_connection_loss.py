@@ -1,0 +1,65 @@
+"""Extension — association loss under jamming (paper §4.3).
+
+The paper observes that the continuous jammer caused "connection to
+the access point [to be] lost", and that after reactive jamming "only
+a short reactive jamming burst is required to disable the wireless
+link and force a reset of the client connection".  With beacons and
+association tracking enabled, the MAC simulation reproduces the
+mechanism: jamming first silences the client (carrier-sense denial /
+corrupted data), and a few dB later kills the beacons too, at which
+point the client drops its association.
+"""
+
+from __future__ import annotations
+
+from repro.core.presets import continuous_jammer, reactive_jammer
+from repro.experiments.wifi_jamming import WifiJammingTestbed
+
+SIRS_DB = [40.0, 30.0, 25.0, 20.0, 15.0, 10.0, 5.0]
+DURATION_S = 0.3
+
+
+def _run():
+    bed = WifiJammingTestbed(duration_s=DURATION_S, beacons=True)
+    results = {}
+    for name, personality in (("continuous", continuous_jammer()),
+                              ("reactive-0.1ms", reactive_jammer(1e-4))):
+        rows = []
+        for sir_db in SIRS_DB:
+            point = bed.run_point(personality, sir_db)
+            rows.append((sir_db, point.report.bandwidth_mbps,
+                         point.connection_lost))
+        results[name] = rows
+    baseline = bed.run_point(None, None)
+    return results, baseline
+
+
+def test_bench_ext_connection_loss(benchmark):
+    results, baseline = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\nExtension — connection loss under jamming (beacons enabled)")
+    print(f"baseline: {baseline.report.bandwidth_mbps:.1f} Mbps, "
+          f"association kept: {not baseline.connection_lost}")
+    for name, rows in results.items():
+        print(f"--- {name} ---")
+        print("SIR(dB)     " + "".join(f"{s:>8.0f}" for s, _b, _l in rows))
+        print("Mbps        " + "".join(f"{b:>8.1f}" for _s, b, _l in rows))
+        print("assoc lost  " + "".join(f"{'yes' if l else 'no':>8}"
+                                       for _s, _b, l in rows))
+
+    assert not baseline.connection_lost
+    cont = {s: (b, lost) for s, b, lost in results["continuous"]}
+    react = {s: (b, lost) for s, b, lost in results["reactive-0.1ms"]}
+
+    # The paper's sequence for the continuous jammer: the link dies
+    # first (client carrier-sense denial), the association follows a
+    # few dB later once beacons stop getting through.
+    assert cont[40.0][0] > 25.0 and not cont[40.0][1]
+    dead_sirs = [s for s, (b, _l) in cont.items() if b < 0.5]
+    lost_sirs = [s for s, (_b, lost) in cont.items() if lost]
+    assert dead_sirs and lost_sirs
+    assert max(lost_sirs) <= max(dead_sirs)
+    # The reactive jammer also forces the client off the AP once its
+    # bursts kill beacons (below the AGC margin at the client).
+    assert react[10.0][1]
+    assert not react[25.0][1]

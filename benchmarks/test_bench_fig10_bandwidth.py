@@ -1,0 +1,75 @@
+"""Fig. 10 — iperf UDP bandwidth vs SIR at the access point.
+
+Runs the 5-port-testbed iperf sweep for the paper's four settings:
+jammer off, continuous, reactive 0.1 ms uptime, reactive 0.01 ms
+uptime.  The paper's qualitative result: the continuous jammer kills
+the link at very low power (SIR ~34 dB, via carrier-sense denial);
+the 0.1 ms reactive jammer needs ~17 dB more instantaneous power
+(dead at SIR ~16 dB); the 0.01 ms jammer another ~13 dB (dead at
+SIR ~3 dB); and the unjammed ceiling is ~29 Mbps.
+
+Simulated interval per point is shorter than the paper's 60 s — the
+DCF statistics converge within ~0.25 s of simulated traffic.
+"""
+
+from __future__ import annotations
+
+from benchmarks.paper_reference import (
+    FIG10_CONTINUOUS_ZERO_SIR,
+    FIG10_MAX_BANDWIDTH_MBPS,
+    FIG10_REACTIVE_001MS_ZERO_SIR,
+    FIG10_REACTIVE_01MS_ZERO_SIR,
+)
+from repro.experiments.wifi_jamming import WifiJammingTestbed
+
+SIRS_DB = [45.0, 40.0, 35.0, 30.0, 25.0, 20.0, 16.0, 12.0, 8.0, 4.0, 2.0, 0.0]
+DURATION_S = 0.25
+
+
+def _run():
+    bed = WifiJammingTestbed(duration_s=DURATION_S)
+    return bed.sweep(sir_values_db=SIRS_DB)
+
+
+def _series(points):
+    series: dict[str, dict[float | None, float]] = {}
+    for point in points:
+        series.setdefault(point.personality, {})[point.sir_at_ap_db] = \
+            point.bandwidth_kbps
+    return series
+
+
+def test_bench_fig10_udp_bandwidth(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    series = _series(points)
+
+    print("\nFig. 10 — UDP bandwidth (Mbps) vs SIR at the AP")
+    print("SIR(dB)          " + "".join(f"{s:>7.0f}" for s in SIRS_DB))
+    for name in ("continuous", "reactive-0.1ms", "reactive-0.01ms"):
+        row = "".join(f"{series[name][s] / 1e3:>7.1f}" for s in SIRS_DB)
+        print(f"{name:<17}{row}")
+    off = series["off"][None] / 1e3
+    print(f"jammer off: {off:.1f} Mbps "
+          f"(paper ceiling ~{FIG10_MAX_BANDWIDTH_MBPS:.0f} Mbps)")
+    print(f"paper zero-bandwidth SIRs: continuous {FIG10_CONTINUOUS_ZERO_SIR}, "
+          f"0.1ms {FIG10_REACTIVE_01MS_ZERO_SIR}, "
+          f"0.01ms {FIG10_REACTIVE_001MS_ZERO_SIR} dB")
+
+    def zero_sir(name: str) -> float:
+        """Highest SIR at which the link is effectively dead."""
+        dead = [s for s in SIRS_DB if series[name][s] < 500.0]
+        return max(dead) if dead else float("-inf")
+
+    # Ceiling within a few Mbps of the paper's 29.
+    assert abs(off - FIG10_MAX_BANDWIDTH_MBPS) < 4.0
+    # The three cliffs land near the paper's, preserving the ordering
+    # and the rough dB separations.
+    cont, r01, r001 = (zero_sir("continuous"), zero_sir("reactive-0.1ms"),
+                       zero_sir("reactive-0.01ms"))
+    assert abs(cont - FIG10_CONTINUOUS_ZERO_SIR) <= 5.0
+    assert abs(r01 - FIG10_REACTIVE_01MS_ZERO_SIR) <= 5.0
+    assert abs(r001 - FIG10_REACTIVE_001MS_ZERO_SIR) <= 3.0
+    assert cont > r01 > r001
+    # At high SIR every jammer leaves the link near the ceiling.
+    for name in ("reactive-0.1ms", "reactive-0.01ms"):
+        assert series[name][45.0] / 1e3 > 0.8 * off

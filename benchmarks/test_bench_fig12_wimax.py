@@ -1,0 +1,54 @@
+"""Fig. 12 — reactive jamming of WiMAX downlink frames.
+
+Reproduces both §5 findings on a simulated Airspan-style broadcast:
+the 64-sample correlator alone (2.56 us window against the ~25 us
+preamble code) misses about 2/3 of the frames, while combining it with
+the energy differentiator detects 100 % with a one-to-one jam-to-frame
+correspondence — the scope trace of Fig. 12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.paper_reference import (
+    FIG12_COMBINED_DETECTION,
+    FIG12_XCORR_MISDETECTION,
+)
+from repro import units
+from repro.experiments.wimax_jamming import run_experiment
+
+N_FRAMES = 24
+
+
+def _run():
+    return run_experiment(n_frames=N_FRAMES)
+
+
+def test_bench_fig12_wimax_jamming(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    xcorr = results["xcorr_only"]
+    combined = results["combined"]
+
+    print("\nFig. 12 — WiMAX downlink reactive jamming")
+    print(f"{'scheme':<14}{'detected':>10}{'missed':>10}{'bursts':>8}")
+    for r in (xcorr, combined):
+        print(f"{r.detection_scheme:<14}{r.detection_rate:>9.0%}"
+              f"{r.misdetection_rate:>9.0%}{r.jam_bursts:>8}")
+    print(f"paper: xcorr-only misses ~{FIG12_XCORR_MISDETECTION:.0%}; "
+          f"combined detects {FIG12_COMBINED_DETECTION:.0%} "
+          "with one burst per frame")
+
+    # Scope-trace check: during the combined run, every downlink frame
+    # has jamming energy shortly after its start.
+    frame_samples = int(0.005 * units.BASEBAND_RATE)
+    for k in range(N_FRAMES):
+        window = combined.tx_trace[k * frame_samples:
+                                   k * frame_samples + 3000]
+        assert np.any(np.abs(window) > 0), f"frame {k} not jammed"
+
+    # The paper's quantitative findings (~2/3 missed; the partial-
+    # window peaks straddle the threshold so the rate varies by run).
+    assert 0.4 <= xcorr.misdetection_rate <= 0.85
+    assert combined.detection_rate == FIG12_COMBINED_DETECTION
+    assert combined.jam_bursts == N_FRAMES  # one-to-one correspondence

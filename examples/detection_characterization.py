@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Detection characterization: the curves of paper Figs. 6, 7 and 8.
+
+Sweeps received SNR and prints ASCII detection-probability curves for
+
+* the long-preamble cross-correlator (single preambles vs full
+  frames, two false-alarm rates),
+* the short-preamble cross-correlator on full frames, and
+* the energy differentiator (including its mean detections/frame,
+  which exposes the paper's multiple-detection band near threshold).
+
+Run:  python examples/detection_characterization.py [frames_per_point]
+      (default 200; the paper used 10,000)
+"""
+
+import sys
+
+from repro.experiments.detection import (
+    energy_detector_curve,
+    long_preamble_curve,
+    short_preamble_curve,
+)
+
+SNRS = [-9.0, -6.0, -3.0, 0.0, 3.0, 6.0, 9.0, 12.0, 15.0]
+BAR = 30
+
+
+def plot(points, label: str) -> None:
+    print(f"\n{label}")
+    for p in points:
+        bar = "#" * int(round(p.detection_probability * BAR))
+        extra = (f"  ({p.mean_detections_per_frame:.2f} det/frame)"
+                 if p.mean_detections_per_frame
+                 > 1.05 * p.detection_probability else "")
+        print(f"  {p.snr_db:+5.0f} dB |{bar:<{BAR}}| "
+              f"{p.detection_probability:5.1%}{extra}")
+
+
+def main() -> None:
+    n_frames = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+
+    plot(long_preamble_curve(SNRS, n_frames=n_frames, full_frames=False),
+         "Fig. 6a — long preamble, single-preamble pseudo-frames (FA 0.083/s)")
+    plot(long_preamble_curve(SNRS, n_frames=n_frames, full_frames=True),
+         "Fig. 6b — long preamble, full WiFi frames (FA 0.083/s)")
+    plot(short_preamble_curve(SNRS, n_frames=n_frames),
+         "Fig. 7 — short preamble, full WiFi frames (FA 0.059/s)")
+    plot(energy_detector_curve(SNRS + [16.0], n_frames=n_frames),
+         "Fig. 8 — energy differentiator, 10 dB threshold")
+
+    print("\npaper shapes: full frames > single preambles; lower FA rate ->")
+    print("lower detection; short-preamble detection strongest; the energy")
+    print("detector shows none / multiple / exactly-one regimes around its")
+    print("threshold. See EXPERIMENTS.md for the paper-vs-measured notes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The countermeasure side: detecting that you are being jammed.
+
+The paper closes by calling its platform "an effective tool for
+studying and developing countermeasures to a new series of real-time
+over-the-air physical layer attacks".  This script runs the first such
+countermeasure — the consistency-check classifier of Xu et al.
+(MobiHoc 2005, the paper's reference [15]) — at the access point while
+the iperf testbed faces four very different conditions:
+
+* a healthy link,
+* a genuinely weak client (low RSSI: losses explained by the channel),
+* the continuous jammer,
+* the reactive jammer (the hard case: the AP sees strong frames that
+  mysteriously fail while the channel looks idle).
+
+Run:  python examples/jamming_countermeasure.py
+"""
+
+import numpy as np
+
+from repro.apps.jamming_detector import JammingDetector
+from repro.core.presets import continuous_jammer, reactive_jammer
+from repro.experiments.wifi_jamming import WifiJammingTestbed
+from repro.mac.iperf import UdpBandwidthTest
+from repro.mac.medium import Medium
+from repro.mac.nodes import AccessPoint, JammerNode, Station
+from repro.mac.simkernel import SimKernel
+
+DURATION_S = 0.25
+
+
+def diagnose(label, personality=None, sir_db=None, client_tx_dbm=14.0):
+    bed = WifiJammingTestbed(duration_s=DURATION_S)
+    rng = np.random.default_rng(8)
+    kernel = SimKernel()
+    medium = Medium(bed.path_loss_db)
+    ap = AccessPoint("ap", kernel, medium, rng, tx_power_dbm=bed.ap_tx_dbm)
+    client = Station("client", kernel, medium, ap, rng,
+                     tx_power_dbm=client_tx_dbm)
+    detector = JammingDetector(kernel, medium, ap)
+    detector.start(DURATION_S)
+    if personality is not None:
+        jam_tx = bed.jammer_tx_for_sir(sir_db)
+        JammerNode("jammer", kernel, medium, personality,
+                   tx_power_dbm=jam_tx).start(DURATION_S)
+    report = UdpBandwidthTest(kernel, client, ap).run(DURATION_S)
+    stats = detector.stats
+    verdict = detector.classify()
+    rssi = (f"{stats.mean_rssi_dbm:6.1f}" if stats.frames_seen
+            else "     -")
+    print(f"{label:<26}{report.bandwidth_mbps:>7.1f}"
+          f"{stats.delivery_ratio:>7.2f}{rssi:>8}"
+          f"{stats.busy_fraction:>7.2f}   {verdict.value}")
+    return verdict
+
+
+def main() -> None:
+    print(f"{'scenario':<26}{'Mbps':>7}{'PDR':>7}{'RSSI':>8}"
+          f"{'busy':>7}   verdict")
+    diagnose("healthy link")
+    diagnose("weak client (-38 dBm TX)", client_tx_dbm=-38.0)
+    diagnose("continuous jam, SIR 15", continuous_jammer(), 15.0)
+    diagnose("reactive 0.1ms, SIR 8", reactive_jammer(1e-4), 8.0)
+    print("\nThe classifier keys on the Xu et al. inconsistency: frames that")
+    print("arrive STRONG yet FAIL mean interference, not range; and the")
+    print("channel-busy fraction separates an always-on jammer from one")
+    print("that transmits only microsecond bursts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Jamming for good: the two secure-communication schemes of paper §1.
+
+The paper anticipates its platform being used "to prototype several
+classes of jamming-based secure communication schemes" — this script
+runs both cited families on the framework:
+
+1. **iJam** (Gollakota & Katabi): the receiver jams one copy of each
+   repeated sample; eavesdroppers can't tell which copy is clean.
+2. **Ally-friendly jamming** (Shen et al.): continuous key-seeded
+   jamming that authorized receivers regenerate and cancel.
+
+Run:  python examples/secure_communication.py
+"""
+
+import numpy as np
+
+from repro.apps import FriendlyJammingLink, IjamLink
+from repro.phy.modulation import Modulation
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    print("=== iJam: self-jamming secrecy ===")
+    print("sender repeats every OFDM symbol; the receiver's jammer kills")
+    print("one random copy of each sample (host-stream waveform preset).\n")
+    header = f"{'modulation':<8}{'J/S':>6}{'receiver BER':>14}{'eavesdropper BER':>18}"
+    print(header)
+    for mod in (Modulation.QPSK, Modulation.QAM16, Modulation.QAM64):
+        link = IjamLink(modulation=mod, jam_to_signal_db=6.0)
+        bits = rng.integers(0, 2, 48 * mod.bits_per_symbol * 10
+                            ).astype(np.uint8)
+        result = link.run(bits, np.random.default_rng(7))
+        print(f"{mod.name:<8}{6.0:>6.1f}{result.receiver_ber:>14.4f}"
+              f"{result.eavesdropper_ber:>18.4f}")
+    print(f"\nrequired dummy padding: {link.run(bits, rng).padding_s * 1e6:.2f} us")
+    print("(the paper notes iJam must pad for the receiver's 'decoding and")
+    print(" jamming response delays'; this framework's 2.64 us response")
+    print(" keeps the pad under 4 us)")
+
+    print("\n=== Ally-friendly jamming: key-controlled interference ===")
+    print("the jammer runs the hardware's continuous WGN preset; its seed")
+    print("is the shared key, so key-holders regenerate and cancel it.\n")
+    print(f"{'J/S':>6}{'authorized BER':>16}{'unauthorized BER':>18}{'cancellation':>14}")
+    for js in (0.0, 6.0, 12.0):
+        link = FriendlyJammingLink(jam_to_signal_db=js)
+        bits = rng.integers(0, 2, 48 * 2 * 16).astype(np.uint8)
+        result = link.run(bits, np.random.default_rng(3))
+        print(f"{js:>6.1f}{result.authorized_ber:>16.4f}"
+              f"{result.unauthorized_ber:>18.4f}"
+              f"{result.residual_jam_db:>11.1f} dB")
+    print("\nauthorized receivers ride through jamming that renders the")
+    print("channel unusable for everyone else — 'jam your enemy and")
+    print("maintain your own wireless connectivity at the same time'.")
+
+
+if __name__ == "__main__":
+    main()

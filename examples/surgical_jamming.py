@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+""""Surgical" jamming: place a tiny burst at a chosen packet offset.
+
+Paper §2.4/§3.1: "A user-defined delay option between detection
+triggers and active jamming is also provided to enable jamming of
+specific locations in the packets.  This type of 'surgical' jamming is
+highly destructive due to its ability to target critical information."
+
+This example detects a WiFi frame on its short preamble, then uses the
+jam-delay register to drop a 1 us white-noise burst on three regions —
+the long training field (channel estimation), the SIGNAL field, and
+the payload — across a sweep of jamming powers.  For each shot the
+victim's capture is decoded at the waveform level to see whether the
+frame survived.
+
+Two takeaways, printed at the end:
+
+* energy: a single 1 us burst kills a ~250 us frame — four orders of
+  magnitude less energy than continuous jamming, and 100x less than
+  the paper's 0.1 ms reactive burst;
+* placement: the regions differ in cost.  Under an exact-decode
+  criterion the long payload is cheapest to corrupt (one broken coded
+  symbol breaks the FCS), while the SIGNAL field — tiny and BPSK
+  rate-1/2 — needs the most power but yields the stealthiest outcome
+  (the victim NIC never even logs a frame).
+
+Run:  python examples/surgical_jamming.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.channel import Transmission, mix_at_port
+from repro.core import (
+    DetectionConfig,
+    JammingEventBuilder,
+    ReactiveJammer,
+    reactive_jammer,
+    wifi_short_preamble_template,
+)
+from repro.dsp.resample import resample
+from repro.errors import DecodeError
+from repro.phy.wifi import WifiFrameConfig, WifiRate, build_ppdu
+from repro.phy.wifi.receiver import WifiReceiver
+
+NOISE = 1e-4
+SNR_DB = 25.0
+FRAME_START_S = 50e-6
+BURST_S = 1e-6
+GAINS_DB = (-20.0, -15.0, -10.0, -5.0, 0.0)
+
+#: Delay from the trigger (~2.5 us into the frame) to the burst.
+TARGETS = {
+    "long training field": 7e-6,
+    "SIGNAL field": 14.5e-6,
+    "payload": 60e-6,
+    "no jamming": None,
+}
+
+
+def run_one(delay_s: float | None, jam_gain_db: float,
+            seed: int = 77) -> bool:
+    """One shot; returns True if the victim still decodes the frame."""
+    rng = np.random.default_rng(seed)
+    psdu = rng.integers(0, 256, 500, dtype=np.uint8).tobytes()
+    frame = build_ppdu(psdu, WifiFrameConfig(rate=WifiRate.MBPS_24))
+    rx = mix_at_port(
+        [Transmission(frame, 20e6, start_time=FRAME_START_S,
+                      power=units.db_to_linear(SNR_DB) * NOISE)],
+        out_rate=units.BASEBAND_RATE, duration=300e-6,
+        noise_power=NOISE, rng=rng,
+    )
+    if delay_s is None:
+        victim = rx
+    else:
+        jammer = ReactiveJammer()
+        jammer.configure(
+            detection=DetectionConfig(
+                template=wifi_short_preamble_template(),
+                xcorr_threshold=25_000),
+            events=JammingEventBuilder().on_correlation(),
+            personality=reactive_jammer(uptime_seconds=BURST_S,
+                                        delay_seconds=delay_s),
+        )
+        jammer.device.set_tx_amplitude_db(jam_gain_db)
+        victim = rx + jammer.run(rx).tx
+    capture = resample(victim, units.BASEBAND_RATE, 20e6)
+    try:
+        return WifiReceiver().receive(capture).psdu == psdu
+    except DecodeError:
+        return False
+
+
+def main() -> None:
+    print(f"{BURST_S * 1e6:.0f} us surgical bursts on a 24 Mbps / 500-byte "
+          f"frame at {SNR_DB:.0f} dB SNR\n")
+    print(f"{'burst target':<22}" + "".join(f"{g:>8.0f}" for g in GAINS_DB)
+          + "   (jammer digital gain, dB)")
+    kill_threshold: dict[str, float | None] = {}
+    for name, delay in TARGETS.items():
+        row = []
+        threshold = None
+        for gain in GAINS_DB:
+            ok = run_one(delay, gain)
+            row.append("ok" if ok else "KILL")
+            if not ok and threshold is None:
+                threshold = gain
+        kill_threshold[name] = threshold
+        print(f"{name:<22}" + "".join(f"{r:>8}" for r in row))
+
+    from repro.phy.wifi.frame import ppdu_duration_us
+
+    frame_us = ppdu_duration_us(500, WifiRate.MBPS_24)
+    print(f"\nframe air time: {frame_us} us; burst: {BURST_S * 1e6:.0f} us "
+          f"-> duty {BURST_S * 1e6 / frame_us:.2%} of the frame")
+    print("energy vs alternatives: continuous jamming spends "
+          f"{frame_us / (BURST_S * 1e6):.0f}x more per frame; the paper's "
+          f"0.1 ms reactive burst {1e-4 / BURST_S:.0f}x more.")
+    print("\nregion economics (lowest gain that killed the frame):")
+    for name, threshold in kill_threshold.items():
+        if name == "no jamming":
+            continue
+        label = "never (in this sweep)" if threshold is None \
+            else f"{threshold:.0f} dB"
+        print(f"  {name:<22}{label}")
+    print("\nThe payload is cheapest under an exact-decode criterion (one")
+    print("broken coded symbol breaks the FCS); the SIGNAL field costs the")
+    print("most power but is the stealthiest target — the PLCP header never")
+    print("decodes, so the victim never even counts a corrupted frame.")
+
+
+if __name__ == "__main__":
+    main()

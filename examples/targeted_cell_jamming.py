@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Targeted jamming: hit one WiMAX cell, spare its co-channel neighbour.
+
+The paper's protocol-awareness claim, pushed one level further: two
+base stations share a channel (staggered TDD), distinguished only by
+their (IDcell, Segment) preamble identity.  The attacker:
+
+1. runs a cell search on a passive capture to identify the networks,
+2. loads the *target* cell's preamble template into the correlator,
+3. jams — and only the target's frames draw bursts.
+
+An energy detector cannot make this distinction; the comparison is
+printed side by side.
+
+Run:  python examples/targeted_cell_jamming.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.channel.combining import Transmission, mix_at_port
+from repro.core import (
+    DetectionConfig,
+    JammingEventBuilder,
+    ReactiveJammer,
+    reactive_jammer,
+    wimax_preamble_template,
+)
+from repro.dsp.resample import resample
+from repro.phy.wimax.frame import build_downlink_frame
+from repro.phy.wimax.params import FRAME_DURATION_S, WIMAX_SAMPLE_RATE, WimaxConfig
+from repro.phy.wimax.receiver import WimaxCellSearcher
+
+NOISE = 1e-4
+N_FRAMES = 6
+STAGGER_S = FRAME_DURATION_S / 2
+TARGET = (1, 0)
+BYSTANDER = (5, 2)
+
+
+def build_scene(rng):
+    target_cfg = WimaxConfig(*TARGET, dl_symbols=10)
+    bystander_cfg = WimaxConfig(*BYSTANDER, dl_symbols=10)
+    transmissions, target_starts, bystander_starts = [], [], []
+    for k in range(N_FRAMES):
+        t0 = k * FRAME_DURATION_S
+        target_starts.append(t0)
+        transmissions.append(Transmission(
+            build_downlink_frame(target_cfg, rng), WIMAX_SAMPLE_RATE, t0,
+            power=units.db_to_linear(12.0) * NOISE))
+        t1 = t0 + STAGGER_S
+        bystander_starts.append(t1)
+        transmissions.append(Transmission(
+            build_downlink_frame(bystander_cfg, rng), WIMAX_SAMPLE_RATE, t1,
+            power=units.db_to_linear(12.0) * NOISE))
+    rx = mix_at_port(transmissions, units.BASEBAND_RATE,
+                     N_FRAMES * FRAME_DURATION_S + STAGGER_S,
+                     noise_power=NOISE, rng=rng)
+    return rx, target_starts, bystander_starts
+
+
+def hits(report, starts):
+    count = 0
+    for start in starts:
+        if any(start <= j.start / units.BASEBAND_RATE < start + 150e-6
+               for j in report.jams):
+            count += 1
+    return count
+
+
+def main() -> None:
+    rng = np.random.default_rng(12)
+    rx, target_starts, bystander_starts = build_scene(rng)
+
+    print("step 1 — passive cell search on the capture:")
+    native = resample(rx[:1_500_000], units.BASEBAND_RATE, WIMAX_SAMPLE_RATE)
+    searcher = WimaxCellSearcher(cell_ids=[0, 1, 2, 5], segments=[0, 1, 2])
+    found = searcher.search(native[:200_000])
+    print(f"  strongest cell: IDcell={found.cell_id} "
+          f"segment={found.segment} (corr {found.correlation:.2f})\n")
+
+    results = {}
+    for label, detection, events in (
+        ("protocol-aware (target template)",
+         DetectionConfig(template=wimax_preamble_template(*TARGET),
+                         xcorr_threshold=11_000),
+         JammingEventBuilder().on_correlation()),
+        ("energy detector (agnostic)",
+         DetectionConfig(energy_high_db=10.0),
+         JammingEventBuilder().on_energy_rise()),
+    ):
+        jammer = ReactiveJammer()
+        jammer.configure(detection, events, reactive_jammer(1e-4))
+        report = jammer.run(rx)
+        results[label] = (hits(report, target_starts),
+                          hits(report, bystander_starts))
+
+    print("step 2 — jam with each detection mode:")
+    print(f"{'detector':<36}{'target frames hit':>19}{'bystander hit':>16}")
+    for label, (t, b) in results.items():
+        print(f"{label:<36}{t:>12}/{N_FRAMES}{b:>13}/{N_FRAMES}")
+    print("\nThe correlator's template selects the victim network; the")
+    print("energy detector cannot tell the two cells apart — the paper's")
+    print("'protocol-aware' in action.")
+
+
+if __name__ == "__main__":
+    main()

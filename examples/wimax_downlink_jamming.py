@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's WiMAX validation (Fig. 12) with an ASCII scope trace.
+
+Broadcasts 802.16e TDD downlink frames (Airspan-style: 10 MHz channel,
+1024-FFT, Cell ID 1 / Segment 0), runs the jammer in the paper's two
+detection configurations, and renders the time-domain envelope of both
+the downlink and the jammer's transmission — the "oscilloscope view"
+of Fig. 12.
+
+Run:  python examples/wimax_downlink_jamming.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.experiments.wimax_jamming import run_experiment
+
+N_FRAMES = 8
+COLUMNS = 100
+
+
+def ascii_trace(samples: np.ndarray, columns: int, char: str) -> str:
+    """A one-line envelope rendering of a complex waveform."""
+    bins = np.array_split(np.abs(samples), columns)
+    peak = max(float(np.max(b)) if b.size else 0.0 for b in bins) or 1.0
+    line = []
+    for b in bins:
+        level = float(np.max(b)) / peak if b.size else 0.0
+        line.append(char if level > 0.25 else ("." if level > 0.05 else " "))
+    return "".join(line)
+
+
+def main() -> None:
+    results = run_experiment(n_frames=N_FRAMES)
+
+    for scheme in ("xcorr_only", "combined"):
+        r = results[scheme]
+        print(f"=== detection scheme: {scheme} ===")
+        print(f"frames: {r.n_frames}  detected: {r.frames_detected} "
+              f"({r.detection_rate:.0%})  jam bursts: {r.jam_bursts}")
+        print("WiMAX DL |" + ascii_trace(r.rx_trace, COLUMNS, "#") + "|")
+        print("jammer TX|" + ascii_trace(r.tx_trace, COLUMNS, "*") + "|")
+        print()
+
+    x = results["xcorr_only"]
+    c = results["combined"]
+    print(f"cross-correlator alone missed {x.misdetection_rate:.0%} of the "
+          "frames (paper: ~2/3) — the 64-sample window covers only "
+          f"{64 / units.BASEBAND_RATE * 1e6:.2f} us of the ~25 us preamble code.")
+    print(f"combined with the energy differentiator: {c.detection_rate:.0%} "
+          "detection, one burst per downlink frame (paper: 100 %).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Jamming-based secure communication schemes built on the framework.
+
+The paper's introduction anticipates that the platform will be used
+"to prototype several classes of jamming-based secure communication
+schemes" and cites two families; both are implemented here on top of
+the same hardware model the jammer uses:
+
+* :mod:`repro.apps.ijam` — iJam-style self-jamming secrecy (Gollakota
+  & Katabi): the receiver jams one of each pair of repeated symbols;
+  it knows which copy is clean, an eavesdropper does not.  The paper
+  specifically notes iJam's need for "dummy paddings ... to account
+  for the decoding and jamming response delays"; this implementation
+  quantifies how the framework's 2.64 us response shrinks that pad.
+* :mod:`repro.apps.friendly_jamming` — ally/friendly jamming (Shen et
+  al.): a continuous key-seeded jamming signal that authorized
+  receivers regenerate and cancel while unauthorized ones cannot —
+  implemented directly on the transmit controller's seeded WGN
+  generator.
+
+The countermeasure side the paper's conclusion calls for lives here
+too:
+
+* :mod:`repro.apps.jamming_detector` — the Xu et al. (MobiHoc 2005,
+  the paper's reference [15]) consistency-check classifier that
+  fingerprints jamming from PDR/RSSI inconsistency and types the
+  attacker from the channel-busy fraction.
+
+And the "sophisticated attacks" the paper's §5 says protocol
+awareness enables:
+
+* :mod:`repro.apps.packet_injection` — jam-and-spoof ACK injection:
+  corrupt a data frame at the AP while forging the ACK the sender
+  expects, so the loss is invisible to the victim.
+"""
+
+from repro.apps.ijam import IjamLink, IjamResult
+from repro.apps.friendly_jamming import FriendlyJammingLink, FriendlyJammingResult
+from repro.apps.jamming_detector import JammingDetector, LinkVerdict
+from repro.apps.packet_injection import AckInjectionAttack, InjectionResult
+
+__all__ = [
+    "IjamLink",
+    "IjamResult",
+    "FriendlyJammingLink",
+    "FriendlyJammingResult",
+    "JammingDetector",
+    "LinkVerdict",
+    "AckInjectionAttack",
+    "InjectionResult",
+]

@@ -1,0 +1,149 @@
+"""Jamming detection at the victim — the countermeasure side.
+
+The paper closes by positioning the testbed as "an effective tool for
+studying and developing countermeasures to a new series of real-time
+over-the-air physical layer attacks"; this module is the first such
+countermeasure, implementing the consistency-check classifier of Xu,
+Trappe, Zhang & Wood (MobiHoc 2005 — the paper's reference [15]):
+
+* healthy link:  high delivery ratio;
+* poor link:     low delivery ratio AND low signal strength — losses
+  are explained by the channel;
+* jammed link:   low delivery ratio at HIGH signal strength — the
+  inconsistency that fingerprints jamming.
+
+Given a jamming verdict, the channel-busy fraction separates the two
+attacker types the paper demonstrates: a constant jammer keeps the
+medium busy nearly always, a reactive jammer only in short bursts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mac.medium import Medium
+from repro.mac.nodes import AccessPoint
+from repro.mac.simkernel import SimKernel
+
+
+class LinkVerdict(enum.Enum):
+    """The classifier's output states."""
+
+    HEALTHY = "healthy"
+    POOR_LINK = "poor-link"
+    CONSTANT_JAMMER = "constant-jammer"
+    REACTIVE_JAMMER = "reactive-jammer"
+    NO_TRAFFIC = "no-traffic"
+
+
+@dataclass
+class LinkStatistics:
+    """What the monitor gathered over one observation window."""
+
+    frames_seen: int = 0
+    frames_delivered: int = 0
+    rssi_sum_dbm: float = 0.0
+    busy_samples: int = 0
+    busy_hits: int = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / observed data frames."""
+        if self.frames_seen == 0:
+            return 1.0
+        return self.frames_delivered / self.frames_seen
+
+    @property
+    def mean_rssi_dbm(self) -> float:
+        """Mean received signal strength of observed frames."""
+        if self.frames_seen == 0:
+            return float("-inf")
+        return self.rssi_sum_dbm / self.frames_seen
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of CCA samples that reported busy."""
+        if self.busy_samples == 0:
+            return 0.0
+        return self.busy_hits / self.busy_samples
+
+
+class JammingDetector:
+    """A consistency-check jamming classifier attached to an AP.
+
+    Attach before the traffic runs; read the verdict afterwards::
+
+        detector = JammingDetector(kernel, medium, ap)
+        detector.start(duration_s)
+        ... run traffic ...
+        verdict = detector.classify()
+    """
+
+    def __init__(self, kernel: SimKernel, medium: Medium, ap: AccessPoint,
+                 pdr_threshold: float = 0.6,
+                 rssi_threshold_dbm: float = -75.0,
+                 busy_threshold: float = 0.9,
+                 cca_sample_interval_s: float = 1e-3) -> None:
+        if not 0.0 < pdr_threshold < 1.0:
+            raise ConfigurationError("pdr_threshold must be in (0, 1)")
+        if not 0.0 < busy_threshold <= 1.0:
+            raise ConfigurationError("busy_threshold must be in (0, 1]")
+        self._kernel = kernel
+        self._medium = medium
+        self._ap = ap
+        self._pdr_threshold = pdr_threshold
+        self._rssi_threshold_dbm = rssi_threshold_dbm
+        self._busy_threshold = busy_threshold
+        self._cca_interval_s = cca_sample_interval_s
+        self.stats = LinkStatistics()
+        ap.monitor = self._on_frame
+
+    # ------------------------------------------------------------------
+    # Collection
+
+    def _on_frame(self, rssi_dbm: float | None, success: bool,
+                  _time: float) -> None:
+        if rssi_dbm is None:
+            return
+        self.stats.frames_seen += 1
+        self.stats.rssi_sum_dbm += rssi_dbm
+        if success:
+            self.stats.frames_delivered += 1
+
+    def start(self, duration_s: float) -> None:
+        """Begin periodic CCA sampling for ``duration_s``."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        self._stop_at = self._kernel.now + duration_s
+        self._kernel.schedule(self._cca_interval_s, self._sample_cca)
+
+    def _sample_cca(self) -> None:
+        if self._kernel.now > self._stop_at:
+            return
+        self.stats.busy_samples += 1
+        if self._medium.is_busy(self._ap.name, self._kernel.now):
+            self.stats.busy_hits += 1
+        self._kernel.schedule(self._cca_interval_s, self._sample_cca)
+
+    # ------------------------------------------------------------------
+    # Classification
+
+    def classify(self) -> LinkVerdict:
+        """The Xu et al. consistency check plus attacker typing."""
+        stats = self.stats
+        # A constant jammer can silence the client entirely: no frames
+        # to observe, but the medium is pinned busy.
+        if stats.frames_seen == 0:
+            if stats.busy_fraction > self._busy_threshold:
+                return LinkVerdict.CONSTANT_JAMMER
+            return LinkVerdict.NO_TRAFFIC
+        if stats.delivery_ratio >= self._pdr_threshold:
+            return LinkVerdict.HEALTHY
+        # Low delivery: consistent with the signal strength?
+        if stats.mean_rssi_dbm < self._rssi_threshold_dbm:
+            return LinkVerdict.POOR_LINK
+        if stats.busy_fraction > self._busy_threshold:
+            return LinkVerdict.CONSTANT_JAMMER
+        return LinkVerdict.REACTIVE_JAMMER

@@ -1,0 +1,191 @@
+"""Protocol-aware packet injection (paper §5).
+
+"Having both effective detection and protocol awareness can enable a
+wide range of sophisticated attacks, such as ... malicious wireless
+packet injection to interfere with ongoing communications."
+
+The implemented attack is the classic jam-and-spoof ACK injection:
+
+1. the attacker's correlator detects a victim data frame's preamble;
+2. a surgical burst corrupts the frame at the access point, so the
+   real AP never ACKs;
+3. using the host-stream transmit path and the jam-delay register,
+   the attacker transmits a *forged, standard-compliant ACK* exactly
+   one SIFS after the data frame ends.
+
+The sending station decodes a valid ACK and believes its frame was
+delivered — the data silently vanishes without any retransmission,
+which is far more damaging than loss the sender can see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.core.detection import DetectionConfig
+from repro.core.events import JammingEventBuilder
+from repro.core.jammer import ReactiveJammer
+from repro.core.presets import JammerPersonality
+from repro.dsp.resample import resample
+from repro.errors import ConfigurationError, DecodeError
+from repro.hw.tx_controller import JamWaveform
+from repro.mac.dcf import SIFS_S
+from repro.phy.bits import check_fcs
+from repro.phy.wifi.frame import WifiFrameConfig, build_ppdu, ppdu_duration_us
+from repro.phy.wifi.params import WIFI_SAMPLE_RATE, WifiRate
+from repro.phy.wifi.receiver import WifiReceiver
+
+#: 802.11 ACK frame control field (subtype 13, type 1 control).
+_ACK_FRAME_CONTROL = bytes([0xD4, 0x00])
+
+
+def forge_ack_psdu(receiver_address: bytes) -> bytes:
+    """A standard-compliant ACK MAC frame with a valid FCS."""
+    from repro.mac.dot11 import build_ack_frame
+
+    if len(receiver_address) != 6:
+        raise ConfigurationError("receiver_address must be 6 bytes")
+    return build_ack_frame(receiver_address)
+
+
+def is_valid_ack(psdu: bytes, receiver_address: bytes) -> bool:
+    """Whether a decoded PSDU is a well-formed ACK for this station."""
+    return (len(psdu) == 14
+            and psdu[:2] == _ACK_FRAME_CONTROL
+            and psdu[4:10] == receiver_address
+            and check_fcs(psdu))
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one jam-and-spoof exchange."""
+
+    data_frame_jammed: bool
+    forged_ack_decoded: bool
+    ack_timing_error_s: float
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """Frame destroyed at the AP, yet the sender saw a valid ACK."""
+        return self.data_frame_jammed and self.forged_ack_decoded
+
+
+class AckInjectionAttack:
+    """The jam-and-spoof attacker built from two framework devices.
+
+    One ReactiveJammer instance corrupts the data frame; a second —
+    sharing the same detection template — injects the forged ACK via
+    the host-stream waveform after a surgical delay of (remaining
+    frame time + SIFS).  A real deployment would use one full-duplex
+    device with two trigger profiles; two instances keep the example
+    readable.
+    """
+
+    def __init__(self, station_address: bytes = b"\x02APVIC",
+                 data_rate: WifiRate = WifiRate.MBPS_24,
+                 psdu_bytes: int = 300, snr_db: float = 25.0,
+                 jam_gain_db: float = -6.0) -> None:
+        self.station_address = station_address
+        self.data_rate = data_rate
+        self.psdu_bytes = int(psdu_bytes)
+        self.snr_db = float(snr_db)
+        self.jam_gain_db = float(jam_gain_db)
+        rng = np.random.default_rng(0xACE)
+        self._template = np.exp(1j * rng.uniform(0, 2 * np.pi, 64))
+
+    def _make_jammer(self, personality: JammerPersonality) -> ReactiveJammer:
+        from repro.core.coeffs import wifi_short_preamble_template
+
+        jammer = ReactiveJammer()
+        jammer.configure(
+            detection=DetectionConfig(
+                template=wifi_short_preamble_template(),
+                xcorr_threshold=25_000),
+            events=JammingEventBuilder().on_correlation(),
+            personality=personality,
+        )
+        return jammer
+
+    def run(self, rng: np.random.Generator) -> InjectionResult:
+        """One victim data frame against the jam-and-spoof attacker."""
+        noise_floor = 1e-4
+        psdu = rng.integers(0, 256, self.psdu_bytes, dtype=np.uint8).tobytes()
+        data_wave = build_ppdu(psdu, WifiFrameConfig(rate=self.data_rate))
+        frame_duration_s = ppdu_duration_us(self.psdu_bytes,
+                                            self.data_rate) * 1e-6
+
+        from repro.channel.combining import Transmission, mix_at_port
+
+        frame_start_s = 60e-6
+        capture_len_s = frame_start_s + frame_duration_s + 200e-6
+        rx = mix_at_port(
+            [Transmission(data_wave, WIFI_SAMPLE_RATE, frame_start_s,
+                          power=units.db_to_linear(self.snr_db) * noise_floor)],
+            out_rate=units.BASEBAND_RATE, duration=capture_len_s,
+            noise_power=noise_floor, rng=rng,
+        )
+
+        # Attacker half 1: surgical burst into the data field.
+        burst = self._make_jammer(JammerPersonality(
+            name="surgical", uptime_samples=units.seconds_to_samples(30e-6),
+            delay_samples=units.seconds_to_samples(30e-6),
+            waveform=JamWaveform.WGN))
+        burst.device.set_tx_amplitude_db(self.jam_gain_db)
+        burst_report = burst.run(rx)
+
+        # Attacker half 2: the forged ACK, injected one SIFS after the
+        # data frame ends.  Trigger fires T_resp into the frame; the
+        # host-stream pattern must wait out the remainder plus SIFS.
+        ack_psdu = forge_ack_psdu(self.station_address)
+        ack_wave = build_ppdu(ack_psdu, WifiFrameConfig(rate=WifiRate.MBPS_24))
+        ack_at_25 = resample(ack_wave, WIFI_SAMPLE_RATE, units.BASEBAND_RATE)
+        t_resp_samples = 66  # 64-sample detection + 2-sample TX init
+        wait = units.seconds_to_samples(frame_duration_s + SIFS_S) \
+            - t_resp_samples
+        pattern = np.concatenate([
+            np.zeros(max(wait, 0), dtype=np.complex128),
+            ack_at_25 * units.db_to_amplitude(self.snr_db)
+            * np.sqrt(noise_floor) * np.sqrt(2.0),
+        ])
+        injector = self._make_jammer(JammerPersonality(
+            name="ack-forger", uptime_samples=pattern.size,
+            waveform=JamWaveform.HOST_STREAM))
+        injector.device.core.tx.set_host_waveform(pattern)
+        injection_report = injector.run(rx)
+
+        on_air = rx + burst_report.tx + injection_report.tx
+
+        # The AP's view: does the data frame survive?
+        ap_capture = resample(on_air, units.BASEBAND_RATE, WIFI_SAMPLE_RATE)
+        try:
+            ap_result = WifiReceiver().receive(ap_capture)
+            frame_jammed = ap_result.psdu != psdu
+        except DecodeError:
+            frame_jammed = True
+
+        # The station's view after its frame: a valid ACK?
+        ack_window_start = int((frame_start_s + frame_duration_s)
+                               * WIFI_SAMPLE_RATE)
+        station_capture = ap_capture[ack_window_start:]
+        forged_ok = False
+        timing_error_s = float("inf")
+        try:
+            station_result = WifiReceiver().receive(station_capture)
+            forged_ok = is_valid_ack(station_result.psdu,
+                                     self.station_address)
+            # start_index points at the SIGNAL field, 16 us (the
+            # preamble) after the forged PPDU began.
+            observed_sifs = station_result.start_index / WIFI_SAMPLE_RATE \
+                - 16e-6
+            timing_error_s = abs(observed_sifs - SIFS_S)
+        except DecodeError:
+            pass
+
+        return InjectionResult(
+            data_frame_jammed=frame_jammed,
+            forged_ack_decoded=forged_ok,
+            ack_timing_error_s=timing_error_s,
+        )

@@ -1,0 +1,29 @@
+"""RF environment models: noise, attenuation, and the wired test network.
+
+The paper validates its jammer inside a wired 5-port interconnect
+network built from power splitters (Fig. 9 / Table 1), with calibrated
+attenuators emulating path loss.  This package models that plumbing:
+
+* :mod:`repro.channel.awgn` — calibrated additive white Gaussian noise.
+* :mod:`repro.channel.attenuator` — fixed and variable attenuators.
+* :mod:`repro.channel.splitter` — the 5-port network with its measured
+  insertion-loss matrix, plus a VNA-style characterization routine.
+* :mod:`repro.channel.combining` — superposition of transmissions with
+  sample-rate conversion and time offsets.
+"""
+
+from repro.channel.awgn import AwgnChannel, awgn
+from repro.channel.attenuator import Attenuator, VariableAttenuator
+from repro.channel.splitter import FivePortNetwork, PAPER_TABLE1_DB
+from repro.channel.combining import Transmission, mix_at_port
+
+__all__ = [
+    "AwgnChannel",
+    "awgn",
+    "Attenuator",
+    "VariableAttenuator",
+    "FivePortNetwork",
+    "PAPER_TABLE1_DB",
+    "Transmission",
+    "mix_at_port",
+]

@@ -1,0 +1,67 @@
+"""Fixed and variable RF attenuators.
+
+The paper's test network places 20 dB fixed attenuators on the AP and
+client ports (path-loss emulation, saturation protection) and a
+variable attenuator on the jammer's transmit port to sweep SIR over a
+wide dynamic range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class Attenuator:
+    """A fixed attenuator of ``loss_db`` (positive = attenuation)."""
+
+    def __init__(self, loss_db: float) -> None:
+        if loss_db < 0:
+            raise ConfigurationError(
+                "attenuation must be non-negative; use gain blocks elsewhere"
+            )
+        self._loss_db = float(loss_db)
+        self._scale = units.db_to_amplitude(-self._loss_db)
+
+    @property
+    def loss_db(self) -> float:
+        """Insertion loss in dB."""
+        return self._loss_db
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        """Attenuate a signal."""
+        return np.asarray(signal, dtype=np.complex128) * self._scale
+
+
+class VariableAttenuator(Attenuator):
+    """A step attenuator whose setting can change between runs.
+
+    Models the paper's stacked-attenuator sweep: settings snap to the
+    step size, like real step attenuators.
+    """
+
+    def __init__(self, loss_db: float = 0.0, max_db: float = 110.0,
+                 step_db: float = 0.5) -> None:
+        if max_db <= 0 or step_db <= 0:
+            raise ConfigurationError("max_db and step_db must be positive")
+        self._max_db = float(max_db)
+        self._step_db = float(step_db)
+        super().__init__(0.0)
+        self.set_loss(loss_db)
+
+    @property
+    def max_db(self) -> float:
+        """Maximum settable attenuation."""
+        return self._max_db
+
+    def set_loss(self, loss_db: float) -> None:
+        """Snap to the nearest step and apply limits."""
+        if loss_db < 0 or loss_db > self._max_db:
+            raise ConfigurationError(
+                f"attenuation {loss_db} dB outside [0, {self._max_db}] dB"
+            )
+        snapped = round(loss_db / self._step_db) * self._step_db
+        self._loss_db = float(snapped)
+        self._scale = units.db_to_amplitude(-self._loss_db)

@@ -1,0 +1,81 @@
+"""Superposition of transmissions on a shared medium.
+
+Detection experiments need to place waveforms from devices with
+different native sampling rates (802.11g at 20 MSPS, WiMAX at
+11.4 MHz) onto the jammer's 25 MSPS timeline, at controlled offsets
+and amplitudes, on top of a common noise floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.channel.awgn import awgn
+from repro.dsp.resample import resample
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One waveform entering the medium.
+
+    Attributes:
+        samples: Complex baseband at the transmitter's native rate.
+        sample_rate: The transmitter's native sampling rate in Hz.
+        start_time: Transmission start on the shared timeline, seconds.
+        power: Mean power the waveform should arrive with (linear).
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+    start_time: float = 0.0
+    power: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        if self.start_time < 0:
+            raise ConfigurationError("start_time must be non-negative")
+        if self.power < 0:
+            raise ConfigurationError("power must be non-negative")
+
+
+def mix_at_port(transmissions: list[Transmission], out_rate: float,
+                duration: float, noise_power: float = 0.0,
+                rng: np.random.Generator | None = None) -> np.ndarray:
+    """Combine transmissions into one receive waveform.
+
+    Each transmission is resampled to ``out_rate``, scaled to its
+    arrival power, placed at its start time, and summed over a noise
+    floor of ``noise_power``.
+
+    Returns ``round(duration * out_rate)`` complex samples.
+    """
+    if out_rate <= 0:
+        raise ConfigurationError("out_rate must be positive")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    n_out = int(round(duration * out_rate))
+    if noise_power > 0:
+        if rng is None:
+            raise ConfigurationError("noise_power > 0 requires an rng")
+        out = awgn(n_out, noise_power, rng)
+    else:
+        out = np.zeros(n_out, dtype=np.complex128)
+    for tx in transmissions:
+        wave = resample(np.asarray(tx.samples, dtype=np.complex128),
+                        tx.sample_rate, out_rate)
+        if wave.size == 0 or tx.power == 0.0:
+            continue
+        current = units.signal_power(wave)
+        if current > 0:
+            wave = wave * np.sqrt(tx.power / current)
+        start = int(round(tx.start_time * out_rate))
+        if start >= n_out:
+            continue
+        n = min(wave.size, n_out - start)
+        out[start:start + n] += wave[:n]
+    return out

@@ -1,0 +1,100 @@
+"""Tapped-delay-line multipath channels.
+
+The paper's validation deliberately runs over a wired network to
+"isolate environmental effects"; real deployments face multipath.
+This module provides static tapped-delay-line channels so tests and
+extensions can quantify how frequency-selective fading affects both
+sides of the arms race: the OFDM receivers equalize any delay spread
+inside their cyclic prefix, and the jammer's sign-bit correlator
+tolerates moderate dispersion of the preamble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TappedDelayLine:
+    """A static multipath channel: complex gains at sample delays.
+
+    Attributes:
+        delays: Tap delays in samples (non-negative ints, sorted).
+        gains: Complex tap gains, same length as ``delays``.
+    """
+
+    delays: tuple[int, ...]
+    gains: tuple[complex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.delays) != len(self.gains) or not self.delays:
+            raise ConfigurationError("delays and gains must match, non-empty")
+        if any(d < 0 for d in self.delays):
+            raise ConfigurationError("tap delays must be non-negative")
+        if list(self.delays) != sorted(set(self.delays)):
+            raise ConfigurationError("delays must be strictly increasing")
+
+    @property
+    def delay_spread(self) -> int:
+        """Span between the first and last tap, in samples."""
+        return self.delays[-1] - self.delays[0]
+
+    @property
+    def impulse_response(self) -> np.ndarray:
+        """The channel as a dense FIR impulse response."""
+        h = np.zeros(self.delays[-1] + 1, dtype=np.complex128)
+        for delay, gain in zip(self.delays, self.gains):
+            h[delay] = gain
+        return h
+
+    def normalized(self) -> "TappedDelayLine":
+        """The same profile scaled to unit total power."""
+        power = sum(abs(g) ** 2 for g in self.gains)
+        scale = 1.0 / np.sqrt(power)
+        return TappedDelayLine(
+            delays=self.delays,
+            gains=tuple(g * scale for g in self.gains),
+        )
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Convolve a waveform with the channel (same-length output)."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.size == 0:
+            return samples.copy()
+        out = np.convolve(samples, self.impulse_response)
+        return out[:samples.size]
+
+
+def line_of_sight() -> TappedDelayLine:
+    """The identity channel."""
+    return TappedDelayLine(delays=(0,), gains=(1.0 + 0.0j,))
+
+
+def two_ray(delay_samples: int, echo_db: float = -6.0,
+            echo_phase_rad: float = 1.0) -> TappedDelayLine:
+    """A classic two-ray profile: direct path plus one echo."""
+    if delay_samples < 1:
+        raise ConfigurationError("the echo must arrive after the direct path")
+    echo = 10 ** (echo_db / 20.0) * np.exp(1j * echo_phase_rad)
+    return TappedDelayLine(delays=(0, delay_samples),
+                           gains=(1.0 + 0.0j, complex(echo))).normalized()
+
+
+def indoor_rayleigh(rng: np.random.Generator, n_taps: int = 4,
+                    tap_spacing: int = 2,
+                    decay_db_per_tap: float = 3.0) -> TappedDelayLine:
+    """An exponentially-decaying Rayleigh profile (indoor-like)."""
+    if n_taps < 1:
+        raise ConfigurationError("n_taps must be >= 1")
+    delays = tuple(k * tap_spacing for k in range(n_taps))
+    gains = []
+    for k in range(n_taps):
+        sigma = 10 ** (-decay_db_per_tap * k / 20.0) / np.sqrt(2.0)
+        gains.append(complex(rng.normal(0, sigma), rng.normal(0, sigma)))
+    if all(abs(g) == 0 for g in gains):
+        gains[0] = 1.0 + 0.0j
+    return TappedDelayLine(delays=delays, gains=tuple(gains)).normalized()

@@ -1,0 +1,136 @@
+"""The 5-port interconnect network (paper Fig. 9 and Table 1).
+
+The paper characterizes its splitter network with a vector network
+analyzer and reports the port-to-port insertion losses in Table 1.
+We parameterize the network by exactly that matrix, so every
+experiment sees the same path losses the paper's hardware saw:
+
+* port 1 — access point (behind a 20 dB pad),
+* port 2 — wireless client (behind a 20 dB pad),
+* port 3 — oscilloscope tap,
+* port 4 — jammer transmitter (behind the variable attenuator),
+* port 5 — jammer receiver.
+
+Ports 4 and 5 are isolated from each other (the dashes in Table 1),
+which is what lets the jammer transmit and receive simultaneously
+without self-triggering through the wired network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+
+#: Number of ports on the network.
+NUM_PORTS = 5
+
+#: Insertion loss in dB from input port (row) to output port (column),
+#: 1-indexed as in the paper; ``None`` marks isolated pairs.
+#: Transcribed from Table 1 (note the paper's two asymmetric readbacks
+#: of the 4/5 <-> 1, 3 paths: -39.3 vs -39.2 and -19.9 vs -19.8 dB —
+#: we keep them as printed).
+PAPER_TABLE1_DB: dict[tuple[int, int], float | None] = {
+    (1, 2): -51.0, (1, 3): -25.2, (1, 4): -38.4, (1, 5): -39.3,
+    (2, 1): -51.0, (2, 3): -31.7, (2, 4): -32.0, (2, 5): -32.8,
+    (3, 1): -25.2, (3, 2): -31.7, (3, 4): -19.1, (3, 5): -19.9,
+    (4, 1): -38.4, (4, 2): -32.0, (4, 3): -19.1, (4, 5): None,
+    (5, 1): -39.2, (5, 2): -32.8, (5, 3): -19.8, (5, 4): None,
+}
+
+
+class FivePortNetwork:
+    """A passive N-port network defined by an insertion-loss table."""
+
+    def __init__(self, losses_db: dict[tuple[int, int], float | None] | None = None,
+                 num_ports: int = NUM_PORTS) -> None:
+        if num_ports < 2:
+            raise ConfigurationError("a network needs at least 2 ports")
+        self._num_ports = num_ports
+        table = losses_db if losses_db is not None else PAPER_TABLE1_DB
+        self._losses: dict[tuple[int, int], float | None] = {}
+        for (src, dst), loss in table.items():
+            self._check_port(src)
+            self._check_port(dst)
+            if src == dst:
+                raise ConfigurationError("no self-loops in a passive network")
+            if loss is not None and loss > 0:
+                raise ConfigurationError(
+                    f"passive network cannot have gain ({src}->{dst}: {loss} dB)"
+                )
+            self._losses[(src, dst)] = loss
+
+    def _check_port(self, port: int) -> None:
+        if not 1 <= port <= self._num_ports:
+            raise ConfigurationError(
+                f"port {port} outside 1..{self._num_ports}"
+            )
+
+    @property
+    def num_ports(self) -> int:
+        """Number of ports."""
+        return self._num_ports
+
+    def loss_db(self, src: int, dst: int) -> float | None:
+        """Insertion loss from ``src`` to ``dst`` (None if isolated)."""
+        self._check_port(src)
+        self._check_port(dst)
+        if src == dst:
+            raise ConfigurationError("loss is undefined for a port to itself")
+        return self._losses.get((src, dst))
+
+    def path_gain(self, src: int, dst: int) -> float:
+        """Amplitude gain of the path (0.0 for isolated pairs)."""
+        loss = self.loss_db(src, dst)
+        if loss is None:
+            return 0.0
+        return units.db_to_amplitude(loss)
+
+    def propagate(self, signal: np.ndarray, src: int, dst: int) -> np.ndarray:
+        """Carry a signal from one port to another."""
+        return np.asarray(signal, dtype=np.complex128) * self.path_gain(src, dst)
+
+    def deliver(self, injections: dict[int, np.ndarray], dst: int,
+                n_samples: int) -> np.ndarray:
+        """Sum every injected signal as seen at ``dst``.
+
+        ``injections`` maps source port -> waveform (aligned timelines;
+        shorter waveforms are zero-padded).
+        """
+        out = np.zeros(n_samples, dtype=np.complex128)
+        for src, signal in injections.items():
+            if src == dst:
+                continue
+            scaled = self.propagate(signal, src, dst)
+            n = min(scaled.size, n_samples)
+            out[:n] += scaled[:n]
+        return out
+
+    def vna_characterize(self, probe_power: float = 1.0,
+                         n_samples: int = 4096,
+                         seed: int = 1234) -> dict[tuple[int, int], float | None]:
+        """Re-measure the loss matrix the way the paper's VNA did.
+
+        Injects a known-power probe tone at each port in turn and
+        measures received power at every other port.  Returns measured
+        losses in dB (None where nothing is received), which tests
+        compare against the configured Table 1 values.
+        """
+        rng = np.random.default_rng(seed)
+        phases = rng.uniform(0.0, 2.0 * np.pi, n_samples)
+        probe = np.sqrt(probe_power) * np.exp(1j * phases)
+        measured: dict[tuple[int, int], float | None] = {}
+        for src in range(1, self._num_ports + 1):
+            for dst in range(1, self._num_ports + 1):
+                if src == dst:
+                    continue
+                received = self.propagate(probe, src, dst)
+                power = units.signal_power(received)
+                if power == 0.0:
+                    measured[(src, dst)] = None
+                else:
+                    measured[(src, dst)] = units.linear_to_db(
+                        power / probe_power
+                    )
+        return measured

@@ -1,0 +1,56 @@
+"""The reactive jamming framework — the paper's primary contribution.
+
+This package is the public face of the library: it composes the
+hardware model (:mod:`repro.hw`), the PHY waveform generators
+(:mod:`repro.phy`), and the channel plumbing (:mod:`repro.channel`)
+into the workflow the paper demonstrates:
+
+1. generate correlator coefficients offline from a known preamble or a
+   captured signal (:mod:`repro.core.coeffs`),
+2. describe what to detect (:mod:`repro.core.detection`) and how to
+   combine detections into jam triggers (:mod:`repro.core.events`),
+3. pick a jamming response — waveform, uptime, delay — or one of the
+   paper's personalities (:mod:`repro.core.presets`),
+4. run the jammer against received signal (:mod:`repro.core.jammer`)
+   and analyze its timing (:mod:`repro.core.timeline`).
+"""
+
+from repro.core.coeffs import (
+    dsss_preamble_template,
+    infer_template_from_capture,
+    wifi_long_preamble_template,
+    wifi_short_preamble_template,
+    wimax_preamble_template,
+    zigbee_preamble_template,
+)
+from repro.core.detection import DetectionConfig
+from repro.core.events import JammingEventBuilder
+from repro.core.jammer import JammingReport, ReactiveJammer
+from repro.core.presets import (
+    JammerPersonality,
+    continuous_jammer,
+    reactive_jammer,
+    REACTIVE_UPTIME_LONG_S,
+    REACTIVE_UPTIME_SHORT_S,
+)
+from repro.core.timeline import JammingTimeline, timeline_for
+
+__all__ = [
+    "dsss_preamble_template",
+    "infer_template_from_capture",
+    "wifi_long_preamble_template",
+    "wifi_short_preamble_template",
+    "wimax_preamble_template",
+    "zigbee_preamble_template",
+    "DetectionConfig",
+    "JammingEventBuilder",
+    "JammingReport",
+    "ReactiveJammer",
+    "JammerPersonality",
+    "continuous_jammer",
+    "reactive_jammer",
+    "REACTIVE_UPTIME_LONG_S",
+    "REACTIVE_UPTIME_SHORT_S",
+    "JammingTimeline",
+    "timeline_for",
+]

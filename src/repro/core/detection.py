@@ -1,0 +1,66 @@
+"""Detection configuration records.
+
+A :class:`DetectionConfig` bundles everything the host programs into
+the detection half of the custom core: the correlator template and
+threshold, and the energy differentiator thresholds.  It is a plain
+value object; :class:`repro.core.jammer.ReactiveJammer` translates it
+into register writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.cross_correlator import METRIC_MAX
+from repro.hw.energy_differentiator import THRESHOLD_MAX_DB, THRESHOLD_MIN_DB
+from repro.hw.register_map import CORRELATOR_LENGTH
+
+
+@dataclass
+class DetectionConfig:
+    """What the detection subsystem should look for.
+
+    Attributes:
+        template: 64 complex samples at 25 MSPS for the correlator, or
+            None to leave the correlator unprogrammed (energy-only).
+        xcorr_threshold: Metric threshold for the correlator trigger.
+        energy_high_db: Energy-rise threshold in dB (3..30).
+        energy_low_db: Energy-fall threshold in dB (3..30).
+    """
+
+    template: np.ndarray | None = None
+    xcorr_threshold: int = METRIC_MAX
+    energy_high_db: float = 10.0
+    energy_low_db: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.template is not None:
+            self.template = np.asarray(self.template, dtype=np.complex128)
+            if self.template.size != CORRELATOR_LENGTH:
+                raise ConfigurationError(
+                    f"template must have {CORRELATOR_LENGTH} samples"
+                )
+        if not 0 <= self.xcorr_threshold <= 0xFFFF_FFFF:
+            raise ConfigurationError("xcorr_threshold must fit 32 bits")
+        for name, value in (("energy_high_db", self.energy_high_db),
+                            ("energy_low_db", self.energy_low_db)):
+            if not THRESHOLD_MIN_DB <= value <= THRESHOLD_MAX_DB:
+                raise ConfigurationError(
+                    f"{name}={value} outside "
+                    f"[{THRESHOLD_MIN_DB}, {THRESHOLD_MAX_DB}] dB"
+                )
+
+    @staticmethod
+    def xcorr_threshold_fraction(fraction: float) -> int:
+        """A correlator threshold as a fraction of the perfect-match metric.
+
+        A clean sign-match of a full-scale template scores roughly
+        ``2 * (sum|cI| + sum|cQ|)^2 / 2``; expressing thresholds as a
+        fraction of :data:`METRIC_MAX` keeps them hardware-portable.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        return int(METRIC_MAX * fraction)

@@ -1,0 +1,82 @@
+"""The jamming event builder (paper §2.4-2.5).
+
+The paper's GUI "acts as a reactive jamming event builder, where users
+can specifically control detection types and desired jamming reactions
+during run time."  This is the headless equivalent: a fluent builder
+that accumulates up to three trigger stages and a combination window,
+then programs the hardware FSM through the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.hw.trigger import TriggerMode, TriggerSource, TriggerStateMachine
+from repro.hw.uhd import UhdDriver
+
+
+@dataclass
+class JammingEventBuilder:
+    """Composable description of what constitutes a jam-worthy event."""
+
+    stages: list[TriggerSource] = field(default_factory=list)
+    window_samples: int = 0
+    mode: TriggerMode = TriggerMode.SEQUENCE
+
+    def on_correlation(self) -> "JammingEventBuilder":
+        """Add a cross-correlator (protocol-aware) stage."""
+        return self._add(TriggerSource.XCORR)
+
+    def on_energy_rise(self) -> "JammingEventBuilder":
+        """Add an energy-high (any-RF-activity) stage."""
+        return self._add(TriggerSource.ENERGY_HIGH)
+
+    def on_energy_fall(self) -> "JammingEventBuilder":
+        """Add an energy-low (transmission-ended) stage."""
+        return self._add(TriggerSource.ENERGY_LOW)
+
+    def _add(self, source: TriggerSource) -> "JammingEventBuilder":
+        if len(self.stages) >= TriggerStateMachine.MAX_STAGES:
+            raise ConfigurationError(
+                f"the hardware FSM supports at most "
+                f"{TriggerStateMachine.MAX_STAGES} stages"
+            )
+        self.stages.append(source)
+        return self
+
+    def within(self, seconds: float) -> "JammingEventBuilder":
+        """Require all stages to occur within ``seconds``."""
+        if seconds <= 0:
+            raise ConfigurationError("the combination window must be positive")
+        self.window_samples = units.seconds_to_samples(seconds)
+        return self
+
+    def within_samples(self, samples: int) -> "JammingEventBuilder":
+        """Require all stages to occur within ``samples`` samples."""
+        if samples < 1:
+            raise ConfigurationError("the combination window must be >= 1")
+        self.window_samples = int(samples)
+        return self
+
+    def any_of(self) -> "JammingEventBuilder":
+        """Fire on whichever stage triggers first (OR combination)."""
+        self.mode = TriggerMode.ANY
+        return self
+
+    def validate(self) -> None:
+        """Check internal consistency before programming hardware."""
+        if not self.stages:
+            raise ConfigurationError("at least one trigger stage is required")
+        if (len(self.stages) > 1 and self.window_samples < 1
+                and self.mode is TriggerMode.SEQUENCE):
+            raise ConfigurationError(
+                "multi-stage events need a combination window (use .within)"
+            )
+
+    def program(self, driver: UhdDriver) -> None:
+        """Write the event definition to the hardware FSM."""
+        self.validate()
+        driver.set_trigger_stages(list(self.stages), self.window_samples,
+                                  mode=self.mode)

@@ -1,0 +1,129 @@
+"""The reactive jammer facade — the framework's main entry point.
+
+Composes a :class:`repro.hw.usrp.UsrpN210` (with the custom core), a
+detection configuration, an event definition, and a response
+personality into one object that can be pointed at received signal:
+
+    >>> jammer = ReactiveJammer()
+    >>> jammer.configure(
+    ...     detection=DetectionConfig(template=wifi_short_preamble_template(),
+    ...                               xcorr_threshold=30000),
+    ...     events=JammingEventBuilder().on_correlation(),
+    ...     personality=reactive_jammer(1e-4),
+    ... )
+    >>> report = jammer.run(rx_waveform)
+
+Everything is reconfigurable at run time through register writes, as
+the paper emphasizes ("on-the-fly jamming personalities ... with a
+small latency equivalent to the latency of the UHD user setting bus").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import units
+from repro.core.detection import DetectionConfig
+from repro.core.events import JammingEventBuilder
+from repro.core.presets import JammerPersonality
+from repro.errors import ConfigurationError
+from repro.hw.dsp_core import DetectionEvent, JamEvent
+from repro.hw.trigger import TriggerSource
+from repro.hw.uhd import UhdDriver
+from repro.hw.usrp import SbxFrontend, UsrpN210
+
+
+@dataclass
+class JammingReport:
+    """Everything observed during one run of the jammer."""
+
+    tx: np.ndarray
+    detections: list[DetectionEvent] = field(default_factory=list)
+    jams: list[JamEvent] = field(default_factory=list)
+    sample_rate: float = units.BASEBAND_RATE
+
+    @property
+    def detection_times(self) -> list[float]:
+        """Detection instants in seconds."""
+        return [d.time / self.sample_rate for d in self.detections]
+
+    def detections_by_source(self, source: TriggerSource) -> list[DetectionEvent]:
+        """Detections from one detector block."""
+        return [d for d in self.detections if d.source == source]
+
+    @property
+    def jam_spans_seconds(self) -> list[tuple[float, float]]:
+        """Jam bursts as (start, end) in seconds."""
+        return [(j.start / self.sample_rate, j.end / self.sample_rate)
+                for j in self.jams]
+
+    @property
+    def total_jam_airtime(self) -> float:
+        """Total transmitted jamming time in seconds."""
+        return sum(end - start for start, end in self.jam_spans_seconds)
+
+
+class ReactiveJammer:
+    """The real-time protocol-aware reactive jammer."""
+
+    def __init__(self, device: UsrpN210 | None = None) -> None:
+        self.device = device if device is not None else UsrpN210()
+        self.driver = UhdDriver(self.device)
+        self._configured = False
+
+    @property
+    def frontend(self) -> SbxFrontend:
+        """RF front end, for tuning and gain control."""
+        return self.device.frontend
+
+    def configure(self, detection: DetectionConfig,
+                  events: JammingEventBuilder,
+                  personality: JammerPersonality) -> None:
+        """Program detection, event combination, and response."""
+        if detection.template is not None:
+            self.driver.set_correlator_template(detection.template)
+        elif any(s is TriggerSource.XCORR for s in events.stages):
+            raise ConfigurationError(
+                "event definition uses the correlator but no template is set"
+            )
+        self.driver.set_xcorr_threshold(detection.xcorr_threshold)
+        self.driver.set_energy_thresholds(detection.energy_high_db,
+                                          detection.energy_low_db)
+        events.program(self.driver)
+        self.apply_personality(personality)
+        self._configured = True
+
+    def apply_personality(self, personality: JammerPersonality) -> None:
+        """Swap the response personality at run time (paper §4.3)."""
+        self.driver.set_jam_waveform(personality.waveform,
+                                     personality.wgn_seed)
+        if not personality.continuous:
+            self.driver.set_jam_uptime(personality.uptime_samples)
+            self.driver.set_jam_delay(personality.delay_samples)
+        self.driver.set_control(jammer_enabled=True,
+                                continuous=personality.continuous)
+        self._personality = personality
+
+    def disable(self) -> None:
+        """Stop transmitting (detection keeps running)."""
+        self.driver.set_control(jammer_enabled=False, continuous=False)
+
+    def run(self, rx_signal: np.ndarray, chunk_size: int = 1 << 16) -> JammingReport:
+        """Feed a received waveform through the jammer.
+
+        ``rx_signal`` is complex baseband at the jammer's 25 MSPS input
+        rate (use :mod:`repro.channel.combining` to build it from
+        transmitters at other rates).
+        """
+        if not self._configured:
+            raise ConfigurationError("configure() must be called before run()")
+        out = self.device.run(rx_signal, chunk_size=chunk_size)
+        return JammingReport(tx=out.tx, detections=out.detections,
+                             jams=out.jams)
+
+    def reset(self) -> None:
+        """Reset the data path (configuration registers survive)."""
+        self.device.core.reset()
+        self.device.ddc.reset()

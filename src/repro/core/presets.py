@@ -1,0 +1,96 @@
+"""Jammer personalities (paper §4.3).
+
+The WiFi validation compares three jammers realized on one hardware
+instantiation without reprogramming the FPGA:
+
+* a **continuous** jammer,
+* a **reactive** jammer with 0.1 ms uptime after trigger,
+* a **reactive** jammer with 0.01 ms uptime after trigger.
+
+A :class:`JammerPersonality` is a response-side value object; combined
+with a :class:`repro.core.detection.DetectionConfig` it fully
+parameterizes a :class:`repro.core.jammer.ReactiveJammer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.hw.tx_controller import MAX_UPTIME_SAMPLES, JamWaveform
+
+#: The paper's two reactive uptimes.
+REACTIVE_UPTIME_LONG_S = 1e-4    # 0.1 ms
+REACTIVE_UPTIME_SHORT_S = 1e-5   # 0.01 ms
+
+
+@dataclass(frozen=True)
+class JammerPersonality:
+    """How the jammer responds once triggered.
+
+    Attributes:
+        name: Human-readable label used in experiment reports.
+        continuous: True for an always-on jammer (triggers ignored).
+        uptime_samples: Burst length after trigger (reactive only).
+        delay_samples: Extra trigger-to-burst delay ("surgical" mode).
+        waveform: Jamming waveform preset.
+        wgn_seed: Seed for the hardware WGN generator.
+    """
+
+    name: str
+    continuous: bool = False
+    uptime_samples: int = 2500
+    delay_samples: int = 0
+    waveform: JamWaveform = JamWaveform.WGN
+    wgn_seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if not self.continuous and not 1 <= self.uptime_samples <= MAX_UPTIME_SAMPLES:
+            raise ConfigurationError(
+                f"uptime {self.uptime_samples} outside "
+                f"[1, {MAX_UPTIME_SAMPLES}] samples"
+            )
+        if self.delay_samples < 0:
+            raise ConfigurationError("delay_samples must be non-negative")
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Burst duration in seconds."""
+        return units.samples_to_seconds(self.uptime_samples)
+
+
+def continuous_jammer(waveform: JamWaveform = JamWaveform.WGN,
+                      wgn_seed: int = 0x5EED) -> JammerPersonality:
+    """The always-on jammer the paper uses as its power baseline."""
+    return JammerPersonality(
+        name="continuous", continuous=True,
+        waveform=waveform, wgn_seed=wgn_seed,
+    )
+
+
+def reactive_jammer(uptime_seconds: float, delay_seconds: float = 0.0,
+                    waveform: JamWaveform = JamWaveform.WGN,
+                    wgn_seed: int = 0x5EED) -> JammerPersonality:
+    """A reactive jammer with the given burst uptime (and delay)."""
+    uptime = units.seconds_to_samples(uptime_seconds)
+    if uptime < 1:
+        raise ConfigurationError(
+            f"uptime {uptime_seconds} s is below one sample period "
+            f"({units.SAMPLE_PERIOD} s)"
+        )
+    label = f"reactive-{uptime_seconds * 1e3:g}ms"
+    return JammerPersonality(
+        name=label, continuous=False, uptime_samples=uptime,
+        delay_samples=units.seconds_to_samples(delay_seconds),
+        waveform=waveform, wgn_seed=wgn_seed,
+    )
+
+
+def paper_personalities() -> list[JammerPersonality]:
+    """The three jammers of Figs. 10/11, in the paper's order."""
+    return [
+        continuous_jammer(),
+        reactive_jammer(REACTIVE_UPTIME_LONG_S),
+        reactive_jammer(REACTIVE_UPTIME_SHORT_S),
+    ]

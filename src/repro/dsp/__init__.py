@@ -1,0 +1,48 @@
+"""Signal-processing primitives shared by the hardware model and PHYs.
+
+This subpackage provides the numeric substrate that the rest of the
+framework builds on:
+
+* :mod:`repro.dsp.fixed_point` — Q-format quantization matching the
+  16-bit I/Q data path of the USRP N210.
+* :mod:`repro.dsp.filters` — FIR design and streaming filtering used by
+  the DDC/DUC models.
+* :mod:`repro.dsp.resample` — rational resampling; the 20 ↔ 25 MSPS
+  mismatch between 802.11g and the USRP data path is central to the
+  paper's detection results.
+* :mod:`repro.dsp.ofdm` — a generic OFDM modulator/demodulator engine
+  parameterized by FFT size, cyclic prefix, and subcarrier maps.
+* :mod:`repro.dsp.sequences` — LFSR/PN sequence generators used by the
+  WiMAX preamble and the scramblers.
+* :mod:`repro.dsp.measure` — power, SNR, and correlation measurements.
+"""
+
+from repro.dsp.fixed_point import FixedPointFormat, quantize
+from repro.dsp.filters import FirFilter, design_lowpass
+from repro.dsp.resample import RationalResampler, resample
+from repro.dsp.ofdm import OfdmParameters, ofdm_modulate, ofdm_demodulate
+from repro.dsp.sequences import Lfsr, pn_sequence
+from repro.dsp.measure import (
+    estimate_snr_db,
+    normalized_cross_correlation,
+    papr_db,
+    sliding_energy,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "quantize",
+    "FirFilter",
+    "design_lowpass",
+    "RationalResampler",
+    "resample",
+    "OfdmParameters",
+    "ofdm_modulate",
+    "ofdm_demodulate",
+    "Lfsr",
+    "pn_sequence",
+    "estimate_snr_db",
+    "normalized_cross_correlation",
+    "papr_db",
+    "sliding_energy",
+]

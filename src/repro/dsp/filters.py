@@ -1,0 +1,97 @@
+"""FIR filter design and streaming filtering.
+
+The DDC/DUC models need anti-alias low-pass filters, and the streaming
+blocks need a filter object that preserves state across chunk
+boundaries so a signal split into chunks produces bit-identical output
+to the same signal filtered in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.errors import ConfigurationError, StreamError
+
+
+def design_lowpass(cutoff: float, sample_rate: float, num_taps: int = 63,
+                   window: str = "hamming") -> np.ndarray:
+    """Design a linear-phase FIR low-pass filter.
+
+    Args:
+        cutoff: Passband edge in Hz (must be below Nyquist).
+        sample_rate: Sampling rate in Hz.
+        num_taps: Filter length (odd lengths give integer group delay).
+        window: Window function name accepted by scipy.
+
+    Returns:
+        Real-valued filter taps normalized to unit DC gain.
+    """
+    if not 0 < cutoff < sample_rate / 2:
+        raise ConfigurationError(
+            f"cutoff {cutoff} Hz must lie in (0, {sample_rate / 2}) Hz"
+        )
+    if num_taps < 1:
+        raise ConfigurationError("num_taps must be >= 1")
+    taps = sp_signal.firwin(num_taps, cutoff, fs=sample_rate, window=window)
+    return taps / np.sum(taps)
+
+
+class FirFilter:
+    """A streaming FIR filter with persistent state.
+
+    Feeding a long signal in arbitrary chunk sizes yields exactly the
+    same output as a single call on the concatenated signal, which the
+    hardware model relies on when processing sample streams.
+    """
+
+    def __init__(self, taps: np.ndarray) -> None:
+        taps = np.asarray(taps, dtype=np.float64)
+        if taps.ndim != 1 or taps.size == 0:
+            raise ConfigurationError("taps must be a non-empty 1-D array")
+        self._taps = taps
+        self._state = np.zeros(taps.size - 1, dtype=np.complex128)
+
+    @property
+    def taps(self) -> np.ndarray:
+        """The filter taps (read-only copy)."""
+        return self._taps.copy()
+
+    @property
+    def group_delay_samples(self) -> float:
+        """Group delay of the linear-phase filter in samples."""
+        return (self._taps.size - 1) / 2.0
+
+    def reset(self) -> None:
+        """Clear the internal delay line."""
+        self._state[:] = 0.0
+
+    def process(self, samples: np.ndarray) -> np.ndarray:
+        """Filter one chunk, carrying state across calls."""
+        samples = np.asarray(samples)
+        if samples.ndim != 1:
+            raise StreamError("FirFilter.process expects a 1-D sample chunk")
+        if samples.size == 0:
+            return np.zeros(0, dtype=np.complex128)
+        if self._taps.size == 1:
+            return samples.astype(np.complex128) * self._taps[0]
+        out, self._state = sp_signal.lfilter(
+            self._taps, [1.0], samples.astype(np.complex128), zi=self._state
+        )
+        return out
+
+
+def moving_sum(values: np.ndarray, window: int) -> np.ndarray:
+    """Causal moving sum: ``out[n] = sum(values[max(0, n-window+1) : n+1])``.
+
+    This is the software-reference implementation of the energy
+    differentiator's running sum, used in tests to validate the
+    streaming hardware block.
+    """
+    if window < 1:
+        raise ConfigurationError("window must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    csum = np.cumsum(values)
+    out = csum.copy()
+    out[window:] = csum[window:] - csum[:-window]
+    return out

@@ -1,0 +1,105 @@
+"""Signal measurement utilities: power, SNR, PAPR, correlation.
+
+These are host-side (floating-point) reference measurements.  The
+hardware blocks in :mod:`repro.hw` implement their own fixed-point
+versions; tests compare the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.errors import StreamError
+
+
+def sliding_energy(samples: np.ndarray, window: int) -> np.ndarray:
+    """Causal sliding-window energy of a complex signal.
+
+    ``out[n]`` is the sum of ``|x|^2`` over the most recent ``window``
+    samples ending at ``n`` (fewer at the start-up edge).
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    energy = np.abs(np.asarray(samples, dtype=np.complex128)) ** 2
+    csum = np.cumsum(energy)
+    out = csum.copy()
+    out[window:] = csum[window:] - csum[:-window]
+    return out
+
+
+def estimate_snr_db(received: np.ndarray, noise_only: np.ndarray) -> float:
+    """Estimate SNR from a received segment and a noise-only segment.
+
+    The experiments measure SNR independently, as the paper does with a
+    wired link: signal+noise power from the active segment, noise power
+    from a quiet segment.
+    """
+    total = units.signal_power(received)
+    noise = units.signal_power(noise_only)
+    if noise <= 0:
+        raise StreamError("noise-only segment has zero power; cannot estimate SNR")
+    signal = max(total - noise, 0.0)
+    if signal == 0.0:
+        return float("-inf")
+    return units.linear_to_db(signal / noise)
+
+
+def papr_db(samples: np.ndarray) -> float:
+    """Peak-to-average power ratio of a waveform, in dB."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.size == 0:
+        raise StreamError("cannot compute PAPR of an empty signal")
+    power = np.abs(samples) ** 2
+    mean = float(np.mean(power))
+    if mean == 0.0:
+        raise StreamError("cannot compute PAPR of an all-zero signal")
+    return units.linear_to_db(float(np.max(power)) / mean)
+
+
+def normalized_cross_correlation(signal: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Sliding normalized cross-correlation magnitude in [0, 1].
+
+    ``out[n]`` correlates ``template`` against the signal window ending
+    at sample ``n`` (causal alignment, matching the hardware correlator
+    whose output peaks when the last template sample arrives).  Windows
+    with zero energy yield 0.
+    """
+    signal = np.asarray(signal, dtype=np.complex128)
+    template = np.asarray(template, dtype=np.complex128)
+    if template.size == 0 or signal.size < template.size:
+        raise StreamError("signal must be at least as long as the template")
+    t_norm = np.linalg.norm(template)
+    if t_norm == 0:
+        raise StreamError("template has zero energy")
+    # Correlate: sum over template of conj(template) * signal window.
+    corr = np.convolve(signal, np.conj(template[::-1]), mode="full")
+    corr = corr[template.size - 1: signal.size]
+    window_energy = sliding_energy(signal, template.size)[template.size - 1:]
+    norms = np.sqrt(window_energy) * t_norm
+    out = np.zeros_like(norms)
+    nonzero = norms > 0
+    out[nonzero] = np.abs(corr[nonzero]) / norms[nonzero]
+    result = np.zeros(signal.size, dtype=np.float64)
+    result[template.size - 1:] = np.clip(out, 0.0, 1.0)
+    return result
+
+
+def frequency_offset_estimate(samples: np.ndarray, repeat_length: int,
+                              sample_rate: float) -> float:
+    """Estimate CFO from a periodic training sequence (Moose estimator).
+
+    Correlates the signal with itself delayed by one repetition; the
+    phase of the correlation gives the frequency offset.  Used by the
+    WiFi receiver on the short preamble.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.size < 2 * repeat_length:
+        raise StreamError("need at least two repetitions to estimate CFO")
+    a = samples[:-repeat_length]
+    b = samples[repeat_length:]
+    acc = np.vdot(a, b)
+    if acc == 0:
+        return 0.0
+    phase = np.angle(acc)
+    return float(phase * sample_rate / (2.0 * np.pi * repeat_length))

@@ -1,0 +1,136 @@
+"""Generic OFDM modulation engine.
+
+Both PHYs in the paper are OFDM-based: 802.11g uses a 64-point FFT at
+20 MSPS and 802.16e OFDMA uses a 1024-point FFT at 11.4 MHz.  This
+module implements the shared mechanics — subcarrier mapping, IFFT,
+cyclic prefix — parameterized by an :class:`OfdmParameters` record, so
+each standard's module only describes *which* subcarriers carry what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StreamError
+
+
+@dataclass(frozen=True)
+class OfdmParameters:
+    """Static numerology of an OFDM system.
+
+    Attributes:
+        fft_size: Number of subcarriers in the (I)FFT.
+        cp_length: Cyclic-prefix length in samples (0 allowed).
+        sample_rate: Baseband sampling rate in Hz.
+    """
+
+    fft_size: int
+    cp_length: int
+    sample_rate: float
+
+    def __post_init__(self) -> None:
+        if self.fft_size < 2 or self.fft_size & (self.fft_size - 1):
+            raise ConfigurationError(f"fft_size {self.fft_size} must be a power of two")
+        if self.cp_length < 0 or self.cp_length >= self.fft_size:
+            raise ConfigurationError("cp_length must be in [0, fft_size)")
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+
+    @property
+    def symbol_length(self) -> int:
+        """Total time-domain samples per OFDM symbol including CP."""
+        return self.fft_size + self.cp_length
+
+    @property
+    def symbol_duration(self) -> float:
+        """OFDM symbol duration in seconds including CP."""
+        return self.symbol_length / self.sample_rate
+
+    @property
+    def subcarrier_spacing(self) -> float:
+        """Subcarrier spacing in Hz."""
+        return self.sample_rate / self.fft_size
+
+
+def subcarriers_to_fft_bins(subcarriers: np.ndarray, fft_size: int) -> np.ndarray:
+    """Map logical subcarrier indices (negative = below DC) to FFT bins.
+
+    Subcarrier ``k`` in [-fft_size/2, fft_size/2) maps to FFT bin
+    ``k mod fft_size``.
+    """
+    subcarriers = np.asarray(subcarriers, dtype=np.int64)
+    half = fft_size // 2
+    if np.any(subcarriers < -half) or np.any(subcarriers >= half):
+        raise ConfigurationError("subcarrier index out of range for FFT size")
+    return np.mod(subcarriers, fft_size)
+
+
+def ofdm_modulate(params: OfdmParameters, subcarriers: np.ndarray,
+                  values: np.ndarray) -> np.ndarray:
+    """Build one time-domain OFDM symbol (CP prepended).
+
+    Args:
+        params: OFDM numerology.
+        subcarriers: Logical subcarrier indices carrying ``values``.
+        values: Complex constellation points, same length as
+            ``subcarriers``; all other subcarriers are nulled.
+
+    Returns:
+        Complex time-domain samples of length ``params.symbol_length``.
+        The IFFT is scaled by ``fft_size / sqrt(n_active)`` so the mean
+        symbol power is ~1.0 regardless of how many carriers are active.
+    """
+    subcarriers = np.asarray(subcarriers)
+    values = np.asarray(values, dtype=np.complex128)
+    if subcarriers.shape != values.shape:
+        raise StreamError("subcarriers and values must have matching shapes")
+    if subcarriers.size == 0:
+        raise StreamError("cannot modulate an OFDM symbol with no active carriers")
+    bins = subcarriers_to_fft_bins(subcarriers, params.fft_size)
+    if np.unique(bins).size != bins.size:
+        raise StreamError("duplicate subcarrier assignment")
+    freq = np.zeros(params.fft_size, dtype=np.complex128)
+    freq[bins] = values
+    time = np.fft.ifft(freq) * (params.fft_size / np.sqrt(subcarriers.size))
+    if params.cp_length:
+        time = np.concatenate([time[-params.cp_length:], time])
+    return time
+
+
+def ofdm_demodulate(params: OfdmParameters, symbol: np.ndarray,
+                    subcarriers: np.ndarray) -> np.ndarray:
+    """Recover constellation points from one time-domain OFDM symbol.
+
+    ``symbol`` must contain exactly ``params.symbol_length`` samples
+    (CP included); the CP is discarded before the FFT.  The scaling is
+    the inverse of :func:`ofdm_modulate` so a clean round trip returns
+    the original values.
+    """
+    symbol = np.asarray(symbol, dtype=np.complex128)
+    if symbol.size != params.symbol_length:
+        raise StreamError(
+            f"expected {params.symbol_length} samples, got {symbol.size}"
+        )
+    subcarriers = np.asarray(subcarriers)
+    core = symbol[params.cp_length:]
+    freq = np.fft.fft(core) * (np.sqrt(subcarriers.size) / params.fft_size)
+    bins = subcarriers_to_fft_bins(subcarriers, params.fft_size)
+    return freq[bins]
+
+
+def ofdm_symbol_stream(params: OfdmParameters, subcarriers: np.ndarray,
+                       value_rows: np.ndarray) -> np.ndarray:
+    """Concatenate multiple OFDM symbols into a contiguous waveform.
+
+    ``value_rows`` is shaped ``(n_symbols, n_active)``; each row becomes
+    one symbol.
+    """
+    value_rows = np.asarray(value_rows, dtype=np.complex128)
+    if value_rows.ndim != 2:
+        raise StreamError("value_rows must be 2-D (symbols x carriers)")
+    chunks = [ofdm_modulate(params, subcarriers, row) for row in value_rows]
+    if not chunks:
+        return np.zeros(0, dtype=np.complex128)
+    return np.concatenate(chunks)

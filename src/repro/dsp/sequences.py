@@ -1,0 +1,98 @@
+"""Linear-feedback shift registers and PN sequences.
+
+Used by three standards-facing components:
+
+* the 802.11 data scrambler (7-bit LFSR, x^7 + x^4 + 1),
+* the 802.16e preamble PN sequences (one 284-value sequence per
+  preamble carrier set),
+* pseudorandom payload generation in the experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Lfsr:
+    """A Fibonacci linear-feedback shift register over GF(2).
+
+    Taps are given as bit positions (1-based, as in polynomial
+    exponents).  For example the 802.11 scrambler polynomial
+    ``x^7 + x^4 + 1`` uses ``taps=(7, 4)`` with a 7-bit state.
+
+    The register shifts once per emitted bit; the output bit is the XOR
+    of the tapped positions (which is also fed back as the new LSB).
+    """
+
+    def __init__(self, taps: Iterable[int], state: int, n_bits: int) -> None:
+        self._taps = tuple(sorted(set(int(t) for t in taps), reverse=True))
+        if not self._taps:
+            raise ConfigurationError("an LFSR needs at least one tap")
+        if n_bits < 1:
+            raise ConfigurationError("n_bits must be >= 1")
+        if max(self._taps) > n_bits or min(self._taps) < 1:
+            raise ConfigurationError(
+                f"taps {self._taps} out of range for a {n_bits}-bit register"
+            )
+        if not 0 <= state < (1 << n_bits):
+            raise ConfigurationError(f"state {state:#x} too wide for {n_bits} bits")
+        if state == 0:
+            raise ConfigurationError("the all-zero LFSR state is degenerate")
+        self._n_bits = n_bits
+        self._state = state
+
+    @property
+    def state(self) -> int:
+        """Current register contents as an integer."""
+        return self._state
+
+    def step(self) -> int:
+        """Advance one shift and return the emitted bit (0 or 1)."""
+        out = 0
+        for tap in self._taps:
+            out ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | out) & ((1 << self._n_bits) - 1)
+        return out
+
+    def bits(self, count: int) -> np.ndarray:
+        """Emit ``count`` bits as a ``uint8`` array."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return np.array([self.step() for _ in range(count)], dtype=np.uint8)
+
+    def period(self) -> int:
+        """Length of the cycle starting from the current state.
+
+        A maximal-length n-bit LFSR returns ``2**n - 1``.  This walks
+        the register, so it is intended for test use on small registers.
+        """
+        start = self._state
+        count = 0
+        while True:
+            self.step()
+            count += 1
+            if self._state == start:
+                return count
+
+
+def pn_sequence(length: int, seed: int, taps: Iterable[int] = (11, 9), n_bits: int = 11) -> np.ndarray:
+    """Generate a +-1 PN sequence of ``length`` values.
+
+    The default taps implement the maximal-length polynomial
+    ``x^11 + x^9 + 1`` (period 2047), long enough to cover the 284-value
+    WiMAX preamble modulation sequences without repetition.
+    """
+    lfsr = Lfsr(taps=taps, state=seed, n_bits=n_bits)
+    bits = lfsr.bits(length)
+    return (1 - 2 * bits.astype(np.int8)).astype(np.int8)
+
+
+def random_bits(count: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random bits as ``uint8``, for payload generation."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return rng.integers(0, 2, size=count, dtype=np.uint8)

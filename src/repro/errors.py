@@ -1,0 +1,37 @@
+"""Exception hierarchy for the reactive jamming framework.
+
+All library errors derive from :class:`ReproError` so applications can
+catch framework failures with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` from NumPy,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or out-of-range values."""
+
+
+class RegisterError(ConfigurationError):
+    """An invalid access on the user register bus (bad address or width)."""
+
+
+class StreamError(ReproError):
+    """A streaming data-path violation (wrong dtype, shape, or sample rate)."""
+
+
+class DecodeError(ReproError):
+    """A PHY receiver failed to decode a frame (sync loss, bad CRC...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class HardwareError(ReproError):
+    """The modelled hardware was driven outside its legal operating range."""

@@ -1,0 +1,53 @@
+"""Experiment harnesses — one per table/figure in the paper.
+
+Each module exposes functions that regenerate the corresponding
+result; the ``benchmarks/`` directory wraps them in pytest-benchmark
+targets that print the same rows/series the paper reports.
+
+============  ======================================================
+Paper item    Module / entry point
+============  ======================================================
+Fig. 5        :func:`repro.experiments.timelines.jamming_timelines`
+Fig. 6        :func:`repro.experiments.detection.long_preamble_curve`
+Fig. 7        :func:`repro.experiments.detection.short_preamble_curve`
+Fig. 8        :func:`repro.experiments.detection.energy_detector_curve`
+Table 1       :func:`repro.experiments.table1.measure_insertion_losses`
+Fig. 10/11    :func:`repro.experiments.wifi_jamming.sweep`
+Fig. 12       :func:`repro.experiments.wimax_jamming.run_experiment`
+============  ======================================================
+
+Beyond the paper's own evaluation:
+
+* :mod:`repro.experiments.zigbee_jamming` — the Wilhelm et al.
+  802.15.4 baseline and the cross-standard reaction-margin table.
+* :mod:`repro.experiments.link_calibration` — cross-validation of the
+  MAC-plane link model against the waveform-level receiver.
+* :mod:`repro.experiments.energy_analysis` — §4.3's power/energy/
+  stealth accounting at each personality's kill point.
+"""
+
+from repro.experiments.detection import (
+    DetectionPoint,
+    energy_detector_curve,
+    long_preamble_curve,
+    short_preamble_curve,
+    threshold_for_false_alarm_rate,
+)
+from repro.experiments.table1 import measure_insertion_losses
+from repro.experiments.timelines import jamming_timelines
+from repro.experiments.wifi_jamming import JammingSweepPoint, WifiJammingTestbed
+from repro.experiments.wimax_jamming import WimaxJammingResult, run_experiment
+
+__all__ = [
+    "DetectionPoint",
+    "energy_detector_curve",
+    "long_preamble_curve",
+    "short_preamble_curve",
+    "threshold_for_false_alarm_rate",
+    "measure_insertion_losses",
+    "jamming_timelines",
+    "JammingSweepPoint",
+    "WifiJammingTestbed",
+    "WimaxJammingResult",
+    "run_experiment",
+]

@@ -1,0 +1,106 @@
+"""Energy analysis of the three jammer personalities (paper §4.3).
+
+"While the results indicate that higher instantaneous jamming powers
+are required to perform reactive jamming operations, it is important
+to note that the actual energy requirements are considerably lower.
+Only a short reactive jamming burst is required to disable the
+wireless link."
+
+This harness quantifies that argument: for each personality, it finds
+the weakest transmit power that still drives the iperf link to zero
+bandwidth, runs one interval there, and integrates transmit energy =
+power x airtime.  The continuous jammer wins on instantaneous power;
+the reactive jammers win on energy by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.core.presets import JammerPersonality, paper_personalities
+from repro.errors import ConfigurationError
+from repro.experiments.wifi_jamming import WifiJammingTestbed
+from repro.mac.iperf import UdpBandwidthTest
+from repro.mac.medium import Medium
+from repro.mac.nodes import AccessPoint, JammerNode, Station
+from repro.mac.simkernel import SimKernel
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Energy accounting for one personality at its kill point."""
+
+    personality: str
+    kill_sir_db: float
+    jammer_tx_dbm: float
+    airtime_s: float
+    duration_s: float
+    energy_joules: float
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time the jammer transmitted."""
+        return self.airtime_s / self.duration_s
+
+    @property
+    def mean_power_dbm(self) -> float:
+        """Average radiated power over the interval."""
+        watts = self.energy_joules / self.duration_s
+        return units.watts_to_dbm(max(watts, 1e-30))
+
+
+def _run_with_airtime(bed: WifiJammingTestbed,
+                      personality: JammerPersonality,
+                      sir_db: float, seed: int = 1):
+    """One iperf interval, returning (report, jam airtime, tx dbm)."""
+    rng = np.random.default_rng(seed)
+    kernel = SimKernel()
+    medium = Medium(bed.path_loss_db)
+    ap = AccessPoint("ap", kernel, medium, rng, tx_power_dbm=bed.ap_tx_dbm)
+    client = Station("client", kernel, medium, ap, rng,
+                     tx_power_dbm=bed.client_tx_dbm)
+    jam_tx_dbm = bed.jammer_tx_for_sir(sir_db)
+    jammer = JammerNode("jammer", kernel, medium, personality,
+                        tx_power_dbm=jam_tx_dbm)
+    jammer.start(bed.duration_s)
+    report = UdpBandwidthTest(kernel, client, ap).run(bed.duration_s)
+    if personality.continuous:
+        airtime = bed.duration_s
+    else:
+        airtime = jammer.bursts * personality.uptime_seconds
+    return report, airtime, jam_tx_dbm
+
+
+def find_kill_sir(bed: WifiJammingTestbed, personality: JammerPersonality,
+                  sir_grid_db: list[float] | None = None,
+                  threshold_kbps: float = 500.0) -> float:
+    """The highest SIR (weakest jammer) that still kills the link."""
+    grid = sir_grid_db if sir_grid_db is not None else [
+        36.0, 32.0, 28.0, 24.0, 20.0, 16.0, 12.0, 8.0, 4.0, 2.0, 0.0]
+    for sir_db in grid:
+        report, _airtime, _tx = _run_with_airtime(bed, personality, sir_db)
+        if report.bandwidth_kbps < threshold_kbps:
+            return sir_db
+    raise ConfigurationError(
+        f"{personality.name} cannot kill the link on this grid"
+    )
+
+
+def energy_comparison(duration_s: float = 0.25) -> list[EnergyPoint]:
+    """§4.3's power-vs-energy table at each personality's kill point."""
+    bed = WifiJammingTestbed(duration_s=duration_s)
+    points = []
+    for personality in paper_personalities():
+        kill_sir = find_kill_sir(bed, personality)
+        _report, airtime, jam_tx_dbm = _run_with_airtime(
+            bed, personality, kill_sir)
+        energy = units.dbm_to_watts(jam_tx_dbm) * airtime
+        points.append(EnergyPoint(
+            personality=personality.name, kill_sir_db=kill_sir,
+            jammer_tx_dbm=jam_tx_dbm, airtime_s=airtime,
+            duration_s=duration_s, energy_joules=energy,
+        ))
+    return points

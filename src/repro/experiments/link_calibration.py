@@ -1,0 +1,129 @@
+"""Cross-validation of the MAC-plane link model against the waveform.
+
+The network experiments (Figs. 10/11) run on a semi-analytic SINR->PER
+model (:mod:`repro.phy.wifi.per_model` + the jam-anatomy rules in
+:mod:`repro.mac.medium`).  This harness closes the loop: it generates
+*actual* 802.11g frames, hits them with *actual* jam bursts from the
+hardware model, decodes them with the *actual* receiver, and compares
+the measured frame-failure rates against the model's predictions at
+the same operating points.
+
+The claim being validated is not point-wise numeric equality (the
+analytic model deliberately abstracts the receiver) but decision
+agreement: where the model says "frames die", frames die at the
+waveform level, and where it says "frames survive", they survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.channel.awgn import awgn
+
+from repro.errors import DecodeError
+from repro.mac.frames import FrameKind, MacFrame
+from repro.mac.medium import Medium
+from repro.phy.wifi.frame import WifiFrameConfig, build_ppdu
+from repro.phy.wifi.params import WIFI_SAMPLE_RATE, WifiRate
+from repro.phy.wifi.receiver import WifiReceiver
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One operating point's model-vs-waveform comparison."""
+
+    rate: WifiRate
+    sir_db: float
+    burst_start_us: float
+    burst_len_us: float
+    model_success: float
+    measured_success: float
+    n_trials: int
+
+    @property
+    def decisions_agree(self) -> bool:
+        """Both planes on the same side of the 50 % line (or both mid)."""
+        model_dead = self.model_success < 0.5
+        measured_dead = self.measured_success < 0.5
+        return model_dead == measured_dead
+
+
+def _model_prediction(rate: WifiRate, psdu_bytes: int, sir_db: float,
+                      burst_start_us: float, burst_len_us: float,
+                      snr_db: float) -> float:
+    """The MAC plane's success probability for this operating point."""
+    noise_floor = -95.0
+    s_dbm = noise_floor + snr_db
+    j_dbm = s_dbm - sir_db
+    medium = Medium(
+        lambda src, dst: 0.0 if src != dst else None,
+        noise_floor_dbm=noise_floor,
+    )
+    frame = MacFrame(FrameKind.DATA, "tx", "rx", psdu_bytes, rate)
+    emission = medium.emit_frame("tx", frame, 0.0, tx_power_dbm=s_dbm)
+    medium.emit_jam("jam", burst_start_us * 1e-6, burst_len_us * 1e-6,
+                    tx_power_dbm=j_dbm)
+    return medium.frame_success_probability(emission, "rx")
+
+
+def _measured_success(rate: WifiRate, psdu_bytes: int, sir_db: float,
+                      burst_start_us: float, burst_len_us: float,
+                      snr_db: float, n_trials: int,
+                      rng: np.random.Generator) -> float:
+    """Waveform-level failure measurement with the real receiver."""
+    receiver = WifiReceiver()
+    noise_power = units.db_to_linear(-snr_db)
+    jam_power = units.db_to_linear(-sir_db)
+    successes = 0
+    for _ in range(n_trials):
+        psdu = rng.integers(0, 256, psdu_bytes, dtype=np.uint8).tobytes()
+        frame = build_ppdu(psdu, WifiFrameConfig(rate=rate))
+        capture = frame + awgn(frame.size, noise_power, rng)
+        start = int(burst_start_us * 1e-6 * WIFI_SAMPLE_RATE)
+        length = int(burst_len_us * 1e-6 * WIFI_SAMPLE_RATE)
+        stop = min(start + length, capture.size)
+        if stop > start:
+            capture[start:stop] += awgn(stop - start, jam_power, rng)
+        try:
+            result = receiver.receive(capture)
+            if result.psdu == psdu:
+                successes += 1
+        except DecodeError:
+            pass
+    return successes / n_trials
+
+
+def run_calibration(n_trials: int = 25, snr_db: float = 30.0,
+                    psdu_bytes: int = 200,
+                    seed: int = 77) -> list[CalibrationPoint]:
+    """Compare both planes across a grid of operating points.
+
+    The grid covers the regimes the MAC model distinguishes: clean
+    frames, weak bursts over data, strong bursts over data, and
+    bursts over the preamble.
+    """
+    rng = np.random.default_rng(seed)
+    grid = [
+        # (rate, SIR dB, burst start us, burst length us)
+        (WifiRate.MBPS_12, 40.0, 30.0, 40.0),   # weak data burst: survive
+        (WifiRate.MBPS_12, 0.0, 30.0, 40.0),    # strong data burst: die
+        (WifiRate.MBPS_54, 18.0, 30.0, 40.0),   # 64-QAM under mid burst
+        (WifiRate.MBPS_12, -6.0, 4.0, 12.0),    # preamble destroyed
+        (WifiRate.MBPS_12, 30.0, 4.0, 12.0),    # preamble brushed: survive
+        (WifiRate.MBPS_6, 8.0, 30.0, 200.0),    # robust rate, long burst
+    ]
+    points = []
+    for rate, sir_db, start_us, len_us in grid:
+        model = _model_prediction(rate, psdu_bytes, sir_db, start_us,
+                                  len_us, snr_db)
+        measured = _measured_success(rate, psdu_bytes, sir_db, start_us,
+                                     len_us, snr_db, n_trials, rng)
+        points.append(CalibrationPoint(
+            rate=rate, sir_db=sir_db, burst_start_us=start_us,
+            burst_len_us=len_us, model_success=model,
+            measured_success=measured, n_trials=n_trials,
+        ))
+    return points

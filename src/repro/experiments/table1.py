@@ -1,0 +1,34 @@
+"""Table 1: insertion losses of the 5-port network.
+
+The paper characterizes its splitter network with a VNA; our bench
+re-measures the model's port-to-port losses with the probe-tone
+routine and prints the same 5x5 table.
+"""
+
+from __future__ import annotations
+
+from repro.channel.splitter import NUM_PORTS, FivePortNetwork
+
+
+def measure_insertion_losses(network: FivePortNetwork | None = None,
+                             ) -> dict[tuple[int, int], float | None]:
+    """VNA-style measurement of every port pair."""
+    network = network if network is not None else FivePortNetwork()
+    return network.vna_characterize()
+
+
+def format_table(measured: dict[tuple[int, int], float | None]) -> str:
+    """Render the measurement as the paper's Table 1 layout."""
+    header = "In\\Out " + " ".join(f"{p:>9d}" for p in range(1, NUM_PORTS + 1))
+    lines = [header]
+    for src in range(1, NUM_PORTS + 1):
+        cells = []
+        for dst in range(1, NUM_PORTS + 1):
+            if src == dst:
+                cells.append(f"{'-':>9}")
+                continue
+            loss = measured.get((src, dst))
+            cells.append(f"{'-':>9}" if loss is None
+                         else f"{loss:.1f}dB".rjust(9))
+        lines.append(f"{src:>6d} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Fig. 5 / §3.1: the reactive jamming timeline.
+
+Two complementary measurements:
+
+* :func:`jamming_timelines` — the analytic budget derived from the
+  hardware model's constants (what §3.1 tabulates), and
+* :func:`measure_response_time` — an end-to-end measurement on the
+  waveform plane: transmit a known preamble, find the first jamming
+  sample, and report the observed trigger-to-RF latency.  This is the
+  cross-check that the model's constants are what the data path
+  actually does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.channel.awgn import awgn
+from repro.core.detection import DetectionConfig
+from repro.core.events import JammingEventBuilder
+from repro.core.jammer import ReactiveJammer
+from repro.core.presets import reactive_jammer
+from repro.core.timeline import JammingTimeline, timeline_for
+from repro.errors import SimulationError
+from repro.hw.register_map import CORRELATOR_LENGTH
+from repro.hw.trigger import TriggerSource
+
+
+def jamming_timelines() -> JammingTimeline:
+    """The analytic latency budget of the default configuration."""
+    return timeline_for()
+
+
+@dataclass(frozen=True)
+class MeasuredResponse:
+    """End-to-end response measured on the waveform plane (seconds)."""
+
+    detection_latency: float
+    rf_response_latency: float
+
+    @property
+    def total(self) -> float:
+        """Signal-start to first jamming RF sample."""
+        return self.detection_latency + self.rf_response_latency
+
+
+def measure_response_time(seed: int = 5) -> MeasuredResponse:
+    """Measure T_xcorr_det and T_init on the actual data path.
+
+    Injects a 64-sample preamble into noise, runs the jammer, and
+    reads the detection and first-TX timestamps off the event records.
+    """
+    rng = np.random.default_rng(seed)
+    template = np.exp(1j * rng.uniform(0, 2 * np.pi, CORRELATOR_LENGTH))
+    preamble_start = 1000
+    rx = awgn(4000, 1e-6, rng)
+    rx[preamble_start:preamble_start + CORRELATOR_LENGTH] += 0.5 * template
+
+    jammer = ReactiveJammer()
+    jammer.configure(
+        detection=DetectionConfig(template=template, xcorr_threshold=30_000),
+        events=JammingEventBuilder().on_correlation(),
+        personality=reactive_jammer(uptime_seconds=1e-5),
+    )
+    report = jammer.run(rx)
+    xcorr_hits = report.detections_by_source(TriggerSource.XCORR)
+    if not xcorr_hits or not report.jams:
+        raise SimulationError("the calibration preamble was not detected")
+    detection = xcorr_hits[0].time
+    jam = report.jams[0]
+    return MeasuredResponse(
+        detection_latency=units.samples_to_seconds(
+            detection - preamble_start + 1
+        ),
+        rf_response_latency=units.samples_to_seconds(jam.start - detection),
+    )

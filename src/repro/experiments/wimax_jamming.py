@@ -1,0 +1,164 @@
+"""WiMAX downlink validation (paper §5, Fig. 12).
+
+The Airspan base station broadcasts 5 ms TDD frames; the jammer
+watches the downlink at 25 MSPS.  The paper reports two findings:
+
+* cross-correlation alone (a 64-sample window against the ~25 us
+  preamble code) misses about 2/3 of the frames, and
+* combining the cross-correlator with the energy differentiator
+  detects 100 % of downlink frames, with one jam burst per frame
+  (the scope trace of Fig. 12).
+
+This harness reproduces both: it runs the jammer hardware model over
+a multi-frame downlink capture in each detection configuration and
+reports per-frame detection and jam bookkeeping plus the time-domain
+traces an oscilloscope would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.channel.combining import Transmission, mix_at_port
+from repro.core.coeffs import wimax_preamble_template
+from repro.core.detection import DetectionConfig
+from repro.core.jammer import JammingReport, ReactiveJammer
+from repro.core.presets import reactive_jammer
+from repro.errors import ConfigurationError
+from repro.hw.trigger import TriggerMode, TriggerSource
+from repro.phy.wimax.frame import downlink_stream
+from repro.phy.wimax.params import (
+    FRAME_DURATION_S,
+    WIMAX_OFDM,
+    WIMAX_SAMPLE_RATE,
+    WimaxConfig,
+)
+
+#: Correlator threshold realizing the paper's §5 operating point: just
+#: above the median partial-window correlation peak at the reference
+#: SNR, so noise in each window decides detection (~1/3 detected).
+#: The paper does not publish its threshold; this constant is the one
+#: fitted quantity in the Fig. 12 reproduction (see EXPERIMENTS.md).
+PAPER_OPERATING_THRESHOLD = 11_950
+
+
+@dataclass(frozen=True)
+class WimaxJammingResult:
+    """Per-configuration outcome of the WiMAX experiment."""
+
+    detection_scheme: str
+    n_frames: int
+    frames_detected: int
+    jam_bursts: int
+    rx_trace: np.ndarray
+    tx_trace: np.ndarray
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of downlink frames that produced a jam burst."""
+        return self.frames_detected / self.n_frames
+
+    @property
+    def misdetection_rate(self) -> float:
+        """Fraction of downlink frames missed."""
+        return 1.0 - self.detection_rate
+
+
+def _frames_hit(report: JammingReport, n_frames: int) -> int:
+    """Count frames whose *preamble region* triggered a jam burst.
+
+    The paper's misdetection figure is about preamble detection, so
+    triggers elsewhere in the frame (spurious data-region hits) do not
+    count a frame as detected.
+    """
+    frame_samples = FRAME_DURATION_S * units.BASEBAND_RATE
+    preamble_samples = (WIMAX_OFDM.symbol_length / WIMAX_SAMPLE_RATE
+                        * units.BASEBAND_RATE)
+    hit: set[int] = set()
+    for jam in report.jams:
+        index = int(jam.trigger_time // frame_samples)
+        offset = jam.trigger_time - index * frame_samples
+        if 0 <= index < n_frames and offset <= preamble_samples + 64:
+            hit.add(index)
+    return len(hit)
+
+
+def run_experiment(n_frames: int = 20, snr_db: float = 12.0,
+                   xcorr_threshold: int | None = None,
+                   energy_threshold_db: float = 10.0,
+                   cell_id: int = 1, segment: int = 0,
+                   noise_floor: float = 1e-4,
+                   seed: int = 16) -> dict[str, WimaxJammingResult]:
+    """Run both detection schemes over the same downlink broadcast.
+
+    Returns results keyed by ``"xcorr_only"`` and ``"combined"``.
+
+    Because the 64-sample window covers only ~10 % of the 25 us
+    preamble code, the partial correlation peaks cluster barely above
+    the noise-calibrated trigger level, and detection becomes a coin
+    toss on the noise in each window — the paper's operating condition
+    ("insufficient correlation time leads to a misdetection rate of
+    about 2/3 of the packets").  The paper does not report its chosen
+    threshold; ``xcorr_threshold=None`` selects the operating point
+    that reproduces the reported misdetection rate (the mechanism —
+    marginal partial-window peaks — is the model's own).
+
+    ``noise_floor`` keeps the composite inside the 16-bit data path's
+    full scale, as a sane RX gain setting would.
+    """
+    if n_frames < 1:
+        raise ConfigurationError("n_frames must be >= 1")
+    rng = np.random.default_rng(seed)
+    config = WimaxConfig(cell_id=cell_id, segment=segment)
+    broadcast = downlink_stream(config, n_frames, rng)
+    duration = n_frames * FRAME_DURATION_S
+    rx = mix_at_port(
+        [Transmission(broadcast, WIMAX_SAMPLE_RATE, start_time=0.0,
+                      power=units.db_to_linear(snr_db) * noise_floor)],
+        out_rate=units.BASEBAND_RATE, duration=duration,
+        noise_power=noise_floor, rng=rng,
+    )
+
+    template = wimax_preamble_template(cell_id=cell_id, segment=segment)
+    if xcorr_threshold is None:
+        xcorr_threshold = PAPER_OPERATING_THRESHOLD
+    detection = DetectionConfig(
+        template=template,
+        xcorr_threshold=xcorr_threshold,
+        energy_high_db=energy_threshold_db,
+        energy_low_db=energy_threshold_db,
+    )
+    personality = reactive_jammer(uptime_seconds=1e-4)
+
+    results: dict[str, WimaxJammingResult] = {}
+    for scheme, stages, mode in (
+        ("xcorr_only", [TriggerSource.XCORR], TriggerMode.SEQUENCE),
+        ("combined", [TriggerSource.XCORR, TriggerSource.ENERGY_HIGH],
+         TriggerMode.ANY),
+    ):
+        jammer = ReactiveJammer()
+        jammer.configure(detection=detection,
+                         events=_builder(stages, mode),
+                         personality=personality)
+        report = jammer.run(rx)
+        results[scheme] = WimaxJammingResult(
+            detection_scheme=scheme,
+            n_frames=n_frames,
+            frames_detected=_frames_hit(report, n_frames),
+            jam_bursts=len(report.jams),
+            rx_trace=rx,
+            tx_trace=report.tx,
+        )
+    return results
+
+
+def _builder(stages: list[TriggerSource], mode: TriggerMode):
+    """An event builder for an explicit stage list."""
+    from repro.core.events import JammingEventBuilder
+
+    builder = JammingEventBuilder(stages=list(stages))
+    builder.mode = mode
+    return builder

@@ -1,0 +1,85 @@
+"""Antenna switching (Fig. 2's "Jammer Antenna Control" block).
+
+The SBX daughterboard has two RF connectors: TX/RX (transmit, or
+receive through the switch) and RX2 (receive only).  The custom core
+drives antenna-control lines through the Debug/GPIO outputs (Fig. 1's
+"Debug_IO_out (antenna control)") so the host — or the core itself —
+can steer the ports at run time, e.g. to receive on RX2 while the
+TX/RX port radiates jamming.
+
+The control word travels in bits 8..15 of the control-flag register
+(see :mod:`repro.hw.register_map`); this module gives those bits
+meaning and tracks switching latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class AntennaPort(enum.IntEnum):
+    """The SBX RF connectors."""
+
+    TX_RX = 0
+    RX2 = 1
+
+
+#: RF switch settling time, in FPGA clock cycles (sub-microsecond for
+#: the SBX's GaAs switches; we budget 10 cycles = 100 ns).
+SWITCH_LATENCY_CLOCKS = 10
+
+# Bit layout inside the 8-bit antenna field.
+_RX_PORT_BIT = 1 << 0
+_TX_ENABLE_BIT = 1 << 1
+
+
+@dataclass(frozen=True)
+class AntennaConfig:
+    """Decoded antenna-control state.
+
+    Attributes:
+        rx_port: Which connector feeds the receive chain.
+        tx_enabled: Whether the TX/RX port is switched to transmit.
+    """
+
+    rx_port: AntennaPort = AntennaPort.RX2
+    tx_enabled: bool = True
+
+    def encode(self) -> int:
+        """The 8-bit field for the control register's antenna bits."""
+        word = 0
+        if self.rx_port is AntennaPort.RX2:
+            word |= _RX_PORT_BIT
+        if self.tx_enabled:
+            word |= _TX_ENABLE_BIT
+        return word
+
+    @classmethod
+    def decode(cls, bits: int) -> "AntennaConfig":
+        """Parse the 8-bit antenna field."""
+        if not 0 <= bits <= 0xFF:
+            raise ConfigurationError("antenna field must fit 8 bits")
+        return cls(
+            rx_port=AntennaPort.RX2 if bits & _RX_PORT_BIT
+            else AntennaPort.TX_RX,
+            tx_enabled=bool(bits & _TX_ENABLE_BIT),
+        )
+
+    @property
+    def full_duplex_capable(self) -> bool:
+        """Whether simultaneous RX and TX is physically possible.
+
+        Receiving on RX2 while transmitting on TX/RX is the paper's
+        full-duplex arrangement; receiving through the TX/RX switch
+        while it radiates is not possible.
+        """
+        return self.rx_port is AntennaPort.RX2 or not self.tx_enabled
+
+    @property
+    def switch_latency_s(self) -> float:
+        """Settling time of a switch to this configuration."""
+        return units.clocks_to_seconds(SWITCH_LATENCY_CLOCKS)

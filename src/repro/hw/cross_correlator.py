@@ -1,0 +1,153 @@
+"""The 64-sample sign-bit weighted phase cross-correlator (paper Fig. 3).
+
+The block is extracted from the Rice WARP OFDM reference design: each
+incoming 16-bit I/Q pair is sliced to its sign bit (1-bit signed,
+giving 90-degree phase resolution), then correlated against a template
+of 64 3-bit signed coefficients for I and Q.  The complex correlation
+magnitude-squared is compared against a user threshold to produce the
+detection trigger.
+
+With template ``c[k] = cI[k] + j*cQ[k]`` and sliced signal
+``s[n] = sign(I[n]) + j*sign(Q[n])`` the correlator computes::
+
+    corr[n] = sum_k conj(c[k]) * s[n - 63 + k]
+    metric[n] = Re(corr)^2 + Im(corr)^2        (the two x^2 paths in Fig. 3)
+    trigger[n] = metric[n] > threshold
+
+The output peaks on the sample where the last template symbol arrives,
+so a detection fires exactly 64 samples (2.56 us at 25 MSPS) after the
+start of a 64-sample preamble — the paper's T_xcorr_det.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.fixed_point import COEFF3, sign_bits_iq
+from repro.errors import ConfigurationError, StreamError
+from repro.hw.register_map import CORRELATOR_LENGTH
+
+#: Pipeline latency from last-sample arrival to trigger assertion, in
+#: FPGA clock cycles.  The comparator output registers once.
+PIPELINE_LATENCY_CLOCKS = 1
+
+#: Upper bound of the metric: |Re| and |Im| are each at most
+#: 64 * (|cI| + |cQ|) <= 64 * (4 + 4), so the metric fits in 32 bits.
+METRIC_MAX = 2 * (CORRELATOR_LENGTH * 8) ** 2
+
+
+def quantize_coefficients(template: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize a complex template to 3-bit signed I/Q coefficients.
+
+    The host generates these offline from knowledge of the standard's
+    preamble (paper §2.3).  The template is scaled so its largest
+    component magnitude maps to the 3-bit maximum (+3), then rounded.
+
+    Returns:
+        ``(coeffs_i, coeffs_q)`` int arrays of length 64 in [-4, 3].
+    """
+    template = np.asarray(template, dtype=np.complex128)
+    if template.size != CORRELATOR_LENGTH:
+        raise ConfigurationError(
+            f"correlator template must have {CORRELATOR_LENGTH} samples, "
+            f"got {template.size}"
+        )
+    peak = float(np.max(np.abs(np.concatenate([template.real, template.imag]))))
+    if peak == 0.0:
+        raise ConfigurationError("correlator template has zero energy")
+    scaled = template / peak * COEFF3.max_int
+    coeffs_i = COEFF3.to_int(scaled.real)
+    coeffs_q = COEFF3.to_int(scaled.imag)
+    return coeffs_i.astype(np.int64), coeffs_q.astype(np.int64)
+
+
+class CrossCorrelator:
+    """Streaming sign-bit cross-correlator with run-time coefficients.
+
+    The block keeps the last 63 sign pairs across chunk boundaries so
+    that feeding a signal chunk-wise matches a single-shot call.
+    """
+
+    def __init__(self, coeffs_i: np.ndarray | None = None,
+                 coeffs_q: np.ndarray | None = None,
+                 threshold: int = METRIC_MAX) -> None:
+        self._coeffs_i = np.zeros(CORRELATOR_LENGTH, dtype=np.int64)
+        self._coeffs_q = np.zeros(CORRELATOR_LENGTH, dtype=np.int64)
+        if coeffs_i is not None or coeffs_q is not None:
+            self.load_coefficients(coeffs_i, coeffs_q)
+        self.threshold = threshold
+        self._history_i = np.zeros(CORRELATOR_LENGTH - 1, dtype=np.int8)
+        self._history_q = np.zeros(CORRELATOR_LENGTH - 1, dtype=np.int8)
+
+    @property
+    def threshold(self) -> int:
+        """Detection threshold compared against the squared metric."""
+        return self._threshold
+
+    @threshold.setter
+    def threshold(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFF_FFFF:
+            raise ConfigurationError("threshold must fit the 32-bit register")
+        self._threshold = int(value)
+
+    @property
+    def coefficients(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current I and Q coefficient banks (copies)."""
+        return self._coeffs_i.copy(), self._coeffs_q.copy()
+
+    def load_coefficients(self, coeffs_i: np.ndarray | None,
+                          coeffs_q: np.ndarray | None) -> None:
+        """Load 3-bit signed coefficient banks (run-time programmable)."""
+        for name, bank in (("I", coeffs_i), ("Q", coeffs_q)):
+            if bank is None:
+                raise ConfigurationError(f"missing {name} coefficient bank")
+        coeffs_i = np.asarray(coeffs_i, dtype=np.int64)
+        coeffs_q = np.asarray(coeffs_q, dtype=np.int64)
+        for name, bank in (("I", coeffs_i), ("Q", coeffs_q)):
+            if bank.size != CORRELATOR_LENGTH:
+                raise ConfigurationError(
+                    f"{name} bank must have {CORRELATOR_LENGTH} coefficients"
+                )
+            if np.any(bank < COEFF3.min_int) or np.any(bank > COEFF3.max_int):
+                raise ConfigurationError(
+                    f"{name} coefficients exceed the 3-bit signed range"
+                )
+        self._coeffs_i = coeffs_i.copy()
+        self._coeffs_q = coeffs_q.copy()
+
+    def reset(self) -> None:
+        """Clear the sign-bit history (as a hardware reset would)."""
+        self._history_i[:] = 0
+        self._history_q[:] = 0
+
+    def metric(self, samples: np.ndarray) -> np.ndarray:
+        """Squared correlation metric per incoming sample.
+
+        Consumes the chunk and updates the history.  ``metric[n]``
+        corresponds to the window *ending* at chunk sample ``n``;
+        windows that reach back before the first-ever sample see the
+        reset history, which contributes zero to the correlation.
+        """
+        samples = np.asarray(samples)
+        if samples.ndim != 1:
+            raise StreamError("CrossCorrelator expects a 1-D sample chunk")
+        if samples.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        sign_i, sign_q = sign_bits_iq(samples)
+        full_i = np.concatenate([self._history_i, sign_i]).astype(np.int64)
+        full_q = np.concatenate([self._history_q, sign_q]).astype(np.int64)
+        # corr_re[n] = sum_k (cI*sI + cQ*sQ), corr_im[n] = sum_k (cI*sQ - cQ*sI)
+        # np.correlate(x, c, 'valid')[n] = sum_k x[n+k]*c[k]
+        corr_re = (np.correlate(full_i, self._coeffs_i, mode="valid")
+                   + np.correlate(full_q, self._coeffs_q, mode="valid"))
+        corr_im = (np.correlate(full_q, self._coeffs_i, mode="valid")
+                   - np.correlate(full_i, self._coeffs_q, mode="valid"))
+        self._history_i = sign_i[-(CORRELATOR_LENGTH - 1):] if sign_i.size >= CORRELATOR_LENGTH - 1 \
+            else np.concatenate([self._history_i[sign_i.size:], sign_i])
+        self._history_q = sign_q[-(CORRELATOR_LENGTH - 1):] if sign_q.size >= CORRELATOR_LENGTH - 1 \
+            else np.concatenate([self._history_q[sign_q.size:], sign_q])
+        return corr_re ** 2 + corr_im ** 2
+
+    def process(self, samples: np.ndarray) -> np.ndarray:
+        """Boolean trigger per incoming sample (metric > threshold)."""
+        return self.metric(samples) > self._threshold

@@ -1,0 +1,333 @@
+"""The custom DSP core: detection + jamming control (paper Fig. 2).
+
+This block sits inside the N210's DDC chain.  It wires together the
+four functional blocks — cross-correlator, energy differentiator,
+trigger state machine, and transmit controller — and exposes the
+register bus the host uses for run-time reconfiguration.
+
+Processing model: the core consumes received baseband chunks (25 MSPS,
+16-bit-quantized complex) and produces the transmit chunk for the same
+span of the timeline plus event records (detections and jam bursts)
+stamped with absolute sample indices.  Internally the per-sample
+trigger booleans are computed vectorized and reduced to rising edges;
+the FSM and transmit controller, whose state changes only at events,
+walk the edge lists.  Tests validate this fast path against a
+sample-by-sample reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.fixed_point import quantize_iq16
+from repro.errors import RegisterError, StreamError
+from repro.hw import register_map as regmap
+from repro.hw.cross_correlator import CrossCorrelator
+from repro.hw.energy_differentiator import EnergyDifferentiator
+from repro.hw.registers import UserRegisterBus, unpack_signed_fields
+from repro.hw.trigger import (
+    TriggerMode,
+    TriggerSource,
+    TriggerStateMachine,
+    rising_edges,
+)
+from repro.hw.tx_controller import JamInterval, JamWaveform, TransmitController
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """A rising-edge detection from one of the detector blocks."""
+
+    time: int
+    source: TriggerSource
+
+
+@dataclass(frozen=True)
+class JamEvent:
+    """A completed or scheduled jam burst."""
+
+    trigger_time: int
+    start: int
+    end: int
+    waveform: JamWaveform
+
+
+@dataclass
+class CoreOutput:
+    """Result of processing one received chunk."""
+
+    tx: np.ndarray
+    detections: list[DetectionEvent] = field(default_factory=list)
+    jams: list[JamEvent] = field(default_factory=list)
+
+
+class CustomDspCore:
+    """The paper's custom DSP core with its register-bus control plane."""
+
+    def __init__(self, bus: UserRegisterBus | None = None) -> None:
+        self.bus = bus if bus is not None else UserRegisterBus()
+        self.correlator = CrossCorrelator()
+        self.energy = EnergyDifferentiator()
+        self.fsm = TriggerStateMachine([TriggerSource.ENERGY_HIGH])
+        self.tx = TransmitController()
+        self._clock = 0  # absolute index of the next sample to process
+        self._last_xcorr = False
+        self._last_ehigh = False
+        self._last_elow = False
+        self._active_intervals: list[JamInterval] = []
+        self._continuous_since: int | None = None
+        self.detection_counts = {source: 0 for source in TriggerSource}
+        self.jam_count = 0
+        self._jammer_enabled = True
+        self._antenna_bits = 0
+        self._wire_registers()
+
+    # ------------------------------------------------------------------
+    # Register control plane
+
+    def _wire_registers(self) -> None:
+        for offset in range(regmap.COEFF_WORDS):
+            self.bus.watch(regmap.REG_COEFF_I_BASE + offset,
+                           lambda _v: self._reload_coefficients())
+            self.bus.watch(regmap.REG_COEFF_Q_BASE + offset,
+                           lambda _v: self._reload_coefficients())
+        self.bus.watch(regmap.REG_XCORR_THRESHOLD, self._set_xcorr_threshold)
+        self.bus.watch(regmap.REG_ENERGY_THRESHOLD_HIGH,
+                       self._set_energy_high)
+        self.bus.watch(regmap.REG_ENERGY_THRESHOLD_LOW,
+                       self._set_energy_low)
+        self.bus.watch(regmap.REG_TRIGGER_CONFIG, self._set_trigger_config)
+        self.bus.watch(regmap.REG_TRIGGER_WINDOW, self._set_trigger_window)
+        self.bus.watch(regmap.REG_JAM_DELAY, self._set_jam_delay)
+        self.bus.watch(regmap.REG_JAM_UPTIME, self._set_jam_uptime)
+        self.bus.watch(regmap.REG_JAM_WAVEFORM, self._set_jam_waveform)
+        self.bus.watch(regmap.REG_CONTROL_FLAGS, self._set_control_flags)
+        self.bus.watch(regmap.REG_REPLAY_LENGTH, self._set_replay_length)
+
+    def _reload_coefficients(self) -> None:
+        words_i = [self.bus.read(regmap.REG_COEFF_I_BASE + k)
+                   for k in range(regmap.COEFF_WORDS)]
+        words_q = [self.bus.read(regmap.REG_COEFF_Q_BASE + k)
+                   for k in range(regmap.COEFF_WORDS)]
+        coeffs_i = unpack_signed_fields(words_i, regmap.COEFF_BITS,
+                                        regmap.CORRELATOR_LENGTH)
+        coeffs_q = unpack_signed_fields(words_q, regmap.COEFF_BITS,
+                                        regmap.CORRELATOR_LENGTH)
+        self.correlator.load_coefficients(np.array(coeffs_i), np.array(coeffs_q))
+
+    def _set_xcorr_threshold(self, value: int) -> None:
+        self.correlator.threshold = value
+
+    def _set_energy_high(self, value: int) -> None:
+        self.energy.threshold_high_db = regmap.decode_energy_threshold_db(value)
+
+    def _set_energy_low(self, value: int) -> None:
+        self.energy.threshold_low_db = regmap.decode_energy_threshold_db(value)
+
+    def _set_trigger_config(self, value: int) -> None:
+        stages: list[TriggerSource] = []
+        for stage in range(TriggerStateMachine.MAX_STAGES):
+            if value & (1 << (regmap.STAGE_ENABLE_SHIFT + stage)):
+                raw = (value >> (stage * regmap.STAGE_SOURCE_BITS)) \
+                    & regmap.STAGE_SOURCE_MASK
+                try:
+                    stages.append(TriggerSource(raw))
+                except ValueError as exc:
+                    raise RegisterError(
+                        f"stage {stage} selects unknown source "
+                        f"encoding {raw}"
+                    ) from exc
+        mode = TriggerMode.ANY if value & regmap.TRIGGER_MODE_BIT \
+            else TriggerMode.SEQUENCE
+        window = self.fsm.window_samples
+        if len(stages) > 1 and window == 0 and mode is TriggerMode.SEQUENCE:
+            window = 1
+        self.fsm = TriggerStateMachine(stages or [TriggerSource.ENERGY_HIGH],
+                                       window_samples=window, mode=mode)
+
+    def _set_trigger_window(self, value: int) -> None:
+        self.fsm.window_samples = value
+
+    def _set_jam_delay(self, value: int) -> None:
+        self.tx.delay_samples = value
+
+    def _set_jam_uptime(self, value: int) -> None:
+        self.tx.uptime_samples = value
+
+    def _set_jam_waveform(self, value: int) -> None:
+        select = value & regmap.WAVEFORM_SELECT_MASK
+        try:
+            self.tx.waveform = JamWaveform(select)
+        except ValueError as exc:
+            raise RegisterError(
+                f"waveform select {select} is not a defined preset"
+            ) from exc
+        self.tx.wgn_seed = value >> regmap.WGN_SEED_SHIFT
+
+    def _set_control_flags(self, value: int) -> None:
+        self._jammer_enabled = bool(value & regmap.FLAG_JAMMER_ENABLE)
+        continuous = bool(value & regmap.FLAG_CONTINUOUS)
+        if continuous and self._continuous_since is None:
+            self._continuous_since = self._clock
+        if not continuous:
+            self._continuous_since = None
+        self._antenna_bits = (value & regmap.ANTENNA_MASK) >> regmap.ANTENNA_SHIFT
+
+    def _set_replay_length(self, value: int) -> None:
+        self.tx.replay_length = value
+
+    # ------------------------------------------------------------------
+    # Status (the "host feedback / synchro flags" path in Fig. 1)
+
+    @property
+    def clock(self) -> int:
+        """Absolute index of the next sample to be processed."""
+        return self._clock
+
+    @property
+    def jammer_enabled(self) -> bool:
+        """Whether jam bursts are transmitted at all."""
+        return self._jammer_enabled
+
+    @property
+    def antenna_bits(self) -> int:
+        """Antenna-control field from the control register."""
+        return self._antenna_bits
+
+    @property
+    def continuous(self) -> bool:
+        """Whether the continuous-jamming flag is set."""
+        return self._continuous_since is not None
+
+    def reset(self) -> None:
+        """Hardware reset: clears all block state but keeps registers."""
+        self.correlator.reset()
+        self.energy.reset()
+        self.fsm.reset()
+        self.tx.reset()
+        self._clock = 0
+        self._last_xcorr = False
+        self._last_ehigh = False
+        self._last_elow = False
+        self._active_intervals.clear()
+        self._continuous_since = None if self._continuous_since is None else 0
+        self.detection_counts = {source: 0 for source in TriggerSource}
+        self.jam_count = 0
+
+    # ------------------------------------------------------------------
+    # Data path
+
+    def process(self, rx_chunk: np.ndarray) -> CoreOutput:
+        """Run one received chunk through detection and jamming control.
+
+        ``rx_chunk`` is complex baseband at 25 MSPS; it is quantized to
+        the 16-bit data path on entry (the ADC/DDC already delivers
+        integers in the real system).  Returns the transmit waveform
+        aligned to the same sample span plus all events.
+        """
+        rx_chunk = np.asarray(rx_chunk, dtype=np.complex128)
+        if rx_chunk.ndim != 1:
+            raise StreamError("CustomDspCore expects a 1-D complex chunk")
+        chunk_start = self._clock
+        n = rx_chunk.size
+        if n == 0:
+            return CoreOutput(tx=np.zeros(0, dtype=np.complex128))
+        quantized = quantize_iq16(rx_chunk)
+
+        xcorr_trig = self.correlator.process(quantized)
+        ehigh_trig, elow_trig = self.energy.process(quantized)
+
+        detections = self._collect_detections(
+            chunk_start, xcorr_trig, ehigh_trig, elow_trig
+        )
+        jam_times = self.fsm.process_events(
+            [(event.time, event.source) for event in detections]
+        )
+
+        new_intervals: list[JamInterval] = []
+        if self._jammer_enabled and jam_times:
+            new_intervals = self._schedule_with_capture(
+                jam_times, quantized, chunk_start
+            )
+        else:
+            self.tx.observe_rx(quantized)
+        self.jam_count += len(new_intervals)
+        self._active_intervals.extend(new_intervals)
+
+        tx_chunk = self._synthesize_tx(chunk_start, n)
+        jams = [JamEvent(trigger_time=iv.trigger_time, start=iv.start,
+                         end=iv.end, waveform=iv.waveform)
+                for iv in new_intervals]
+        self._clock += n
+        self._retire_intervals()
+        return CoreOutput(tx=tx_chunk, detections=detections, jams=jams)
+
+    def _collect_detections(self, chunk_start: int, xcorr: np.ndarray,
+                            ehigh: np.ndarray, elow: np.ndarray
+                            ) -> list[DetectionEvent]:
+        events: list[DetectionEvent] = []
+        for trig, last_attr, source in (
+            (xcorr, "_last_xcorr", TriggerSource.XCORR),
+            (ehigh, "_last_ehigh", TriggerSource.ENERGY_HIGH),
+            (elow, "_last_elow", TriggerSource.ENERGY_LOW),
+        ):
+            edges = rising_edges(trig, getattr(self, last_attr))
+            setattr(self, last_attr, bool(trig[-1]))
+            self.detection_counts[source] += edges.size
+            events.extend(
+                DetectionEvent(time=chunk_start + int(e), source=source)
+                for e in edges
+            )
+        events.sort(key=lambda event: (event.time, int(event.source)))
+        return events
+
+    def _schedule_with_capture(self, jam_times: list[int],
+                               quantized: np.ndarray,
+                               chunk_start: int) -> list[JamInterval]:
+        """Schedule bursts, feeding RX history up to each trigger first.
+
+        Replay captures must contain only samples received *before*
+        their trigger, so the chunk is fed to the capture buffer in
+        segments split at the trigger times.
+        """
+        intervals: list[JamInterval] = []
+        fed = 0
+        for trigger in jam_times:
+            local = trigger - chunk_start
+            upto = min(max(local + 1, 0), quantized.size)
+            if upto > fed:
+                self.tx.observe_rx(quantized[fed:upto])
+                fed = upto
+            intervals.extend(self.tx.schedule([trigger]))
+        if fed < quantized.size:
+            self.tx.observe_rx(quantized[fed:])
+        return intervals
+
+    def _synthesize_tx(self, chunk_start: int, n: int) -> np.ndarray:
+        tx_chunk = np.zeros(n, dtype=np.complex128)
+        if self._continuous_since is not None and self._jammer_enabled:
+            burst = JamInterval(
+                trigger_time=self._continuous_since,
+                start=self._continuous_since,
+                end=chunk_start + n,
+                waveform=JamWaveform.WGN,
+            )
+            offset, wave = self.tx.synthesize(burst, chunk_start, n)
+            tx_chunk[offset:offset + wave.size] = wave
+            return tx_chunk
+        for interval in self._active_intervals:
+            offset, wave = self.tx.synthesize(interval, chunk_start, n)
+            if wave.size:
+                tx_chunk[offset:offset + wave.size] += wave
+        return tx_chunk
+
+    def _retire_intervals(self) -> None:
+        still_active: list[JamInterval] = []
+        for interval in self._active_intervals:
+            if interval.end <= self._clock:
+                self.tx.release_interval(interval)
+            else:
+                still_active.append(interval)
+        self._active_intervals = still_active

@@ -1,0 +1,137 @@
+"""The energy differentiator block (paper Fig. 4).
+
+The block computes the instantaneous energy of each I/Q pair, keeps a
+running sum over the most recent ``N`` samples (N = 32 in the paper's
+implementation), and compares the current sum against its own value
+``D`` samples ago (the Z^-64 delay in Fig. 4) scaled by user-defined
+thresholds:
+
+* **trigger high**: ``y[n] > y[n - D] * T_high``  — energy rose by at
+  least ``T_high`` (expressed in dB, 3..30 dB programmable);
+* **trigger low**:  ``y[n] * T_low < y[n - D]``   — energy fell by at
+  least ``T_low``.
+
+The moving sum needs at most ``N`` samples to charge, so an energy-high
+detection takes at most 32 samples = 128 clocks = 1.28 us (the paper's
+T_en_det).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError, StreamError
+
+#: Moving-sum window length in samples (paper's implementation).
+DEFAULT_WINDOW = 32
+
+#: Delay between the compared sums, in samples (the Z^-64 in Fig. 4).
+DEFAULT_DELAY = 64
+
+#: Pipeline latency from sample arrival to trigger assertion (clocks).
+PIPELINE_LATENCY_CLOCKS = 1
+
+#: Programmable threshold range in dB (paper §2.3).
+THRESHOLD_MIN_DB = 3.0
+THRESHOLD_MAX_DB = 30.0
+
+
+class EnergyDifferentiator:
+    """Streaming energy rise/fall detector with persistent state."""
+
+    def __init__(self, threshold_high_db: float = 10.0,
+                 threshold_low_db: float = 10.0,
+                 window: int = DEFAULT_WINDOW,
+                 delay: int = DEFAULT_DELAY) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if delay < 1:
+            raise ConfigurationError("delay must be >= 1")
+        self._window = window
+        self._delay = delay
+        self.threshold_high_db = threshold_high_db
+        self.threshold_low_db = threshold_low_db
+        # Energy of the last `window` samples (for the moving sum) and
+        # the last `delay` sums (for the comparison delay line).
+        self._energy_tail = np.zeros(window, dtype=np.float64)
+        self._sum_tail = np.zeros(delay, dtype=np.float64)
+
+    @staticmethod
+    def _check_threshold(value_db: float) -> float:
+        if not THRESHOLD_MIN_DB <= value_db <= THRESHOLD_MAX_DB:
+            raise ConfigurationError(
+                f"energy threshold {value_db} dB outside the programmable "
+                f"{THRESHOLD_MIN_DB}-{THRESHOLD_MAX_DB} dB range"
+            )
+        return float(value_db)
+
+    @property
+    def threshold_high_db(self) -> float:
+        """Energy-rise threshold in dB."""
+        return self._threshold_high_db
+
+    @threshold_high_db.setter
+    def threshold_high_db(self, value_db: float) -> None:
+        self._threshold_high_db = self._check_threshold(value_db)
+        self._threshold_high = units.db_to_linear(self._threshold_high_db)
+
+    @property
+    def threshold_low_db(self) -> float:
+        """Energy-fall threshold in dB."""
+        return self._threshold_low_db
+
+    @threshold_low_db.setter
+    def threshold_low_db(self, value_db: float) -> None:
+        self._threshold_low_db = self._check_threshold(value_db)
+        self._threshold_low = units.db_to_linear(self._threshold_low_db)
+
+    @property
+    def window(self) -> int:
+        """Moving-sum length in samples."""
+        return self._window
+
+    @property
+    def delay(self) -> int:
+        """Comparison delay in samples."""
+        return self._delay
+
+    def reset(self) -> None:
+        """Clear the energy and sum delay lines."""
+        self._energy_tail[:] = 0.0
+        self._sum_tail[:] = 0.0
+
+    def energy_sums(self, samples: np.ndarray) -> np.ndarray:
+        """The moving energy sum per incoming sample (consumes input)."""
+        samples = np.asarray(samples)
+        if samples.ndim != 1:
+            raise StreamError("EnergyDifferentiator expects a 1-D chunk")
+        if samples.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        energy = np.abs(samples.astype(np.complex128)) ** 2
+        padded = np.concatenate([self._energy_tail, energy])
+        csum = np.cumsum(padded)
+        sums = csum[self._window:] - csum[:-self._window]
+        if energy.size >= self._window:
+            self._energy_tail = energy[-self._window:].copy()
+        else:
+            self._energy_tail = np.concatenate(
+                [self._energy_tail[energy.size:], energy]
+            )
+        return sums
+
+    def process(self, samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Boolean (trigger_high, trigger_low) arrays per incoming sample."""
+        sums = self.energy_sums(samples)
+        if sums.size == 0:
+            empty = np.zeros(0, dtype=bool)
+            return empty, empty
+        delayed_full = np.concatenate([self._sum_tail, sums])
+        delayed = delayed_full[:sums.size]
+        if sums.size >= self._delay:
+            self._sum_tail = sums[-self._delay:].copy()
+        else:
+            self._sum_tail = delayed_full[-self._delay:].copy()
+        trigger_high = sums > delayed * self._threshold_high
+        trigger_low = sums * self._threshold_low < delayed
+        return trigger_high, trigger_low

@@ -1,0 +1,102 @@
+"""Analog front-end impairments of the receive chain.
+
+The paper attributes its reduced correlator performance to "the
+dynamic range characteristics of the signal being correlated" and
+related front-end behaviour.  A real N210 + SBX receive chain exhibits
+three well-documented impairments that matter specifically to a
+*sign-bit* correlator:
+
+* **DC offset** — the direct-conversion SBX leaves a residual DC spur
+  at baseband; samples whose amplitude is comparable to the spur get
+  their sign bits biased.
+* **IQ imbalance** — gain and phase mismatch between the I and Q
+  paths rotates/stretches the constellation, flipping sign bits near
+  the decision boundaries.
+* **Carrier frequency offset** — independent TX/RX oscillators leave
+  a residual rotation across the correlation window.
+
+:class:`FrontEndImpairments` applies all three to a sample stream;
+:class:`repro.hw.ddc.DigitalDownConverter` accepts an instance, and
+the ablation bench ``test_bench_ablation_impairments`` measures what
+each does to the detection curves — reproducing the *direction* of
+the paper's plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrontEndImpairments:
+    """A static impairment profile for one receive chain.
+
+    Attributes:
+        dc_offset: Complex DC spur added to every sample, in units of
+            digital full scale (N210s without calibration show spurs
+            tens of dB above the noise floor).
+        iq_gain_imbalance_db: Gain of the Q path relative to I (dB).
+        iq_phase_error_deg: Quadrature phase error (degrees).
+        cfo_hz: Residual carrier frequency offset after tuning.
+        sample_rate: Rate used to integrate the CFO phase.
+    """
+
+    dc_offset: complex = 0.0 + 0.0j
+    iq_gain_imbalance_db: float = 0.0
+    iq_phase_error_deg: float = 0.0
+    cfo_hz: float = 0.0
+    sample_rate: float = units.BASEBAND_RATE
+
+    def __post_init__(self) -> None:
+        if abs(self.dc_offset) >= 1.0:
+            raise ConfigurationError("DC offset beyond digital full scale")
+        if abs(self.iq_gain_imbalance_db) > 6.0:
+            raise ConfigurationError(
+                "IQ gain imbalance beyond any plausible hardware (6 dB)"
+            )
+        if abs(self.iq_phase_error_deg) > 45.0:
+            raise ConfigurationError("IQ phase error beyond 45 degrees")
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when every impairment is zero."""
+        return (self.dc_offset == 0 and self.iq_gain_imbalance_db == 0.0
+                and self.iq_phase_error_deg == 0.0 and self.cfo_hz == 0.0)
+
+    def apply(self, samples: np.ndarray, start_sample: int = 0) -> np.ndarray:
+        """Impair a chunk; ``start_sample`` keeps CFO phase continuous."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        if self.is_ideal or samples.size == 0:
+            return samples.copy() if samples.size else samples
+        out = samples
+        if self.cfo_hz:
+            n = start_sample + np.arange(samples.size)
+            out = out * np.exp(2j * np.pi * self.cfo_hz * n
+                               / self.sample_rate)
+        if self.iq_gain_imbalance_db or self.iq_phase_error_deg:
+            gain = units.db_to_amplitude(self.iq_gain_imbalance_db)
+            phi = np.deg2rad(self.iq_phase_error_deg)
+            i = out.real
+            q = gain * (out.imag * np.cos(phi) + out.real * np.sin(phi))
+            out = i + 1j * q
+        if self.dc_offset:
+            out = out + self.dc_offset
+        return out
+
+
+#: A profile representative of an uncalibrated N210 + SBX: a DC spur
+#: a few percent of typical signal amplitudes, ~0.5 dB / 3 degrees of
+#: IQ mismatch, and a few kHz of residual CFO at 2.4 GHz.
+TYPICAL_N210 = FrontEndImpairments(
+    dc_offset=0.02 + 0.015j,
+    iq_gain_imbalance_db=0.5,
+    iq_phase_error_deg=3.0,
+    cfo_hz=5e3,
+)

@@ -1,0 +1,96 @@
+"""Layout of the 24 user registers used by the custom DSP core.
+
+The paper states the design uses 24 of the available 255 user registers
+for "run-time updates of cross-correlator coefficients, detection
+thresholds, jammer settings, and antenna control signals".  This module
+pins down a concrete layout with the same footprint:
+
+==========  =====================================================
+Address     Contents
+==========  =====================================================
+0 .. 6      I correlator coefficients, 64 x 3-bit signed, packed
+            10 per 32-bit word (LSB first)
+7 .. 13     Q correlator coefficients, same packing
+14          cross-correlation detection threshold (unsigned)
+15          energy threshold HIGH, dB x 256 (Q8.8 unsigned)
+16          energy threshold LOW, dB x 256 (Q8.8 unsigned)
+17          trigger configuration: three 4-bit stage source fields
+            (bits 0-3, 4-7, 8-11) + stage-enable bits 12-14
+18          trigger combination window, baseband samples
+19          jam delay after trigger, baseband samples
+20          jam uptime, baseband samples (full 32-bit range:
+            1 sample = 40 ns up to 2^32 samples ~ 40 s... clipped
+            to 2^32 - 1 by the bus width)
+21          jam waveform select (bits 0-1) + WGN seed (bits 2-31)
+22          control flags: bit 0 jammer enable, bit 1 continuous
+            (jam regardless of triggers), bit 2 replay-capture
+            freeze, bits 8-15 antenna control
+23          replay length, samples (1..512)
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+#: Bits per packed correlator coefficient (3-bit signed, paper Fig. 3).
+COEFF_BITS = 3
+
+#: Coefficients per 32-bit register word (floor(32 / 3)).
+COEFFS_PER_WORD = 32 // COEFF_BITS
+
+#: Correlator length in samples (fixed by the WARP reference core).
+CORRELATOR_LENGTH = 64
+
+#: Words needed to carry one 64-coefficient bank.
+COEFF_WORDS = -(-CORRELATOR_LENGTH // COEFFS_PER_WORD)  # ceil division -> 7
+
+REG_COEFF_I_BASE = 0
+REG_COEFF_Q_BASE = REG_COEFF_I_BASE + COEFF_WORDS            # 7
+REG_XCORR_THRESHOLD = REG_COEFF_Q_BASE + COEFF_WORDS         # 14
+REG_ENERGY_THRESHOLD_HIGH = 15
+REG_ENERGY_THRESHOLD_LOW = 16
+REG_TRIGGER_CONFIG = 17
+REG_TRIGGER_WINDOW = 18
+REG_JAM_DELAY = 19
+REG_JAM_UPTIME = 20
+REG_JAM_WAVEFORM = 21
+REG_CONTROL_FLAGS = 22
+REG_REPLAY_LENGTH = 23
+
+#: Total registers consumed by the design (matches the paper's 24).
+REGISTERS_USED = 24
+
+# Control-flag bit positions (register 22).
+FLAG_JAMMER_ENABLE = 1 << 0
+FLAG_CONTINUOUS = 1 << 1
+FLAG_REPLAY_FREEZE = 1 << 2
+ANTENNA_SHIFT = 8
+ANTENNA_MASK = 0xFF << ANTENNA_SHIFT
+
+# Trigger-config fields (register 17).
+STAGE_SOURCE_BITS = 4
+STAGE_SOURCE_MASK = (1 << STAGE_SOURCE_BITS) - 1
+STAGE_ENABLE_SHIFT = 12
+#: Bit 15: stage combination mode (0 = sequence-within-window, the
+#: paper's description; 1 = any-stage-fires).
+TRIGGER_MODE_BIT = 1 << 15
+
+# Waveform-select fields (register 21).
+WAVEFORM_SELECT_MASK = 0x3
+WGN_SEED_SHIFT = 2
+
+
+def encode_energy_threshold_db(threshold_db: float) -> int:
+    """Encode an energy threshold in dB as a Q8.8 register word.
+
+    The hardware accepts thresholds between 3 and 30 dB (paper §2.3).
+    """
+    if not 3.0 <= threshold_db <= 30.0:
+        raise ValueError(
+            f"energy threshold {threshold_db} dB outside the hardware's 3-30 dB range"
+        )
+    return int(round(threshold_db * 256.0))
+
+
+def decode_energy_threshold_db(word: int) -> float:
+    """Decode a Q8.8 energy-threshold register word back to dB."""
+    return word / 256.0

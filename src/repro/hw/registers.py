@@ -1,0 +1,122 @@
+"""The UHD user register bus.
+
+UHD exposes a "user register" interface to custom FPGA logic: a 32-bit
+data bus with an 8-bit address bus, giving up to 255 programmable
+32-bit registers (paper §2.2).  The paper's design uses 24 of them for
+correlator coefficients, thresholds, jammer settings, and antenna
+control.
+
+The bus model supports write callbacks so hardware blocks can react to
+a register update on the cycle it lands, mirroring how the real core's
+control registers take effect immediately (the paper reports
+personality switches with "a small latency equivalent to the latency of
+the UHD user setting bus").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import RegisterError
+
+#: Number of addressable user registers (8-bit address bus; address 255
+#: is reserved by UHD).
+NUM_REGISTERS = 255
+
+#: Mask for the 32-bit data bus.
+WORD_MASK = 0xFFFF_FFFF
+
+
+class UserRegisterBus:
+    """A bank of 32-bit registers with an 8-bit address space.
+
+    Values are stored as unsigned 32-bit words.  Hardware blocks
+    subscribe to addresses they care about and are called synchronously
+    on every write.
+    """
+
+    def __init__(self) -> None:
+        self._values = [0] * NUM_REGISTERS
+        self._watchers: dict[int, list[Callable[[int], None]]] = {}
+        self._write_count = 0
+
+    @staticmethod
+    def _check_address(address: int) -> None:
+        if not 0 <= address < NUM_REGISTERS:
+            raise RegisterError(
+                f"register address {address} outside [0, {NUM_REGISTERS})"
+            )
+
+    def write(self, address: int, value: int) -> None:
+        """Write a 32-bit word; values outside 32 bits are rejected."""
+        self._check_address(address)
+        if not 0 <= value <= WORD_MASK:
+            raise RegisterError(
+                f"value {value:#x} does not fit the 32-bit data bus"
+            )
+        self._values[address] = value
+        self._write_count += 1
+        for callback in self._watchers.get(address, []):
+            callback(value)
+
+    def read(self, address: int) -> int:
+        """Read back a register (host-visible readback path)."""
+        self._check_address(address)
+        return self._values[address]
+
+    def watch(self, address: int, callback: Callable[[int], None]) -> None:
+        """Register ``callback(value)`` to run on writes to ``address``."""
+        self._check_address(address)
+        self._watchers.setdefault(address, []).append(callback)
+
+    @property
+    def write_count(self) -> int:
+        """Total number of writes, used to model reconfiguration cost."""
+        return self._write_count
+
+
+def pack_signed_fields(values: list[int], bits_per_field: int) -> list[int]:
+    """Pack small signed integers into 32-bit words, LSB first.
+
+    Each word holds ``32 // bits_per_field`` fields.  Used to ship the
+    64 x 3-bit correlator coefficients over the register bus.
+    """
+    if bits_per_field < 1 or bits_per_field > 32:
+        raise RegisterError("bits_per_field must be in [1, 32]")
+    per_word = 32 // bits_per_field
+    lo = -(1 << (bits_per_field - 1))
+    hi = (1 << (bits_per_field - 1)) - 1
+    mask = (1 << bits_per_field) - 1
+    words: list[int] = []
+    for start in range(0, len(values), per_word):
+        word = 0
+        for i, value in enumerate(values[start:start + per_word]):
+            if not lo <= value <= hi:
+                raise RegisterError(
+                    f"value {value} does not fit in {bits_per_field} signed bits"
+                )
+            word |= (value & mask) << (i * bits_per_field)
+        words.append(word)
+    return words
+
+
+def unpack_signed_fields(words: list[int], bits_per_field: int,
+                         count: int) -> list[int]:
+    """Inverse of :func:`pack_signed_fields`; returns ``count`` values."""
+    if bits_per_field < 1 or bits_per_field > 32:
+        raise RegisterError("bits_per_field must be in [1, 32]")
+    per_word = 32 // bits_per_field
+    mask = (1 << bits_per_field) - 1
+    sign_bit = 1 << (bits_per_field - 1)
+    values: list[int] = []
+    for word in words:
+        for i in range(per_word):
+            if len(values) == count:
+                return values
+            raw = (word >> (i * bits_per_field)) & mask
+            values.append(raw - (raw & sign_bit) * 2)
+    if len(values) < count:
+        raise RegisterError(
+            f"not enough packed words for {count} fields of {bits_per_field} bits"
+        )
+    return values

@@ -1,0 +1,170 @@
+"""The three-stage trigger event state machine (paper §2.4).
+
+"A three-stage hardware state machine allows the user to select up to
+three trigger event combinations, all of which must occur within a
+user-assigned time interval."
+
+Each stage selects one detection source (cross-correlator, energy
+high, or energy low).  When every enabled stage has fired, in order,
+within ``window`` samples of the first stage's event, the machine
+emits a jam trigger and returns to idle.  If the window expires the
+partial progress is discarded.
+
+The machine operates on *event edges* (rising edges of the per-sample
+trigger booleans), which lets the surrounding core run vectorized: the
+per-sample booleans are reduced to edge timestamps first and the FSM —
+whose state only changes on events — walks the edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class TriggerSource(enum.IntEnum):
+    """Detection sources selectable by each FSM stage.
+
+    The integer values are the 4-bit field encodings in the trigger
+    configuration register.
+    """
+
+    XCORR = 0
+    ENERGY_HIGH = 1
+    ENERGY_LOW = 2
+
+
+class TriggerMode(enum.IntEnum):
+    """How multiple enabled stages combine.
+
+    SEQUENCE is the paper's description ("all of which must occur
+    within a user-assigned time interval"); ANY fires on whichever
+    enabled source triggers first — the combination the WiMAX
+    experiment needs ("combining the cross-correlator with the energy
+    differentiator ... able to detect reliably 100%").
+    """
+
+    SEQUENCE = 0
+    ANY = 1
+
+
+def rising_edges(trigger: np.ndarray, previous_last: bool = False) -> np.ndarray:
+    """Indices where a boolean trigger goes 0 -> 1.
+
+    ``previous_last`` carries the final trigger value of the previous
+    chunk so edges are not double-counted across chunk boundaries.
+    """
+    trigger = np.asarray(trigger, dtype=bool)
+    if trigger.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    shifted = np.empty_like(trigger)
+    shifted[0] = previous_last
+    shifted[1:] = trigger[:-1]
+    return np.flatnonzero(trigger & ~shifted)
+
+
+@dataclass(frozen=True)
+class StageConfig:
+    """One FSM stage: which source it waits for."""
+
+    source: TriggerSource
+
+
+@dataclass
+class _FsmState:
+    """Mutable run-time state of the trigger machine."""
+
+    stage_index: int = 0
+    first_event_time: int = -1
+    history: list[int] = field(default_factory=list)
+
+
+class TriggerStateMachine:
+    """Combines up to three detection events within a time window."""
+
+    MAX_STAGES = 3
+
+    def __init__(self, stages: list[StageConfig] | list[TriggerSource],
+                 window_samples: int = 0,
+                 mode: TriggerMode = TriggerMode.SEQUENCE) -> None:
+        if not stages:
+            raise ConfigurationError("at least one trigger stage must be enabled")
+        if len(stages) > self.MAX_STAGES:
+            raise ConfigurationError(
+                f"the hardware FSM has {self.MAX_STAGES} stages, got {len(stages)}"
+            )
+        normalized: list[StageConfig] = []
+        for stage in stages:
+            if isinstance(stage, TriggerSource):
+                normalized.append(StageConfig(source=stage))
+            else:
+                normalized.append(stage)
+        self._stages = normalized
+        self._mode = TriggerMode(mode)
+        self.window_samples = window_samples
+        self._state = _FsmState()
+
+    @property
+    def stages(self) -> list[StageConfig]:
+        """Configured stages (copy)."""
+        return list(self._stages)
+
+    @property
+    def mode(self) -> TriggerMode:
+        """Stage combination mode (SEQUENCE or ANY)."""
+        return self._mode
+
+    @property
+    def window_samples(self) -> int:
+        """Time window, in samples, for multi-stage combination."""
+        return self._window
+
+    @window_samples.setter
+    def window_samples(self, value: int) -> None:
+        if value < 0:
+            raise ConfigurationError("window_samples must be >= 0")
+        if (len(self._stages) > 1 and value == 0
+                and self._mode is TriggerMode.SEQUENCE):
+            raise ConfigurationError(
+                "multi-stage sequential combination needs a non-zero window"
+            )
+        self._window = int(value)
+
+    def reset(self) -> None:
+        """Return the machine to idle, discarding partial progress."""
+        self._state = _FsmState()
+
+    def process_events(self, events: list[tuple[int, TriggerSource]]) -> list[int]:
+        """Feed time-ordered detection events; return jam-trigger times.
+
+        ``events`` is a list of ``(sample_time, source)`` tuples in
+        non-decreasing time order (merged across sources by the core).
+        Returns sample times at which the FSM completed and asserted
+        the jam trigger.
+        """
+        jam_times: list[int] = []
+        if self._mode is TriggerMode.ANY:
+            wanted = {stage.source for stage in self._stages}
+            return [time for time, source in events if source in wanted]
+        for time, source in events:
+            state = self._state
+            # Expire a partially-matched window.
+            if (state.stage_index > 0
+                    and time - state.first_event_time > self._window):
+                self.reset()
+                state = self._state
+            expected = self._stages[state.stage_index].source
+            if source != expected:
+                continue
+            if state.stage_index == 0:
+                state.first_event_time = time
+            state.history.append(time)
+            state.stage_index += 1
+            if state.stage_index == len(self._stages):
+                jam_times.append(time)
+                self.reset()
+        return jam_times

@@ -1,0 +1,261 @@
+"""The jamming transmit controller (paper §2.4).
+
+Once the trigger state machine fires, the controller takes over the
+transmit data path and emits one of three user-selectable waveforms:
+
+1. a pseudorandom 25 MHz white Gaussian noise signal,
+2. a repetitive replay of up to the 512 most recently received samples,
+3. the waveform currently streamed to the transmit buffer by the host.
+
+Jamming duration (uptime) ranges from 1 sample (40 ns) to 2^32 samples
+(~40 s); an optional delay between trigger and transmission lets the
+user target specific packet locations ("surgical" jamming).  The RF
+response begins 8 FPGA clock cycles after the trigger (1 cycle to
+initiate plus ~7 to populate the DUC), i.e. 80 ns — the paper's T_init.
+
+The controller operates on absolute sample timestamps so the
+surrounding core can run vectorized: triggers come in as timestamps,
+jam intervals go out as ``(start, end)`` spans, and the waveform for a
+chunk is synthesized only where intervals overlap the chunk.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError, StreamError
+
+#: Clock cycles from trigger to first RF sample out of the DUC.
+INIT_LATENCY_CLOCKS = 8
+
+#: The same latency expressed in baseband samples (80 ns = 2 samples).
+INIT_LATENCY_SAMPLES = INIT_LATENCY_CLOCKS // units.CLOCKS_PER_SAMPLE
+
+#: Maximum replay-buffer depth in samples (paper §2.4).
+MAX_REPLAY_LENGTH = 512
+
+#: Maximum jam uptime in samples.  The hardware's 32-bit uptime
+#: counter runs on the 100 MHz clock (2^32 cycles ~ 42.9 s, the
+#: paper's "about 40 s"); at 4 clocks per baseband sample that is
+#: 2^30 samples.
+MAX_UPTIME_SAMPLES = 2 ** 32 // units.CLOCKS_PER_SAMPLE
+
+
+class JamWaveform(enum.IntEnum):
+    """Waveform presets, encoded as the 2-bit register field."""
+
+    WGN = 0
+    REPLAY = 1
+    HOST_STREAM = 2
+
+
+@dataclass(frozen=True)
+class JamInterval:
+    """One scheduled jamming burst on the absolute sample timeline.
+
+    ``start``/``end`` delimit the transmitted span (end exclusive);
+    ``trigger_time`` is the FSM completion time that caused it.
+    """
+
+    trigger_time: int
+    start: int
+    end: int
+    waveform: JamWaveform
+
+
+class TransmitController:
+    """Schedules jam bursts and synthesizes the jamming waveform."""
+
+    def __init__(self, waveform: JamWaveform = JamWaveform.WGN,
+                 uptime_samples: int = 2500, delay_samples: int = 0,
+                 wgn_seed: int = 0x5EED, replay_length: int = MAX_REPLAY_LENGTH,
+                 amplitude: float = 1.0) -> None:
+        self.waveform = waveform
+        self.uptime_samples = uptime_samples
+        self.delay_samples = delay_samples
+        self.replay_length = replay_length
+        self.amplitude = amplitude
+        self._wgn_seed = int(wgn_seed)
+        self.continuous = False
+        self._busy_until = -1
+        self._rx_history = np.zeros(0, dtype=np.complex128)
+        self._host_waveform = np.zeros(0, dtype=np.complex128)
+        # Waveform snapshots per active interval, keyed by interval start.
+        self._interval_sources: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+
+    @property
+    def waveform(self) -> JamWaveform:
+        """Selected jamming waveform preset."""
+        return self._waveform
+
+    @waveform.setter
+    def waveform(self, value: JamWaveform) -> None:
+        self._waveform = JamWaveform(value)
+
+    @property
+    def uptime_samples(self) -> int:
+        """Jam burst length in baseband samples."""
+        return self._uptime
+
+    @uptime_samples.setter
+    def uptime_samples(self, value: int) -> None:
+        if not 1 <= value <= MAX_UPTIME_SAMPLES:
+            raise ConfigurationError(
+                f"uptime {value} outside [1, {MAX_UPTIME_SAMPLES}] samples"
+            )
+        self._uptime = int(value)
+
+    @property
+    def delay_samples(self) -> int:
+        """Extra delay between trigger and burst start, in samples."""
+        return self._delay
+
+    @delay_samples.setter
+    def delay_samples(self, value: int) -> None:
+        if not 0 <= value <= MAX_UPTIME_SAMPLES:
+            raise ConfigurationError("delay_samples must be a 32-bit count")
+        self._delay = int(value)
+
+    @property
+    def replay_length(self) -> int:
+        """Replay capture depth in samples (1..512)."""
+        return self._replay_length
+
+    @replay_length.setter
+    def replay_length(self, value: int) -> None:
+        if not 1 <= value <= MAX_REPLAY_LENGTH:
+            raise ConfigurationError(
+                f"replay length {value} outside [1, {MAX_REPLAY_LENGTH}]"
+            )
+        self._replay_length = int(value)
+
+    @property
+    def amplitude(self) -> float:
+        """Full-scale amplitude of the synthesized waveform."""
+        return self._amplitude
+
+    @amplitude.setter
+    def amplitude(self, value: float) -> None:
+        if not 0.0 < value <= 1.0:
+            raise ConfigurationError("amplitude must be in (0, 1] full scale")
+        self._amplitude = float(value)
+
+    @property
+    def wgn_seed(self) -> int:
+        """Seed of the hardware WGN generator."""
+        return self._wgn_seed
+
+    @wgn_seed.setter
+    def wgn_seed(self, value: int) -> None:
+        self._wgn_seed = int(value) & 0x3FFF_FFFF
+
+    def set_host_waveform(self, samples: np.ndarray) -> None:
+        """Install the host-streamed transmit buffer (cycled during jams)."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.ndim != 1 or samples.size == 0:
+            raise StreamError("host waveform must be a non-empty 1-D array")
+        self._host_waveform = samples.copy()
+
+    def reset(self) -> None:
+        """Abort any active burst and clear capture history."""
+        self._busy_until = -1
+        self._rx_history = np.zeros(0, dtype=np.complex128)
+        self._interval_sources.clear()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+
+    def schedule(self, trigger_times: list[int]) -> list[JamInterval]:
+        """Turn FSM jam triggers into transmit intervals.
+
+        Triggers that arrive while a previous burst (including its
+        delay period) is still pending are ignored, as the hardware's
+        single transmit pipeline cannot queue overlapping bursts.
+        """
+        intervals: list[JamInterval] = []
+        for trigger in trigger_times:
+            if trigger < self._busy_until:
+                continue
+            start = trigger + INIT_LATENCY_SAMPLES + self._delay
+            end = start + self._uptime
+            self._busy_until = end
+            intervals.append(JamInterval(
+                trigger_time=trigger, start=start, end=end,
+                waveform=self._waveform,
+            ))
+            if self._waveform is JamWaveform.REPLAY:
+                self._interval_sources[start] = self._capture_replay()
+        return intervals
+
+    def _capture_replay(self) -> np.ndarray:
+        """Snapshot the most recent received samples for replay."""
+        if self._rx_history.size == 0:
+            return np.zeros(1, dtype=np.complex128)
+        return self._rx_history[-self._replay_length:].copy()
+
+    def observe_rx(self, rx_chunk: np.ndarray) -> None:
+        """Feed received samples into the replay capture buffer."""
+        rx_chunk = np.asarray(rx_chunk, dtype=np.complex128)
+        if rx_chunk.size == 0:
+            return
+        combined = np.concatenate([self._rx_history, rx_chunk])
+        self._rx_history = combined[-MAX_REPLAY_LENGTH:]
+
+    # ------------------------------------------------------------------
+    # Waveform synthesis
+
+    def _wgn_samples(self, interval_start: int, offset: int, count: int) -> np.ndarray:
+        """Deterministic WGN: a per-burst stream seeded from the burst start.
+
+        Seeding from ``(seed, interval_start)`` makes the synthesized
+        waveform independent of how the timeline is chunked.
+        """
+        rng = np.random.default_rng((self._wgn_seed, interval_start))
+        if offset:
+            rng.standard_normal(2 * offset)  # advance the stream
+        pairs = rng.standard_normal(2 * count)
+        samples = (pairs[0::2] + 1j * pairs[1::2]) / np.sqrt(2.0)
+        return samples
+
+    def synthesize(self, interval: JamInterval, chunk_start: int,
+                   chunk_length: int) -> tuple[int, np.ndarray]:
+        """Waveform samples where ``interval`` overlaps the chunk.
+
+        Returns ``(local_offset, samples)``; ``samples`` may be empty
+        when there is no overlap.
+        """
+        lo = max(interval.start, chunk_start)
+        hi = min(interval.end, chunk_start + chunk_length)
+        if hi <= lo:
+            return 0, np.zeros(0, dtype=np.complex128)
+        offset_in_burst = lo - interval.start
+        count = hi - lo
+        if interval.waveform is JamWaveform.WGN:
+            wave = self._wgn_samples(interval.start, offset_in_burst, count)
+        elif interval.waveform is JamWaveform.REPLAY:
+            source = self._interval_sources.get(
+                interval.start, np.zeros(1, dtype=np.complex128)
+            )
+            idx = (offset_in_burst + np.arange(count)) % source.size
+            wave = source[idx]
+        else:
+            if self._host_waveform.size == 0:
+                # An empty host transmit buffer radiates silence, as
+                # an un-filled hardware FIFO would — never a crash.
+                wave = np.zeros(count, dtype=np.complex128)
+            else:
+                idx = (offset_in_burst
+                       + np.arange(count)) % self._host_waveform.size
+                wave = self._host_waveform[idx]
+        return lo - chunk_start, wave * self._amplitude
+
+    def release_interval(self, interval: JamInterval) -> None:
+        """Drop the replay snapshot of a finished burst."""
+        self._interval_sources.pop(interval.start, None)

@@ -1,0 +1,151 @@
+"""A UHD/gr-uhd-like host driver for the custom core.
+
+The paper's host application (a GNU Radio Companion GUI) programs the
+custom DSP core through UHD's ``set_user_register`` API.  This module
+provides the equivalent named setters: each call translates a friendly
+parameter into the packed register writes the hardware expects, so the
+rest of the framework never touches raw addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.hw import register_map as regmap
+from repro.hw.cross_correlator import quantize_coefficients
+from repro.hw.registers import UserRegisterBus, pack_signed_fields
+from repro.hw.trigger import TriggerMode, TriggerSource, TriggerStateMachine
+from repro.hw.tx_controller import JamWaveform, MAX_UPTIME_SAMPLES
+from repro.hw.usrp import UsrpN210
+
+
+class UhdDriver:
+    """Host-side control of one USRP running the custom core."""
+
+    def __init__(self, device: UsrpN210) -> None:
+        self.device = device
+        self._bus: UserRegisterBus = device.bus
+
+    # ------------------------------------------------------------------
+    # Detection configuration
+
+    def set_correlator_coefficients(self, coeffs_i: np.ndarray,
+                                    coeffs_q: np.ndarray) -> None:
+        """Ship 3-bit signed coefficient banks over the register bus."""
+        words_i = pack_signed_fields([int(c) for c in coeffs_i],
+                                     regmap.COEFF_BITS)
+        words_q = pack_signed_fields([int(c) for c in coeffs_q],
+                                     regmap.COEFF_BITS)
+        if len(words_i) != regmap.COEFF_WORDS or len(words_q) != regmap.COEFF_WORDS:
+            raise ConfigurationError(
+                f"expected {regmap.CORRELATOR_LENGTH} coefficients per bank"
+            )
+        for offset, word in enumerate(words_i):
+            self._bus.write(regmap.REG_COEFF_I_BASE + offset, word)
+        for offset, word in enumerate(words_q):
+            self._bus.write(regmap.REG_COEFF_Q_BASE + offset, word)
+
+    def set_correlator_template(self, template: np.ndarray) -> None:
+        """Quantize a complex preamble template and load it.
+
+        This is the host-side "generated offline ... based on knowledge
+        of the wireless standards' preambles" step from paper §2.3.
+        """
+        coeffs_i, coeffs_q = quantize_coefficients(template)
+        self.set_correlator_coefficients(coeffs_i, coeffs_q)
+
+    def set_xcorr_threshold(self, threshold: int) -> None:
+        """Set the correlation detection threshold."""
+        self._bus.write(regmap.REG_XCORR_THRESHOLD, int(threshold))
+
+    def set_energy_thresholds(self, high_db: float, low_db: float) -> None:
+        """Set energy rise/fall thresholds (3..30 dB)."""
+        self._bus.write(regmap.REG_ENERGY_THRESHOLD_HIGH,
+                        regmap.encode_energy_threshold_db(high_db))
+        self._bus.write(regmap.REG_ENERGY_THRESHOLD_LOW,
+                        regmap.encode_energy_threshold_db(low_db))
+
+    def set_trigger_stages(self, sources: list[TriggerSource],
+                           window_samples: int = 0,
+                           mode: TriggerMode = TriggerMode.SEQUENCE) -> None:
+        """Program the three-stage trigger state machine."""
+        if not 1 <= len(sources) <= TriggerStateMachine.MAX_STAGES:
+            raise ConfigurationError(
+                "the trigger FSM supports 1 to 3 stages"
+            )
+        word = 0
+        for stage, source in enumerate(sources):
+            word |= int(source) << (stage * regmap.STAGE_SOURCE_BITS)
+            word |= 1 << (regmap.STAGE_ENABLE_SHIFT + stage)
+        if mode is TriggerMode.ANY:
+            word |= regmap.TRIGGER_MODE_BIT
+        elif len(sources) > 1 and window_samples < 1:
+            raise ConfigurationError(
+                "multi-stage sequential triggering needs a positive window"
+            )
+        self._bus.write(regmap.REG_TRIGGER_CONFIG, word)
+        if window_samples:
+            self._bus.write(regmap.REG_TRIGGER_WINDOW, int(window_samples))
+
+    # ------------------------------------------------------------------
+    # Jamming configuration
+
+    def set_jam_delay(self, samples: int) -> None:
+        """Delay between trigger and burst start, in samples."""
+        self._bus.write(regmap.REG_JAM_DELAY, int(samples))
+
+    def set_jam_delay_seconds(self, seconds: float) -> None:
+        """Delay between trigger and burst start, in seconds."""
+        self.set_jam_delay(units.seconds_to_samples(seconds))
+
+    def set_jam_uptime(self, samples: int) -> None:
+        """Jam burst duration in samples (1 .. 2^32-1)."""
+        if not 1 <= samples <= MAX_UPTIME_SAMPLES:
+            raise ConfigurationError(
+                f"uptime {samples} outside [1, {MAX_UPTIME_SAMPLES}] samples"
+            )
+        self._bus.write(regmap.REG_JAM_UPTIME, int(samples))
+
+    def set_jam_uptime_seconds(self, seconds: float) -> None:
+        """Jam burst duration in seconds (40 ns .. ~40 s)."""
+        self.set_jam_uptime(units.seconds_to_samples(seconds))
+
+    def set_jam_waveform(self, waveform: JamWaveform, wgn_seed: int = 0x5EED) -> None:
+        """Select the jamming waveform preset (and WGN seed)."""
+        word = int(JamWaveform(waveform)) & regmap.WAVEFORM_SELECT_MASK
+        word |= (int(wgn_seed) & 0x3FFF_FFFF) << regmap.WGN_SEED_SHIFT
+        self._bus.write(regmap.REG_JAM_WAVEFORM, word)
+
+    def set_replay_length(self, samples: int) -> None:
+        """Depth of the replay capture buffer (1..512 samples)."""
+        self._bus.write(regmap.REG_REPLAY_LENGTH, int(samples))
+
+    def set_control(self, jammer_enabled: bool = True,
+                    continuous: bool = False, antenna_bits: int = 0) -> None:
+        """Program the control-flag register."""
+        if not 0 <= antenna_bits <= 0xFF:
+            raise ConfigurationError("antenna_bits must fit 8 bits")
+        word = 0
+        if jammer_enabled:
+            word |= regmap.FLAG_JAMMER_ENABLE
+        if continuous:
+            word |= regmap.FLAG_CONTINUOUS
+        word |= antenna_bits << regmap.ANTENNA_SHIFT
+        self._bus.write(regmap.REG_CONTROL_FLAGS, word)
+
+    # ------------------------------------------------------------------
+    # Feedback path
+
+    def detection_counts(self) -> dict[TriggerSource, int]:
+        """Per-source detection counters (the host feedback flags)."""
+        return dict(self.device.core.detection_counts)
+
+    def jam_count(self) -> int:
+        """Total jam bursts scheduled since reset."""
+        return self.device.core.jam_count
+
+    def register_writes(self) -> int:
+        """Number of bus writes issued (reconfiguration cost metric)."""
+        return self._bus.write_count

@@ -1,0 +1,94 @@
+"""VITA-49 style timekeeping (the "Vita_Time (GPS Locked)" of Fig. 1).
+
+The N210 stamps samples with VITA time — integer seconds plus
+fractional seconds — optionally disciplined by a GPSDO.  The custom
+core's event records carry absolute sample indices; this module
+converts them to wall-clock timestamps and models the clock quality
+(a free-running oscillator drifts, a GPS-locked one does not), which
+matters when correlating jam events across devices in a testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VitaTimestamp:
+    """A VITA-49 integer/fractional-seconds timestamp."""
+
+    full_seconds: int
+    fractional_seconds: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fractional_seconds < 1.0:
+            raise ConfigurationError("fractional_seconds must be in [0, 1)")
+
+    @property
+    def seconds(self) -> float:
+        """The timestamp as a single float (loses LSBs after years)."""
+        return self.full_seconds + self.fractional_seconds
+
+    def __str__(self) -> str:
+        return f"{self.full_seconds}.{int(self.fractional_seconds * 1e9):09d}"
+
+
+class VitaTimeSource:
+    """Converts the core's sample clock to absolute VITA time.
+
+    Attributes:
+        epoch_seconds: Absolute time of sample 0.
+        gps_locked: Whether a GPSDO disciplines the clock.
+        drift_ppm: Frequency error of a free-running clock (ignored
+            when GPS locked).
+    """
+
+    def __init__(self, epoch_seconds: float = 0.0, gps_locked: bool = True,
+                 drift_ppm: float = 2.5,
+                 sample_rate: float = units.BASEBAND_RATE) -> None:
+        if sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        if drift_ppm < 0:
+            raise ConfigurationError("drift_ppm must be non-negative")
+        self.epoch_seconds = float(epoch_seconds)
+        self.gps_locked = bool(gps_locked)
+        self.drift_ppm = float(drift_ppm)
+        self._sample_rate = float(sample_rate)
+
+    @property
+    def effective_rate(self) -> float:
+        """The clock's true sample rate including drift."""
+        if self.gps_locked:
+            return self._sample_rate
+        return self._sample_rate * (1.0 + self.drift_ppm * 1e-6)
+
+    def timestamp(self, sample_index: int) -> VitaTimestamp:
+        """VITA time of a sample index on this device's clock."""
+        if sample_index < 0:
+            raise ConfigurationError("sample_index must be non-negative")
+        elapsed = sample_index / self.effective_rate
+        absolute = self.epoch_seconds + elapsed
+        full = int(absolute)
+        return VitaTimestamp(full_seconds=full,
+                             fractional_seconds=absolute - full)
+
+    def sample_at(self, timestamp: VitaTimestamp) -> int:
+        """Nearest sample index for an absolute timestamp."""
+        elapsed = timestamp.seconds - self.epoch_seconds
+        if elapsed < 0:
+            raise ConfigurationError("timestamp precedes the epoch")
+        return int(round(elapsed * self.effective_rate))
+
+    def offset_after(self, other: "VitaTimeSource", duration_s: float) -> float:
+        """Clock disagreement (seconds) accumulated over ``duration_s``.
+
+        Two GPS-locked devices stay aligned; free-running ones drift
+        apart at their relative ppm — the reason the paper's platform
+        carries the GPS-locked VITA time input.
+        """
+        rate_a = self.effective_rate / self._sample_rate
+        rate_b = other.effective_rate / other._sample_rate
+        return abs(rate_a - rate_b) * duration_s

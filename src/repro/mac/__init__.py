@@ -1,0 +1,44 @@
+"""802.11 MAC and traffic substrate for the network-level experiments.
+
+The paper's Figs. 10/11 measure iperf UDP bandwidth and packet
+reception ratio over a real 802.11g link while the jammer runs.  This
+package provides the simulated equivalent:
+
+* :mod:`repro.mac.simkernel` — a discrete-event simulation kernel.
+* :mod:`repro.mac.frames` — MAC frame descriptors and air times.
+* :mod:`repro.mac.rate_control` — ARF-style rate fallback ("802.11
+  rate back-offs ... considered as inherent parts of the link").
+* :mod:`repro.mac.medium` — the shared channel: emissions, per-node
+  received powers (from the 5-port network), carrier sense, and the
+  frame-corruption decision combining the link model with jam bursts.
+* :mod:`repro.mac.dcf` — the CSMA/CA distributed coordination
+  function: DIFS/SIFS, binary exponential backoff, ACKs, retries.
+* :mod:`repro.mac.nodes` — access point, client station, and the
+  reactive/continuous jammer as a MAC-plane entity driven by the same
+  hardware timing parameters as the waveform-level model.
+* :mod:`repro.mac.iperf` — the UDP bandwidth test client/server pair
+  reporting bandwidth and PRR exactly as the paper's tables read them.
+"""
+
+from repro.mac.simkernel import SimKernel
+from repro.mac.frames import FrameKind, MacFrame, ack_duration_us, data_duration_us
+from repro.mac.rate_control import ArfRateController
+from repro.mac.medium import Emission, Medium
+from repro.mac.nodes import AccessPoint, JammerNode, Station
+from repro.mac.iperf import IperfReport, UdpBandwidthTest
+
+__all__ = [
+    "SimKernel",
+    "FrameKind",
+    "MacFrame",
+    "ack_duration_us",
+    "data_duration_us",
+    "ArfRateController",
+    "Emission",
+    "Medium",
+    "AccessPoint",
+    "JammerNode",
+    "Station",
+    "IperfReport",
+    "UdpBandwidthTest",
+]

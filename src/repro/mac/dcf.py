@@ -1,0 +1,43 @@
+"""802.11g DCF timing constants and backoff arithmetic.
+
+Values are the ERP-OFDM (802.11g, no protection) set: 9 us slots,
+10 us SIFS, DIFS = SIFS + 2 slots = 28 us, CWmin/CWmax 15/1023.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Slot time (seconds).
+SLOT_S = 9e-6
+
+#: Short interframe space (seconds).
+SIFS_S = 10e-6
+
+#: DCF interframe space (seconds).
+DIFS_S = SIFS_S + 2 * SLOT_S
+
+#: Contention window bounds (slots).
+CW_MIN = 15
+CW_MAX = 1023
+
+#: Maximum transmission attempts per frame (long retry limit).
+RETRY_LIMIT = 7
+
+#: Extra allowance beyond SIFS + ACK air time before declaring timeout.
+ACK_TIMEOUT_MARGIN_S = SLOT_S
+
+
+def contention_window(retry_count: int) -> int:
+    """CW for the given retry count (binary exponential backoff)."""
+    if retry_count < 0:
+        raise ConfigurationError("retry_count must be non-negative")
+    cw = (CW_MIN + 1) * (1 << retry_count) - 1
+    return min(cw, CW_MAX)
+
+
+def ack_timeout_s(ack_duration_s: float) -> float:
+    """How long a transmitter waits for an ACK before retrying."""
+    if ack_duration_s <= 0:
+        raise ConfigurationError("ack_duration_s must be positive")
+    return SIFS_S + ack_duration_s + ACK_TIMEOUT_MARGIN_S

@@ -1,0 +1,130 @@
+"""Byte-level 802.11 MAC frame formats.
+
+The MAC simulation works with abstract :class:`repro.mac.frames.
+MacFrame` descriptors; this module provides the concrete wire format
+for the pieces the attack/defence applications need to forge or parse:
+data frames, ACKs, and deauthentication frames, all with valid FCS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, DecodeError
+from repro.phy.bits import append_fcs, check_fcs
+
+#: A locally-administered test OUI for convenience addresses.
+_TEST_PREFIX = b"\x02\x00\x5e"
+
+
+def mac_address(suffix: int) -> bytes:
+    """A deterministic locally-administered MAC address."""
+    if not 0 <= suffix <= 0xFFFFFF:
+        raise ConfigurationError("suffix must fit 24 bits")
+    return _TEST_PREFIX + suffix.to_bytes(3, "big")
+
+
+class FrameType(enum.Enum):
+    """The 802.11 frame classes used here (type, subtype)."""
+
+    DATA = (2, 0)
+    ACK = (1, 13)
+    DEAUTH = (0, 12)
+
+
+def _frame_control(frame_type: FrameType, to_ds: bool = False,
+                   from_ds: bool = False) -> bytes:
+    ftype, subtype = frame_type.value
+    first = (ftype << 2) | (subtype << 4)  # protocol version 0
+    second = (1 if to_ds else 0) | (2 if from_ds else 0)
+    return bytes([first, second])
+
+
+@dataclass(frozen=True)
+class Dot11Header:
+    """The parsed fixed fields of a (data/management) MAC header."""
+
+    frame_type: FrameType
+    addr1: bytes
+    addr2: bytes
+    addr3: bytes
+    sequence: int
+
+
+def build_data_frame(dst: bytes, src: bytes, bssid: bytes,
+                     payload: bytes, sequence: int = 0,
+                     to_ds: bool = True) -> bytes:
+    """A data MPDU: header (24 B) + payload + FCS."""
+    for name, addr in (("dst", dst), ("src", src), ("bssid", bssid)):
+        if len(addr) != 6:
+            raise ConfigurationError(f"{name} must be 6 bytes")
+    if not 0 <= sequence <= 0xFFF:
+        raise ConfigurationError("sequence must fit 12 bits")
+    # In to-DS frames addr1 is the BSSID, addr2 the source station,
+    # addr3 the final destination.
+    a1, a2, a3 = (bssid, src, dst) if to_ds else (dst, bssid, src)
+    header = (_frame_control(FrameType.DATA, to_ds=to_ds, from_ds=not to_ds)
+              + b"\x00\x00"                       # duration
+              + a1 + a2 + a3
+              + (sequence << 4).to_bytes(2, "little"))
+    return append_fcs(header + payload)
+
+
+def build_ack_frame(receiver: bytes) -> bytes:
+    """An ACK control frame (14 bytes with FCS)."""
+    if len(receiver) != 6:
+        raise ConfigurationError("receiver must be 6 bytes")
+    return append_fcs(_frame_control(FrameType.ACK) + b"\x00\x00" + receiver)
+
+
+def build_deauth_frame(dst: bytes, src: bytes, bssid: bytes,
+                       reason: int = 7, sequence: int = 0) -> bytes:
+    """A deauthentication management frame.
+
+    Reason 7 ("class 3 frame from nonassociated station") is the
+    classic spoofed-deauth payload.
+    """
+    for name, addr in (("dst", dst), ("src", src), ("bssid", bssid)):
+        if len(addr) != 6:
+            raise ConfigurationError(f"{name} must be 6 bytes")
+    if not 0 <= reason <= 0xFFFF:
+        raise ConfigurationError("reason must fit 16 bits")
+    header = (_frame_control(FrameType.DEAUTH)
+              + b"\x00\x00"
+              + dst + src + bssid
+              + (sequence << 4).to_bytes(2, "little"))
+    return append_fcs(header + reason.to_bytes(2, "little"))
+
+
+def parse_frame(mpdu: bytes) -> tuple[Dot11Header, bytes]:
+    """Parse an MPDU; returns (header, body-without-FCS).
+
+    Raises :class:`DecodeError` on a bad FCS or malformed header.
+    """
+    if not check_fcs(mpdu):
+        raise DecodeError("FCS check failed")
+    body = mpdu[:-4]
+    if len(body) < 10:
+        raise DecodeError("frame too short for any 802.11 header")
+    ftype = (body[0] >> 2) & 0x3
+    subtype = (body[0] >> 4) & 0xF
+    try:
+        frame_type = FrameType((ftype, subtype))
+    except ValueError as exc:
+        raise DecodeError(
+            f"unsupported frame type/subtype ({ftype}, {subtype})"
+        ) from exc
+    if frame_type is FrameType.ACK:
+        header = Dot11Header(frame_type=frame_type, addr1=body[4:10],
+                             addr2=b"", addr3=b"", sequence=0)
+        return header, b""
+    if len(body) < 24:
+        raise DecodeError("frame too short for a full MAC header")
+    sequence = int.from_bytes(body[22:24], "little") >> 4
+    header = Dot11Header(
+        frame_type=frame_type,
+        addr1=body[4:10], addr2=body[10:16], addr3=body[16:22],
+        sequence=sequence,
+    )
+    return header, body[24:]

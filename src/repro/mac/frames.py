@@ -1,0 +1,103 @@
+"""MAC frame descriptors and air-time accounting.
+
+Frame durations come straight from the PHY's PPDU arithmetic, so the
+MAC plane and the waveform plane agree on every timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.phy.wifi.frame import ppdu_duration_us
+from repro.phy.wifi.params import WifiRate
+
+#: MAC header (24 B) + FCS (4 B) for data frames.
+DATA_MAC_OVERHEAD = 28
+
+#: LLC/SNAP encapsulation of an IP packet inside 802.11.
+LLC_SNAP_OVERHEAD = 8
+
+#: IPv4 + UDP headers.
+IP_UDP_OVERHEAD = 28
+
+#: ACK frame MAC length in bytes.
+ACK_LENGTH = 14
+
+#: Control-response (ACK) rate by data-rate class: the highest basic
+#: rate not faster than the data rate (802.11 OFDM basic set 6/12/24).
+_ACK_RATE = {
+    WifiRate.MBPS_6: WifiRate.MBPS_6,
+    WifiRate.MBPS_9: WifiRate.MBPS_6,
+    WifiRate.MBPS_12: WifiRate.MBPS_12,
+    WifiRate.MBPS_18: WifiRate.MBPS_12,
+    WifiRate.MBPS_24: WifiRate.MBPS_24,
+    WifiRate.MBPS_36: WifiRate.MBPS_24,
+    WifiRate.MBPS_48: WifiRate.MBPS_24,
+    WifiRate.MBPS_54: WifiRate.MBPS_24,
+}
+
+
+class FrameKind(enum.Enum):
+    """MAC frame types used by the simulation."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass(frozen=True)
+class MacFrame:
+    """One MAC frame on the air.
+
+    Attributes:
+        kind: DATA or ACK.
+        src: Transmitting node name.
+        dst: Intended receiver node name.
+        psdu_bytes: MAC frame length including header and FCS.
+        rate: PHY rate the frame is sent at.
+        seq: Sequence number (DATA only; ACKs echo the acked seq).
+        payload_bytes: Application payload carried (DATA only).
+    """
+
+    kind: FrameKind
+    src: str
+    dst: str
+    psdu_bytes: int
+    rate: WifiRate
+    seq: int = 0
+    payload_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.psdu_bytes < ACK_LENGTH:
+            raise ConfigurationError(
+                f"PSDU of {self.psdu_bytes} bytes is smaller than an ACK"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Air time of this frame in seconds."""
+        return ppdu_duration_us(self.psdu_bytes, self.rate) * 1e-6
+
+
+def udp_datagram_psdu(udp_payload_bytes: int) -> int:
+    """PSDU size of a UDP datagram carried over 802.11."""
+    if udp_payload_bytes < 1:
+        raise ConfigurationError("udp_payload_bytes must be >= 1")
+    return (udp_payload_bytes + IP_UDP_OVERHEAD + LLC_SNAP_OVERHEAD
+            + DATA_MAC_OVERHEAD)
+
+
+def ack_rate_for(data_rate: WifiRate) -> WifiRate:
+    """Control-response rate for a data frame's rate."""
+    return _ACK_RATE[data_rate]
+
+
+def data_duration_us(udp_payload_bytes: int, rate: WifiRate) -> float:
+    """Air time in microseconds of a UDP datagram's PPDU."""
+    return ppdu_duration_us(udp_datagram_psdu(udp_payload_bytes), rate)
+
+
+def ack_duration_us(data_rate: WifiRate) -> float:
+    """Air time in microseconds of the ACK answering a data frame."""
+    return ppdu_duration_us(ACK_LENGTH, ack_rate_for(data_rate))

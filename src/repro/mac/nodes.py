@@ -1,0 +1,396 @@
+"""MAC-plane nodes: client station, access point, and jammer.
+
+The station implements the DCF transmit side (DIFS + binary
+exponential backoff, retries, ARF rate fallback); the access point
+implements reception and SIFS-spaced ACKs; the jammer node mirrors the
+hardware model's trigger timing (T_resp from
+:mod:`repro.core.timeline`) and personality presets on the MAC plane.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.presets import JammerPersonality
+from repro.core.timeline import timeline_for
+from repro.errors import ConfigurationError, SimulationError
+from repro.mac import dcf
+from repro.mac.frames import (
+    ACK_LENGTH,
+    FrameKind,
+    MacFrame,
+    ack_rate_for,
+    udp_datagram_psdu,
+)
+from repro.mac.medium import Emission, Medium
+from repro.mac.rate_control import ArfRateController
+from repro.mac.simkernel import EventHandle, SimKernel
+from repro.phy.wifi.frame import ppdu_duration_us
+from repro.phy.wifi.params import WifiRate
+
+
+@dataclass
+class StationStats:
+    """Transmit-side counters for the iperf report.
+
+    ``offered`` counts datagrams the application tried to send;
+    ``throttled`` counts those refused because the queue (socket
+    buffer) was full — real iperf blocks on the socket in that case,
+    so throttled datagrams are *not* "sent" and do not count as loss.
+    """
+
+    offered: int = 0
+    throttled: int = 0
+    sent: int = 0
+    delivered: int = 0
+    retry_drops: int = 0
+    attempts: int = 0
+    delivered_payload_bytes: int = 0
+
+
+#: Beacon frame PSDU size (typical management frame with IEs).
+BEACON_BYTES = 120
+
+#: Default beacon interval.  Real APs use ~102.4 ms; the simulated
+#: iperf intervals are sub-second, so a faster default keeps the
+#: association dynamics observable (it is configurable).
+DEFAULT_BEACON_INTERVAL_S = 0.025
+
+
+class AccessPoint:
+    """The iperf server side: receives data frames and returns ACKs.
+
+    Optionally broadcasts beacons, which stations use to maintain
+    association — the mechanism behind the paper's "connection to the
+    access point was lost" observation under continuous jamming.
+    """
+
+    def __init__(self, name: str, kernel: SimKernel, medium: Medium,
+                 rng: np.random.Generator, tx_power_dbm: float = 20.0) -> None:
+        self.name = name
+        self._kernel = kernel
+        self._medium = medium
+        self._rng = rng
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.received_datagrams = 0
+        self.received_payload_bytes = 0
+        self._seen_seqs: set[int] = set()
+        self._stations: list["Station"] = []
+        self._beacon_interval_s = 0.0
+        self.beacons_sent = 0
+        #: Optional ``(rssi_dbm, success, time)`` callback per data
+        #: frame, for link monitors / jamming detectors.
+        self.monitor = None
+
+    # ------------------------------------------------------------------
+    # Beacons / association
+
+    def register_station(self, station: "Station") -> None:
+        """Stations that listen for this AP's beacons."""
+        self._stations.append(station)
+
+    def start_beacons(self, interval_s: float = DEFAULT_BEACON_INTERVAL_S) -> None:
+        """Begin periodic beacon broadcasts."""
+        if interval_s <= 0:
+            raise ConfigurationError("beacon interval must be positive")
+        self._beacon_interval_s = float(interval_s)
+        self._kernel.schedule(0.0, self._beacon_tick)
+
+    def _beacon_tick(self) -> None:
+        self._kernel.schedule(self._beacon_interval_s, self._beacon_tick)
+        # Beacons contend like any DCF transmission (simplified: DIFS
+        # plus a CWmin backoff against the currently-known medium).
+        slots = int(self._rng.integers(0, dcf.CW_MIN + 1))
+        start = self._medium.backoff_finish_time(
+            self.name, self._kernel.now, slots, dcf.DIFS_S, dcf.SLOT_S)
+        # Skip the beacon if the medium stays unusable into the next
+        # interval (a real AP's queue would also collapse).
+        if start - self._kernel.now > self._beacon_interval_s:
+            return
+        self._kernel.schedule_at(start, self._transmit_beacon)
+
+    def _transmit_beacon(self) -> None:
+        beacon = MacFrame(
+            kind=FrameKind.DATA, src=self.name, dst="*broadcast*",
+            psdu_bytes=BEACON_BYTES, rate=WifiRate.MBPS_6,
+        )
+        emission = self._medium.emit_frame(self.name, beacon,
+                                           self._kernel.now,
+                                           self.tx_power_dbm)
+        self.beacons_sent += 1
+        self._kernel.schedule(
+            beacon.duration_s, lambda: self._beacon_delivery(emission))
+
+    def _beacon_delivery(self, emission: Emission) -> None:
+        for station in self._stations:
+            if self._medium.receive_frame(emission, station.name, self._rng):
+                station.on_beacon()
+
+    def handle_data_end(self, emission: Emission, sender: "Station") -> None:
+        """Called when a data frame addressed to this AP ends."""
+        frame = emission.frame
+        if frame is None or frame.kind is not FrameKind.DATA:
+            raise SimulationError("AP received a non-data emission")
+        success = self._medium.receive_frame(emission, self.name, self._rng)
+        if self.monitor is not None:
+            rssi = self._medium.rx_power_dbm(emission, self.name)
+            self.monitor(rssi, success, self._kernel.now)
+        if not success:
+            return
+        # Duplicate retransmissions are ACKed but counted once.
+        if frame.seq not in self._seen_seqs:
+            self._seen_seqs.add(frame.seq)
+            self.received_datagrams += 1
+            self.received_payload_bytes += frame.payload_bytes
+        ack = MacFrame(
+            kind=FrameKind.ACK, src=self.name, dst=frame.src,
+            psdu_bytes=ACK_LENGTH, rate=ack_rate_for(frame.rate),
+            seq=frame.seq,
+        )
+        self._kernel.schedule(dcf.SIFS_S, lambda: self._send_ack(ack, sender))
+
+    def _send_ack(self, ack: MacFrame, sender: "Station") -> None:
+        emission = self._medium.emit_frame(self.name, ack, self._kernel.now,
+                                           self.tx_power_dbm)
+        self._kernel.schedule(ack.duration_s,
+                              lambda: sender.on_ack_end(emission))
+
+
+class Station:
+    """The iperf client side: a single-queue DCF transmitter."""
+
+    def __init__(self, name: str, kernel: SimKernel, medium: Medium,
+                 ap: AccessPoint, rng: np.random.Generator,
+                 tx_power_dbm: float = 14.0, queue_limit: int = 100,
+                 rate_control: ArfRateController | None = None) -> None:
+        if queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1")
+        self.name = name
+        self._kernel = kernel
+        self._medium = medium
+        self._ap = ap
+        self._rng = rng
+        self.tx_power_dbm = float(tx_power_dbm)
+        self._queue: deque[int] = deque()
+        self._queue_limit = queue_limit
+        self.rate_control = rate_control if rate_control is not None \
+            else ArfRateController()
+        self.stats = StationStats()
+        self._seq = 0
+        self._busy = False
+        self._retry = 0
+        self._current_payload: int | None = None
+        self._current_seq = 0
+        self._timeout_handle: EventHandle | None = None
+        self._acked = False
+        # Association tracking (active when the AP broadcasts beacons
+        # and track_beacons() is called).
+        self._beacon_timeout_s: float | None = None
+        self._associated = True
+        self.connection_losses = 0
+        self._beacon_watchdog: EventHandle | None = None
+
+    # ------------------------------------------------------------------
+    # Association
+
+    @property
+    def associated(self) -> bool:
+        """Whether the station currently holds its association."""
+        return self._associated
+
+    def track_beacons(self, timeout_s: float) -> None:
+        """Drop the association if no beacon arrives for ``timeout_s``."""
+        if timeout_s <= 0:
+            raise ConfigurationError("beacon timeout must be positive")
+        self._beacon_timeout_s = float(timeout_s)
+        self._arm_beacon_watchdog()
+
+    def _arm_beacon_watchdog(self) -> None:
+        if self._beacon_watchdog is not None:
+            self._beacon_watchdog.cancel()
+        assert self._beacon_timeout_s is not None
+        self._beacon_watchdog = self._kernel.schedule(
+            self._beacon_timeout_s, self._on_beacon_timeout)
+
+    def on_beacon(self) -> None:
+        """A beacon was decoded; refresh (or regain) the association."""
+        if self._beacon_timeout_s is None:
+            return
+        if not self._associated:
+            self._associated = True
+            if self._queue and not self._busy:
+                self._next_frame()
+        self._arm_beacon_watchdog()
+
+    def _on_beacon_timeout(self) -> None:
+        if self._associated:
+            self._associated = False
+            self.connection_losses += 1
+        self._arm_beacon_watchdog()
+
+    # ------------------------------------------------------------------
+    # Application interface
+
+    @property
+    def backlog(self) -> int:
+        """Datagrams accepted but not yet resolved (queued or in flight)."""
+        return len(self._queue) + (1 if self._current_payload is not None else 0)
+
+    def enqueue_datagram(self, payload_bytes: int) -> bool:
+        """Offer one UDP datagram to the MAC queue.
+
+        Returns False when the queue is full (the sending socket would
+        block); the datagram is then never "sent" from iperf's point
+        of view.
+        """
+        self.stats.offered += 1
+        if len(self._queue) >= self._queue_limit:
+            self.stats.throttled += 1
+            return False
+        self.stats.sent += 1
+        self._queue.append(payload_bytes)
+        if not self._busy:
+            self._next_frame()
+        return True
+
+    # ------------------------------------------------------------------
+    # DCF transmit machinery
+
+    def _next_frame(self) -> None:
+        if not self._queue or not self._associated:
+            self._busy = False
+            return
+        self._busy = True
+        self._current_payload = self._queue.popleft()
+        self._current_seq = self._seq
+        self._seq += 1
+        self._retry = 0
+        self._start_contention()
+
+    def _start_contention(self) -> None:
+        cw = dcf.contention_window(self._retry)
+        slots = int(self._rng.integers(0, cw + 1))
+        self._schedule_backoff(slots)
+
+    def _schedule_backoff(self, slots: int) -> None:
+        finish = self._medium.backoff_finish_time(
+            self.name, self._kernel.now, slots, dcf.DIFS_S, dcf.SLOT_S
+        )
+        start = self._kernel.now
+        self._kernel.schedule_at(
+            finish, lambda: self._backoff_done(start, slots, finish)
+        )
+
+    def _backoff_done(self, start: float, slots: int, expected: float) -> None:
+        # New emissions may have appeared since the finish time was
+        # computed; recompute and re-wait if the medium disagrees.
+        finish = self._medium.backoff_finish_time(
+            self.name, start, slots, dcf.DIFS_S, dcf.SLOT_S
+        )
+        if finish > expected + 1e-12:
+            self._kernel.schedule_at(
+                finish, lambda: self._backoff_done(start, slots, finish)
+            )
+            return
+        self._transmit()
+
+    def _transmit(self) -> None:
+        if self._current_payload is None:
+            raise SimulationError("transmit with no frame staged")
+        rate = self.rate_control.rate
+        frame = MacFrame(
+            kind=FrameKind.DATA, src=self.name, dst=self._ap.name,
+            psdu_bytes=udp_datagram_psdu(self._current_payload),
+            rate=rate, seq=self._current_seq,
+            payload_bytes=self._current_payload,
+        )
+        self.stats.attempts += 1
+        self._acked = False
+        emission = self._medium.emit_frame(self.name, frame,
+                                           self._kernel.now,
+                                           self.tx_power_dbm)
+        self._kernel.schedule(
+            frame.duration_s, lambda: self._ap.handle_data_end(emission, self)
+        )
+        ack_air_s = ppdu_duration_us(ACK_LENGTH, ack_rate_for(rate)) * 1e-6
+        timeout = frame.duration_s + dcf.ack_timeout_s(ack_air_s)
+        self._timeout_handle = self._kernel.schedule(
+            timeout, self._on_ack_timeout
+        )
+
+    def on_ack_end(self, emission: Emission) -> None:
+        """The AP's ACK finished; decide whether we decoded it."""
+        if self._acked or self._current_payload is None:
+            return
+        if self._medium.receive_frame(emission, self.name, self._rng):
+            self._acked = True
+            if self._timeout_handle is not None:
+                self._timeout_handle.cancel()
+                self._timeout_handle = None
+            self.rate_control.report_success()
+            self.stats.delivered += 1
+            self.stats.delivered_payload_bytes += self._current_payload
+            self._current_payload = None
+            self._next_frame()
+
+    def _on_ack_timeout(self) -> None:
+        if self._acked:
+            return
+        self.rate_control.report_failure()
+        self._retry += 1
+        if self._retry > dcf.RETRY_LIMIT:
+            self.stats.retry_drops += 1
+            self._current_payload = None
+            self._next_frame()
+        else:
+            self._start_contention()
+
+
+class JammerNode:
+    """The jammer on the MAC plane, mirroring the hardware timing."""
+
+    def __init__(self, name: str, kernel: SimKernel, medium: Medium,
+                 personality: JammerPersonality, tx_power_dbm: float,
+                 response_time_s: float | None = None,
+                 sensitivity_dbm: float = -80.0) -> None:
+        self.name = name
+        self._kernel = kernel
+        self._medium = medium
+        self.personality = personality
+        self.tx_power_dbm = float(tx_power_dbm)
+        self._sensitivity_dbm = float(sensitivity_dbm)
+        if response_time_s is None:
+            response_time_s = timeline_for().t_resp_xcorr
+        self._response_time_s = float(response_time_s)
+        self._busy_until = -1.0
+        self.bursts = 0
+        medium.add_frame_listener(self._on_frame_start)
+
+    def start(self, run_duration_s: float) -> None:
+        """Begin operation (continuous jammers key up immediately)."""
+        if self.personality.continuous:
+            self._medium.emit_jam(self.name, self._kernel.now,
+                                  run_duration_s, self.tx_power_dbm)
+            self.bursts += 1
+
+    def _on_frame_start(self, emission: Emission) -> None:
+        if self.personality.continuous:
+            return
+        if emission.src == self.name:
+            return
+        power = self._medium.rx_power_dbm(emission, self.name)
+        if power is None or power < self._sensitivity_dbm:
+            return
+        now = emission.start
+        if now < self._busy_until:
+            return
+        delay_s = self.personality.delay_samples / 25e6
+        burst_start = now + self._response_time_s + delay_s
+        burst_len = self.personality.uptime_seconds
+        self._busy_until = burst_start + burst_len
+        self._medium.emit_jam(self.name, burst_start, burst_len,
+                              self.tx_power_dbm)
+        self.bursts += 1

@@ -1,0 +1,64 @@
+"""ARF-style automatic rate fallback.
+
+The paper leaves "802.11 ... rate back-offs" unconstrained and treats
+them as part of the link's behaviour; they matter because a jammer
+that corrupts frames pushes the rate down, amplifying the bandwidth
+loss.  We implement classic ARF: step the rate down after
+``down_after`` consecutive failures, probe back up after ``up_after``
+consecutive successes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.phy.wifi.params import WifiRate
+
+#: The OFDM rate ladder, slowest first.
+RATE_LADDER = [
+    WifiRate.MBPS_6, WifiRate.MBPS_9, WifiRate.MBPS_12, WifiRate.MBPS_18,
+    WifiRate.MBPS_24, WifiRate.MBPS_36, WifiRate.MBPS_48, WifiRate.MBPS_54,
+]
+
+
+class ArfRateController:
+    """Per-link transmit rate state."""
+
+    def __init__(self, initial: WifiRate = WifiRate.MBPS_54,
+                 down_after: int = 2, up_after: int = 10) -> None:
+        if down_after < 1 or up_after < 1:
+            raise ConfigurationError("thresholds must be >= 1")
+        self._index = RATE_LADDER.index(initial)
+        self._down_after = down_after
+        self._up_after = up_after
+        self._failures = 0
+        self._successes = 0
+
+    @property
+    def rate(self) -> WifiRate:
+        """Current transmit rate."""
+        return RATE_LADDER[self._index]
+
+    def report_success(self) -> None:
+        """Record a delivered (ACKed) frame."""
+        self._failures = 0
+        self._successes += 1
+        if self._successes >= self._up_after:
+            self._successes = 0
+            if self._index < len(RATE_LADDER) - 1:
+                self._index += 1
+
+    def report_failure(self) -> None:
+        """Record a failed (unACKed) transmission attempt."""
+        self._successes = 0
+        self._failures += 1
+        if self._failures >= self._down_after:
+            self._failures = 0
+            if self._index > 0:
+                self._index -= 1
+
+    def reset(self, rate: WifiRate | None = None) -> None:
+        """Reset counters (and optionally the rate)."""
+        if rate is not None:
+            self._index = RATE_LADDER.index(rate)
+        self._failures = 0
+        self._successes = 0

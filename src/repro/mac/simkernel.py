@@ -1,0 +1,104 @@
+"""A minimal discrete-event simulation kernel.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap;
+the sequence number makes ordering deterministic for simultaneous
+events.  Times are floats in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time in seconds."""
+        return self._event.time
+
+
+class SimKernel:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule at non-finite time {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = _Event(time=time, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events up to and including ``end_time``."""
+        if self._running:
+            raise SimulationError("the kernel is not re-entrant")
+        self._running = True
+        try:
+            while self._queue and self._queue[0].time <= end_time:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+            if math.isfinite(end_time):
+                self._now = max(self._now, end_time)
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Process every pending event."""
+        self.run_until(float("inf"))
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)

@@ -1,0 +1,30 @@
+"""Physical-layer implementations of the paper's two target standards.
+
+* :mod:`repro.phy.wifi` — 802.11g OFDM (ERP-OFDM): preambles, SIGNAL
+  field, and full data frames at 20 MSPS, plus a receiver used for
+  calibration and a SINR->PER link model used by the MAC simulation.
+* :mod:`repro.phy.wimax` — mobile WiMAX 802.16e OFDMA downlink:
+  preamble carrier sets with their PN modulation, and TDD downlink
+  frames at the Airspan base station's 11.4 MHz sampling rate.
+
+Shared building blocks (scrambling, convolutional coding, interleaving,
+constellation mapping, CRC) live at this level because both standards
+draw from the same toolbox.
+"""
+
+from repro.phy.bits import (
+    bits_to_bytes,
+    bytes_to_bits,
+    crc32,
+)
+from repro.phy.modulation import Modulation
+from repro.phy.coding import ConvolutionalCode, CodeRate
+
+__all__ = [
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "crc32",
+    "Modulation",
+    "ConvolutionalCode",
+    "CodeRate",
+]

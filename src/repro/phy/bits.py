@@ -1,0 +1,58 @@
+"""Bit/byte manipulation and the IEEE CRC-32.
+
+Bit arrays throughout the PHY are ``uint8`` NumPy arrays of 0/1 values,
+LSB-first within each byte (the 802.11 transmission order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StreamError
+
+#: IEEE 802 CRC-32 polynomial (reversed representation).
+_CRC32_POLY = 0xEDB88320
+
+_CRC32_TABLE = np.zeros(256, dtype=np.uint32)
+for _byte in range(256):
+    _crc = _byte
+    for _ in range(8):
+        _crc = (_crc >> 1) ^ (_CRC32_POLY if _crc & 1 else 0)
+    _CRC32_TABLE[_byte] = _crc
+
+
+def bytes_to_bits(data: bytes | np.ndarray) -> np.ndarray:
+    """Expand bytes to an LSB-first bit array."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr, bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack an LSB-first bit array back into bytes.
+
+    The bit count must be a multiple of 8.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8:
+        raise StreamError(f"bit count {bits.size} is not a whole number of bytes")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def crc32(data: bytes) -> int:
+    """IEEE 802 CRC-32 as used by the 802.11 FCS (and Ethernet)."""
+    crc = 0xFFFF_FFFF
+    for byte in data:
+        crc = (crc >> 8) ^ int(_CRC32_TABLE[(crc ^ byte) & 0xFF])
+    return crc ^ 0xFFFF_FFFF
+
+
+def append_fcs(payload: bytes) -> bytes:
+    """Append the 4-byte FCS (little-endian CRC-32) to a MAC frame."""
+    return payload + crc32(payload).to_bytes(4, "little")
+
+
+def check_fcs(frame: bytes) -> bool:
+    """Validate a frame that carries a trailing FCS."""
+    if len(frame) < 4:
+        return False
+    return crc32(frame[:-4]) == int.from_bytes(frame[-4:], "little")

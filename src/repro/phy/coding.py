@@ -1,0 +1,229 @@
+"""Convolutional coding for 802.11 OFDM (K=7, g0=133o, g1=171o).
+
+Implements the rate-1/2 industry-standard code with the puncturing
+patterns that produce the 2/3 and 3/4 rates of 802.11a/g, plus a
+soft-decision Viterbi decoder.  The decoder is vectorized over the 64
+trellis states so full frames decode in milliseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodeError, StreamError
+
+#: Constraint length of the 802.11 code.
+CONSTRAINT_LENGTH = 7
+
+#: Generator polynomials (octal 133 and 171).
+G0 = 0o133
+G1 = 0o171
+
+_NUM_STATES = 1 << (CONSTRAINT_LENGTH - 1)
+
+
+class CodeRate(enum.Enum):
+    """Coding rates available in 802.11 OFDM, with puncture patterns.
+
+    The pattern tuples give, per (A, B) output stream, which coded bits
+    are transmitted over one puncturing period.
+    """
+
+    R1_2 = ((1,), (1,))
+    R2_3 = ((1, 1), (1, 0))
+    R3_4 = ((1, 1, 0), (1, 0, 1))
+
+    @property
+    def numerator(self) -> int:
+        """Information bits per puncturing period."""
+        return len(self.value[0])
+
+    @property
+    def denominator(self) -> int:
+        """Transmitted coded bits per puncturing period."""
+        return sum(self.value[0]) + sum(self.value[1])
+
+    @property
+    def ratio(self) -> float:
+        """The code rate as a float (k/n)."""
+        return self.numerator / self.denominator
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def _build_trellis() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tables: next_state[s, b], out_a[s, b], out_b[s, b].
+
+    State ``s`` holds the previous six input bits, most recent in bit 5.
+    """
+    next_state = np.zeros((_NUM_STATES, 2), dtype=np.int64)
+    out_a = np.zeros((_NUM_STATES, 2), dtype=np.int8)
+    out_b = np.zeros((_NUM_STATES, 2), dtype=np.int8)
+    for state in range(_NUM_STATES):
+        for bit in (0, 1):
+            register = (bit << 6) | state
+            out_a[state, bit] = _parity(register & G0)
+            out_b[state, bit] = _parity(register & G1)
+            next_state[state, bit] = (bit << 5) | (state >> 1)
+    return next_state, out_a, out_b
+
+
+_NEXT_STATE, _OUT_A, _OUT_B = _build_trellis()
+
+# Predecessor tables for the vectorized add-compare-select step:
+# state s' is reached from _PREV_STATE[s', 0] with input bit 0 and from
+# _PREV_STATE[s', 1] with input bit 1 -- wait: the *input bit* that
+# causes the transition into s' is s' >> 5; the two predecessors differ
+# in their oldest bit.  We tabulate (prev_state, input_bit, out_a,
+# out_b) for both incoming branches of each state.
+_PREV_STATE = np.zeros((_NUM_STATES, 2), dtype=np.int64)
+_PREV_BIT = np.zeros((_NUM_STATES, 2), dtype=np.int8)
+_PREV_OUT_A = np.zeros((_NUM_STATES, 2), dtype=np.int8)
+_PREV_OUT_B = np.zeros((_NUM_STATES, 2), dtype=np.int8)
+for _s in range(_NUM_STATES):
+    _branch = 0
+    for _b in (0, 1):
+        for _p in range(_NUM_STATES):
+            if _NEXT_STATE[_p, _b] == _s:
+                _PREV_STATE[_s, _branch] = _p
+                _PREV_BIT[_s, _branch] = _b
+                _PREV_OUT_A[_s, _branch] = _OUT_A[_p, _b]
+                _PREV_OUT_B[_s, _branch] = _OUT_B[_p, _b]
+                _branch += 1
+assert int(_PREV_STATE.shape[0]) == _NUM_STATES
+
+
+class ConvolutionalCode:
+    """The 802.11 K=7 convolutional code at a selectable rate."""
+
+    def __init__(self, rate: CodeRate = CodeRate.R1_2) -> None:
+        self.rate = rate
+
+    @property
+    def rate(self) -> CodeRate:
+        """Selected code rate."""
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: CodeRate) -> None:
+        if not isinstance(value, CodeRate):
+            raise ConfigurationError(f"rate must be a CodeRate, got {value!r}")
+        self._rate = value
+
+    # ------------------------------------------------------------------
+    # Encoding
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode information bits (caller appends tail bits if needed).
+
+        Returns the punctured coded bit stream.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise StreamError("encode expects a 1-D bit array")
+        state = 0
+        coded_a = np.empty(bits.size, dtype=np.uint8)
+        coded_b = np.empty(bits.size, dtype=np.uint8)
+        for n, bit in enumerate(bits):
+            coded_a[n] = _OUT_A[state, bit]
+            coded_b[n] = _OUT_B[state, bit]
+            state = _NEXT_STATE[state, bit]
+        return self._puncture(coded_a, coded_b)
+
+    def _puncture(self, coded_a: np.ndarray, coded_b: np.ndarray) -> np.ndarray:
+        pattern_a, pattern_b = self._rate.value
+        period = len(pattern_a)
+        out: list[int] = []
+        for n in range(coded_a.size):
+            pos = n % period
+            if pattern_a[pos]:
+                out.append(int(coded_a[n]))
+            if pattern_b[pos]:
+                out.append(int(coded_b[n]))
+        return np.array(out, dtype=np.uint8)
+
+    def coded_length(self, n_info_bits: int) -> int:
+        """Number of transmitted coded bits for ``n_info_bits`` inputs."""
+        pattern_a, pattern_b = self._rate.value
+        period = len(pattern_a)
+        full, rem = divmod(n_info_bits, period)
+        count = full * self._rate.denominator
+        for pos in range(rem):
+            count += pattern_a[pos] + pattern_b[pos]
+        return count
+
+    # ------------------------------------------------------------------
+    # Decoding
+
+    def _depuncture(self, soft: np.ndarray, n_info_bits: int) -> tuple[np.ndarray, np.ndarray]:
+        """Spread punctured soft bits back onto the A/B streams.
+
+        Erased positions get metric 0 (no information).
+        """
+        pattern_a, pattern_b = self._rate.value
+        period = len(pattern_a)
+        soft_a = np.zeros(n_info_bits, dtype=np.float64)
+        soft_b = np.zeros(n_info_bits, dtype=np.float64)
+        idx = 0
+        for n in range(n_info_bits):
+            pos = n % period
+            if pattern_a[pos]:
+                if idx >= soft.size:
+                    raise DecodeError("soft input shorter than expected")
+                soft_a[n] = soft[idx]
+                idx += 1
+            if pattern_b[pos]:
+                if idx >= soft.size:
+                    raise DecodeError("soft input shorter than expected")
+                soft_b[n] = soft[idx]
+                idx += 1
+        if idx != soft.size:
+            raise DecodeError(
+                f"soft input length {soft.size} does not match "
+                f"{n_info_bits} information bits at rate {self._rate.name}"
+            )
+        return soft_a, soft_b
+
+    def decode(self, soft: np.ndarray, n_info_bits: int) -> np.ndarray:
+        """Soft-decision Viterbi decode.
+
+        ``soft`` holds one value per *transmitted* coded bit with the
+        bipolar convention: positive means bit 0 is more likely
+        (soft = 1 - 2*bit for hard decisions).  The encoder is assumed
+        to start in state 0; if the caller included tail bits they are
+        part of ``n_info_bits`` and can be stripped afterwards.
+        """
+        soft = np.asarray(soft, dtype=np.float64)
+        if n_info_bits < 1:
+            raise DecodeError("n_info_bits must be >= 1")
+        soft_a, soft_b = self._depuncture(soft, n_info_bits)
+
+        metrics = np.full(_NUM_STATES, -np.inf)
+        metrics[0] = 0.0
+        decisions = np.zeros((n_info_bits, _NUM_STATES), dtype=np.uint8)
+        # Bipolar branch outputs for both incoming branches of each state.
+        bip_a = 1.0 - 2.0 * _PREV_OUT_A
+        bip_b = 1.0 - 2.0 * _PREV_OUT_B
+        for n in range(n_info_bits):
+            cand = (metrics[_PREV_STATE]
+                    + soft_a[n] * bip_a + soft_b[n] * bip_b)
+            best = np.argmax(cand, axis=1)
+            decisions[n] = best
+            metrics = cand[np.arange(_NUM_STATES), best]
+
+        state = int(np.argmax(metrics))
+        bits = np.empty(n_info_bits, dtype=np.uint8)
+        for n in range(n_info_bits - 1, -1, -1):
+            branch = decisions[n, state]
+            bits[n] = _PREV_BIT[state, branch]
+            state = int(_PREV_STATE[state, branch])
+        return bits
+
+    def decode_hard(self, coded_bits: np.ndarray, n_info_bits: int) -> np.ndarray:
+        """Viterbi decode from hard decisions (0/1 coded bits)."""
+        coded_bits = np.asarray(coded_bits, dtype=np.float64)
+        return self.decode(1.0 - 2.0 * coded_bits, n_info_bits)

@@ -1,0 +1,62 @@
+"""The 802.11 OFDM block interleaver (IEEE 802.11-2012 §18.3.5.7).
+
+Operates on one OFDM symbol's worth of coded bits (``n_cbps``).  The
+two-step permutation spreads adjacent coded bits across non-adjacent
+subcarriers and alternating significance positions:
+
+* first permutation: ``i = (n_cbps/16) * (k mod 16) + floor(k/16)``
+* second permutation:
+  ``j = s*floor(i/s) + (i + n_cbps - floor(16*i/n_cbps)) mod s``
+  with ``s = max(n_bpsc/2, 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StreamError
+
+
+def interleave_indices(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Permutation such that ``out[j] = in[k]`` maps coded bit k -> j."""
+    if n_cbps % 16:
+        raise ConfigurationError("n_cbps must be a multiple of 16")
+    if n_bpsc < 1:
+        raise ConfigurationError("n_bpsc must be >= 1")
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    j = s * (i // s) + (i + n_cbps - (16 * i // n_cbps)) % s
+    return j
+
+
+def interleave(bits: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Interleave a multiple of ``n_cbps`` coded bits symbol-by-symbol."""
+    bits = np.asarray(bits)
+    if bits.size % n_cbps:
+        raise StreamError(
+            f"bit count {bits.size} not a multiple of the symbol size {n_cbps}"
+        )
+    idx = interleave_indices(n_cbps, n_bpsc)
+    out = np.empty_like(bits)
+    for start in range(0, bits.size, n_cbps):
+        block = bits[start:start + n_cbps]
+        scrambled = np.empty_like(block)
+        scrambled[idx] = block
+        out[start:start + n_cbps] = scrambled
+    return out
+
+
+def deinterleave(bits: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Inverse of :func:`interleave` (also works on soft values)."""
+    bits = np.asarray(bits)
+    if bits.size % n_cbps:
+        raise StreamError(
+            f"bit count {bits.size} not a multiple of the symbol size {n_cbps}"
+        )
+    idx = interleave_indices(n_cbps, n_bpsc)
+    out = np.empty_like(bits)
+    for start in range(0, bits.size, n_cbps):
+        block = bits[start:start + n_cbps]
+        out[start:start + n_cbps] = block[idx]
+    return out

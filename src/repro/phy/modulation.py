@@ -1,0 +1,106 @@
+"""Constellation mapping for 802.11 OFDM (BPSK through 64-QAM).
+
+Mappings follow IEEE 802.11-2012 §18.3.5.8: Gray-coded square
+constellations with the standard normalization factors so every
+modulation has unit average energy.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import StreamError
+
+_BPSK_TABLE = np.array([-1.0, 1.0])
+
+_QPSK_LEVELS = np.array([-1.0, 1.0]) / np.sqrt(2.0)
+
+# Axis tables are indexed by the LSB-first integer formed from the
+# axis bits; the orderings below realize the standard's Gray code
+# (e.g. 16-QAM I axis: b0b1 = 00->-3, 01->-1, 11->+1, 10->+3).
+_16QAM_LEVELS = np.array([-3.0, 3.0, -1.0, 1.0]) / np.sqrt(10.0)
+
+_64QAM_LEVELS = np.array([-7.0, 7.0, -1.0, 1.0, -5.0, 5.0, -3.0, 3.0]) / np.sqrt(42.0)
+
+
+class Modulation(enum.Enum):
+    """Subcarrier modulations with their bit widths."""
+
+    BPSK = 1
+    QPSK = 2
+    QAM16 = 4
+    QAM64 = 6
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Coded bits carried per subcarrier."""
+        return self.value
+
+
+def _axis_levels(modulation: Modulation) -> np.ndarray:
+    if modulation is Modulation.QPSK:
+        return _QPSK_LEVELS
+    if modulation is Modulation.QAM16:
+        return _16QAM_LEVELS
+    if modulation is Modulation.QAM64:
+        return _64QAM_LEVELS
+    raise StreamError(f"no axis levels for {modulation}")
+
+
+def map_bits(bits: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Map a coded bit stream to constellation points.
+
+    Bits are consumed ``bits_per_symbol`` at a time; for the QAM
+    constellations the first half addresses the I axis and the second
+    half the Q axis (LSB-first Gray coding per the standard tables).
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    width = modulation.bits_per_symbol
+    if bits.size % width:
+        raise StreamError(
+            f"bit count {bits.size} not a multiple of {width} for {modulation.name}"
+        )
+    groups = bits.reshape(-1, width)
+    if modulation is Modulation.BPSK:
+        return _BPSK_TABLE[groups[:, 0]].astype(np.complex128)
+    levels = _axis_levels(modulation)
+    half = width // 2
+    weights = 1 << np.arange(half)
+    i_index = groups[:, :half] @ weights
+    q_index = groups[:, half:] @ weights
+    return levels[i_index] + 1j * levels[q_index]
+
+
+def demap_bits(symbols: np.ndarray, modulation: Modulation,
+               noise_var: float = 1.0) -> np.ndarray:
+    """Soft demap constellation points to per-bit bipolar metrics.
+
+    Returns one soft value per coded bit with positive meaning "bit 0"
+    (the Viterbi decoder's convention).  Uses the max-log-MAP
+    approximation; ``noise_var`` scales the metric but does not change
+    hard decisions.
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    width = modulation.bits_per_symbol
+    if modulation is Modulation.BPSK:
+        return (-symbols.real * 2.0 / noise_var).reshape(-1)
+    levels = _axis_levels(modulation)
+    half = width // 2
+    soft = np.empty((symbols.size, width), dtype=np.float64)
+    for axis, values in ((0, symbols.real), (1, symbols.imag)):
+        # Distance from each received coordinate to each axis level.
+        dist = (values[:, None] - levels[None, :]) ** 2
+        for bit in range(half):
+            mask = ((np.arange(levels.size) >> bit) & 1).astype(bool)
+            d0 = np.min(dist[:, ~mask], axis=1)
+            d1 = np.min(dist[:, mask], axis=1)
+            soft[:, axis * half + bit] = (d1 - d0) / noise_var
+    return soft.reshape(-1)
+
+
+def hard_decide(symbols: np.ndarray, modulation: Modulation) -> np.ndarray:
+    """Hard-decision demapping (nearest constellation point)."""
+    soft = demap_bits(symbols, modulation)
+    return (soft < 0).astype(np.uint8)

@@ -1,0 +1,43 @@
+"""IEEE 802.11g (ERP-OFDM) physical layer at its native 20 MSPS.
+
+Implements what the paper's experiments exercise:
+
+* the short and long training preambles (10 x 0.8 us and 2 x 3.2 us +
+  guard, paper §3) that the jammer's cross-correlator locks onto,
+* the SIGNAL field and fully coded/interleaved/modulated DATA symbols
+  for every 802.11g OFDM rate (6..54 Mbps),
+* a receiver good enough to calibrate the SINR->PER link model that
+  the MAC simulation uses for the iperf experiments.
+"""
+
+from repro.phy.wifi.params import WifiRate, WIFI_OFDM, RATE_PARAMETERS
+from repro.phy.wifi.preamble import (
+    long_preamble,
+    long_training_symbol,
+    short_preamble,
+    short_training_symbol,
+)
+from repro.phy.wifi.frame import WifiFrameConfig, build_ppdu, ppdu_duration_us
+from repro.phy.wifi.receiver import WifiReceiver, ReceiveResult
+from repro.phy.wifi.per_model import LinkQualityModel
+from repro.phy.wifi.dsss import build_dsss_ppdu, long_preamble_waveform
+from repro.phy.wifi.dsss_receiver import DsssReceiver
+
+__all__ = [
+    "WifiRate",
+    "WIFI_OFDM",
+    "RATE_PARAMETERS",
+    "long_preamble",
+    "long_training_symbol",
+    "short_preamble",
+    "short_training_symbol",
+    "WifiFrameConfig",
+    "build_ppdu",
+    "ppdu_duration_us",
+    "WifiReceiver",
+    "ReceiveResult",
+    "LinkQualityModel",
+    "build_dsss_ppdu",
+    "long_preamble_waveform",
+    "DsssReceiver",
+]

@@ -1,0 +1,136 @@
+"""802.11b DSSS PHY (transmit side).
+
+The paper claims the platform jams "WiFi (802.11 a/b/g)"; a/g are the
+OFDM PHY implemented in this package's other modules, and b is the
+legacy DSSS PHY implemented here: Barker-11 spreading at 11 Mchip/s,
+DBPSK at 1 Mb/s (DQPSK at 2 Mb/s for the PSDU), and the long PLCP
+preamble of 128 scrambled SYNC ones plus the 16-bit SFD
+(IEEE 802.11-2012 clause 17).
+
+Native sample rate is 22 MSPS (2 samples/chip); the detection
+experiments resample to the jammer's 25 MSPS as for every other
+standard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Barker-11 spreading sequence (IEEE 802.11-2012 §17.4.6.6).
+BARKER = np.array([1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1], dtype=np.int8)
+
+#: Chip rate and native sampling rate.
+CHIP_RATE = 11_000_000
+SAMPLES_PER_CHIP = 2
+DSSS_SAMPLE_RATE = CHIP_RATE * SAMPLES_PER_CHIP
+
+#: Long-preamble structure: 128 SYNC bits + 16 SFD bits at 1 Mb/s.
+SYNC_BITS = 128
+SFD = 0xF3A0  # transmitted LSB first
+
+#: DSSS scrambler seed for the long preamble (§17.2.4).
+SCRAMBLER_SEED = 0b1101100
+
+
+def scramble_bits(bits: np.ndarray, seed: int = SCRAMBLER_SEED) -> np.ndarray:
+    """The 802.11 DSSS self-synchronizing scrambler (x^7 + x^4 + 1).
+
+    Unlike the OFDM PHY's frame-synchronous scrambler, the DSSS
+    scrambler feeds back the *scrambled* output, so it self-syncs at
+    the receiver.
+    """
+    if not 0 <= seed <= 0x7F:
+        raise ConfigurationError("seed must be a 7-bit value")
+    state = seed
+    out = np.empty(bits.size, dtype=np.uint8)
+    for n, bit in enumerate(np.asarray(bits, dtype=np.uint8)):
+        feedback = ((state >> 6) ^ (state >> 3)) & 1
+        scrambled = bit ^ feedback
+        out[n] = scrambled
+        state = ((state << 1) | scrambled) & 0x7F
+    return out
+
+
+def differential_encode(bits: np.ndarray) -> np.ndarray:
+    """DBPSK phase stream: bit 1 flips the phase, bit 0 keeps it."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    phases = np.empty(bits.size, dtype=np.int8)
+    current = 1
+    for n, bit in enumerate(bits):
+        if bit:
+            current = -current
+        phases[n] = current
+    return phases
+
+
+def spread_and_shape(phases: np.ndarray) -> np.ndarray:
+    """Barker-spread a bipolar phase stream to chips at 22 MSPS."""
+    phases = np.asarray(phases, dtype=np.int8)
+    chips = (phases[:, None] * BARKER[None, :]).reshape(-1)
+    return np.repeat(chips.astype(np.float64), SAMPLES_PER_CHIP) + 0j
+
+
+def preamble_bits() -> np.ndarray:
+    """The long preamble's unscrambled bits: 128 ones + SFD."""
+    sync = np.ones(SYNC_BITS, dtype=np.uint8)
+    sfd = np.array([(SFD >> k) & 1 for k in range(16)], dtype=np.uint8)
+    return np.concatenate([sync, sfd])
+
+
+def long_preamble_waveform() -> np.ndarray:
+    """The 144-bit long PLCP preamble at 22 MSPS, unit power.
+
+    144 us of air time — the paper's observation that legacy DSSS
+    preambles give the jammer an enormous reaction window compared to
+    OFDM's 16 us.
+    """
+    bits = scramble_bits(preamble_bits())
+    waveform = spread_and_shape(differential_encode(bits))
+    power = float(np.mean(np.abs(waveform) ** 2))
+    return waveform / np.sqrt(power)
+
+
+def build_dsss_ppdu(psdu: bytes) -> np.ndarray:
+    """A 1 Mb/s DBPSK PPDU: preamble + PLCP header + PSDU, at 22 MSPS.
+
+    The PLCP header (SIGNAL, SERVICE, LENGTH, CRC-16) is included as
+    48 DBPSK bits; everything is scrambled as one continuous stream,
+    as the standard requires.
+    """
+    if not psdu:
+        raise ConfigurationError("PSDU must not be empty")
+    if len(psdu) > 4095:
+        raise ConfigurationError("PSDU too long for the LENGTH field")
+    signal = 0x0A            # 1 Mb/s in 100 kb/s units
+    service = 0x00
+    length_us = len(psdu) * 8  # air time of the PSDU at 1 Mb/s
+    header = bytes([signal, service,
+                    length_us & 0xFF, (length_us >> 8) & 0xFF])
+    crc = _crc16(header)
+    header += bytes([crc & 0xFF, (crc >> 8) & 0xFF])
+
+    payload_bits = np.unpackbits(
+        np.frombuffer(header + psdu, dtype=np.uint8), bitorder="little")
+    all_bits = np.concatenate([preamble_bits(), payload_bits])
+    waveform = spread_and_shape(
+        differential_encode(scramble_bits(all_bits)))
+    power = float(np.mean(np.abs(waveform) ** 2))
+    return waveform / np.sqrt(power)
+
+
+def _crc16(data: bytes) -> int:
+    """CRC-16 CCITT as used by the PLCP header (ones complement)."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021) & 0xFFFF if crc & 0x8000 \
+                else (crc << 1) & 0xFFFF
+    return crc ^ 0xFFFF
+
+
+def dsss_ppdu_duration_s(psdu_bytes: int) -> float:
+    """Air time of a 1 Mb/s long-preamble PPDU."""
+    return (SYNC_BITS + 16 + 48 + 8 * psdu_bytes) * 1e-6

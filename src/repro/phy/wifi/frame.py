@@ -1,0 +1,124 @@
+"""802.11g OFDM PPDU construction (transmitter).
+
+Assembles a complete frame at the standard's native 20 MSPS:
+
+    [short preamble | long preamble | SIGNAL | DATA symbols...]
+
+The DATA field is SERVICE + PSDU + tail + pad bits, scrambled,
+convolutionally encoded, interleaved, constellation-mapped, and OFDM
+modulated with the standard's pilot insertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.ofdm import ofdm_modulate
+from repro.errors import ConfigurationError
+from repro.phy.bits import bytes_to_bits
+from repro.phy.coding import ConvolutionalCode
+from repro.phy.interleaving import interleave
+from repro.phy.modulation import map_bits
+from repro.phy.scrambler import scramble
+from repro.phy.wifi import params as p
+from repro.phy.wifi.preamble import long_preamble, short_preamble
+from repro.phy.wifi.signal_field import signal_to_coded_symbol
+
+
+@dataclass(frozen=True)
+class WifiFrameConfig:
+    """Transmit-side parameters of one PPDU.
+
+    Attributes:
+        rate: PHY rate for the DATA field.
+        scrambler_seed: 7-bit non-zero scrambler initial state.
+    """
+
+    rate: p.WifiRate = p.WifiRate.MBPS_54
+    scrambler_seed: int = 0x5D
+
+
+def _data_bits(psdu: bytes, rate: p.WifiRate, seed: int) -> np.ndarray:
+    """SERVICE + PSDU + tail + pad, scrambled, with tail re-zeroed."""
+    rp = p.RATE_PARAMETERS[rate]
+    n_sym = p.data_symbols_for_psdu(len(psdu), rate)
+    total_bits = n_sym * rp.n_dbps
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    psdu_bits = bytes_to_bits(psdu)
+    bits[p.SERVICE_BITS:p.SERVICE_BITS + psdu_bits.size] = psdu_bits
+    scrambled = scramble(bits, seed)
+    # Tail bits are forced back to zero after scrambling (§18.3.5.3).
+    tail_start = p.SERVICE_BITS + psdu_bits.size
+    scrambled[tail_start:tail_start + p.TAIL_BITS] = 0
+    return scrambled
+
+
+def _pilot_polarity(symbol_index: int) -> float:
+    """Pilot polarity for DATA symbol n (SIGNAL uses index 0)."""
+    return float(p.PILOT_POLARITY[symbol_index % p.PILOT_POLARITY.size])
+
+
+def _assemble_symbol(data_points: np.ndarray, symbol_index: int) -> np.ndarray:
+    """One OFDM symbol: 48 data points + 4 polarity-scaled pilots."""
+    carriers = np.concatenate([p.DATA_SUBCARRIERS, p.PILOT_SUBCARRIERS])
+    values = np.concatenate([
+        data_points,
+        p.PILOT_VALUES * _pilot_polarity(symbol_index),
+    ])
+    return ofdm_modulate(p.WIFI_OFDM, carriers, values)
+
+
+def build_data_field(psdu: bytes, config: WifiFrameConfig) -> np.ndarray:
+    """The DATA portion of a PPDU as time-domain samples."""
+    rp = p.RATE_PARAMETERS[config.rate]
+    bits = _data_bits(psdu, config.rate, config.scrambler_seed)
+    code = ConvolutionalCode(rp.code_rate)
+    coded = code.encode(bits)
+    interleaved = interleave(coded, rp.n_cbps, rp.n_bpsc)
+    points = map_bits(interleaved, rp.modulation)
+    points = points.reshape(-1, len(p.DATA_SUBCARRIERS))
+    symbols = [
+        _assemble_symbol(row, symbol_index=n + 1)  # DATA starts at p_1
+        for n, row in enumerate(points)
+    ]
+    return np.concatenate(symbols)
+
+
+def build_signal_field(psdu_length: int, rate: p.WifiRate) -> np.ndarray:
+    """The SIGNAL symbol as time-domain samples."""
+    points = signal_to_coded_symbol(rate, psdu_length)
+    return _assemble_symbol(points, symbol_index=0)
+
+
+def build_ppdu(psdu: bytes, config: WifiFrameConfig | None = None) -> np.ndarray:
+    """A complete 802.11g OFDM PPDU at 20 MSPS, unit average power.
+
+    This is the paper's "complete WiFi frame with 10 short preambles,
+    2 long preambles, the SIGNAL symbol, and the payload".
+    """
+    if not psdu:
+        raise ConfigurationError("PSDU must not be empty")
+    config = config if config is not None else WifiFrameConfig()
+    waveform = np.concatenate([
+        short_preamble(),
+        long_preamble(),
+        build_signal_field(len(psdu), config.rate),
+        build_data_field(psdu, config),
+    ])
+    power = float(np.mean(np.abs(waveform) ** 2))
+    return waveform / np.sqrt(power)
+
+
+def ppdu_duration_us(psdu_bytes: int, rate: p.WifiRate) -> float:
+    """Air time of a PPDU in microseconds (preambles + SIGNAL + DATA)."""
+    n_sym = p.data_symbols_for_psdu(psdu_bytes, rate)
+    return (p.SHORT_PREAMBLE_US + p.LONG_PREAMBLE_US + p.SIGNAL_US
+            + n_sym * p.SYMBOL_US)
+
+
+def ppdu_sample_length(psdu_bytes: int, rate: p.WifiRate) -> int:
+    """PPDU length in 20 MSPS samples."""
+    n_sym = p.data_symbols_for_psdu(psdu_bytes, rate)
+    return 160 + 160 + (1 + n_sym) * p.WIFI_OFDM.symbol_length

@@ -1,0 +1,124 @@
+"""802.11g OFDM numerology and rate-dependent parameters.
+
+All constants follow IEEE 802.11-2012 clause 18 (the OFDM PHY) for
+20 MHz channel spacing: 64-point FFT at 20 MSPS, 0.8 us guard
+interval, 48 data + 4 pilot subcarriers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.ofdm import OfdmParameters
+from repro.phy.coding import CodeRate
+from repro.phy.modulation import Modulation
+
+#: Native sampling rate of 802.11a/g OFDM (Hz).  The mismatch with the
+#: jammer's 25 MSPS data path is the paper's key detection impairment.
+WIFI_SAMPLE_RATE = 20_000_000
+
+#: The OFDM numerology: 64-point FFT, 16-sample (0.8 us) cyclic prefix.
+WIFI_OFDM = OfdmParameters(fft_size=64, cp_length=16,
+                           sample_rate=WIFI_SAMPLE_RATE)
+
+#: Data subcarrier indices (48 of them): +-1..26 minus the pilots.
+PILOT_SUBCARRIERS = np.array([-21, -7, 7, 21])
+DATA_SUBCARRIERS = np.array(
+    [k for k in range(-26, 27)
+     if k != 0 and k not in (-21, -7, 7, 21)]
+)
+
+#: Pilot base values on subcarriers (-21, -7, 7, 21).
+PILOT_VALUES = np.array([1.0, 1.0, 1.0, -1.0])
+
+#: The 127-element pilot polarity sequence p_n (IEEE 802.11-2012
+#: §18.3.5.10); entry 0 multiplies the SIGNAL symbol's pilots.
+PILOT_POLARITY = np.array([
+    1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1,
+    -1, -1, 1, 1, -1, 1, 1, -1, 1, 1, 1, 1, 1, 1, -1, 1,
+    1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1,
+    -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+    -1, -1, 1, -1, 1, -1, 1, 1, -1, -1, -1, 1, 1, -1, -1, -1,
+    -1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1,
+    -1, -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1,
+    -1, 1, -1, -1, -1, 1, 1, 1, -1, -1, -1, -1, -1, -1, -1,
+], dtype=np.float64)
+
+#: Number of coded bits in the SERVICE field and tail.
+SERVICE_BITS = 16
+TAIL_BITS = 6
+
+#: Durations from the standard (microseconds).
+SHORT_PREAMBLE_US = 8.0
+LONG_PREAMBLE_US = 8.0
+SIGNAL_US = 4.0
+SYMBOL_US = 4.0
+
+
+class WifiRate(enum.Enum):
+    """The eight 802.11g OFDM rates, keyed by Mbps."""
+
+    MBPS_6 = 6
+    MBPS_9 = 9
+    MBPS_12 = 12
+    MBPS_18 = 18
+    MBPS_24 = 24
+    MBPS_36 = 36
+    MBPS_48 = 48
+    MBPS_54 = 54
+
+    @property
+    def mbps(self) -> int:
+        """Nominal PHY rate in Mbps."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class RateParameters:
+    """Per-rate modulation and coding parameters (802.11 Table 18-4)."""
+
+    modulation: Modulation
+    code_rate: CodeRate
+    n_bpsc: int   # coded bits per subcarrier
+    n_cbps: int   # coded bits per OFDM symbol
+    n_dbps: int   # data bits per OFDM symbol
+    signal_bits: int  # 4-bit RATE field encoding
+
+
+RATE_PARAMETERS: dict[WifiRate, RateParameters] = {
+    WifiRate.MBPS_6: RateParameters(Modulation.BPSK, CodeRate.R1_2,
+                                    1, 48, 24, 0b1101),
+    WifiRate.MBPS_9: RateParameters(Modulation.BPSK, CodeRate.R3_4,
+                                    1, 48, 36, 0b1111),
+    WifiRate.MBPS_12: RateParameters(Modulation.QPSK, CodeRate.R1_2,
+                                     2, 96, 48, 0b0101),
+    WifiRate.MBPS_18: RateParameters(Modulation.QPSK, CodeRate.R3_4,
+                                     2, 96, 72, 0b0111),
+    WifiRate.MBPS_24: RateParameters(Modulation.QAM16, CodeRate.R1_2,
+                                     4, 192, 96, 0b1001),
+    WifiRate.MBPS_36: RateParameters(Modulation.QAM16, CodeRate.R3_4,
+                                     4, 192, 144, 0b1011),
+    WifiRate.MBPS_48: RateParameters(Modulation.QAM64, CodeRate.R2_3,
+                                     6, 288, 192, 0b0001),
+    WifiRate.MBPS_54: RateParameters(Modulation.QAM64, CodeRate.R3_4,
+                                     6, 288, 216, 0b0011),
+}
+
+#: RATE-field value -> rate, for SIGNAL decoding.
+SIGNAL_BITS_TO_RATE = {
+    params.signal_bits: rate for rate, params in RATE_PARAMETERS.items()
+}
+
+
+def data_symbols_for_psdu(psdu_bytes: int, rate: WifiRate) -> int:
+    """Number of DATA OFDM symbols for a PSDU of ``psdu_bytes``.
+
+    Follows the standard's N_SYM computation: SERVICE + PSDU + tail
+    bits, padded up to a whole number of symbols.
+    """
+    params = RATE_PARAMETERS[rate]
+    n_bits = SERVICE_BITS + 8 * psdu_bytes + TAIL_BITS
+    return -(-n_bits // params.n_dbps)

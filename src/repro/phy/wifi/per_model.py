@@ -1,0 +1,185 @@
+"""SINR -> packet-error-rate link model for the MAC simulation.
+
+The iperf experiments (paper Figs. 10/11) run tens of thousands of
+frames per operating point; decoding each at the waveform level would
+be prohibitively slow, so the MAC simulation uses this semi-analytic
+link model instead (the standard approach in ns-3 and friends):
+
+1. symbol SINR -> uncoded BER via the exact Q-function expressions for
+   each constellation,
+2. uncoded BER -> coded BER via the union bound over the convolutional
+   code's distance spectrum (hard-decision pairwise error
+   probabilities, i.e. the NIST error-rate model),
+3. coded BER -> PER over the frame's bit count, with separately-jammed
+   segments multiplied together.
+
+The model also covers preamble/SIGNAL robustness so a frame whose
+synchronization is destroyed (e.g. by a jam burst over the preamble)
+fails regardless of payload SINR.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.phy.coding import CodeRate
+from repro.phy.modulation import Modulation
+from repro.phy.wifi import params as p
+
+#: Distance spectra (information-bit error weights B_d starting at
+#: d_free) for the K=7 code and its 802.11 punctured variants.
+#: Source: Frenger et al. / standard convolutional code tables.
+_DISTANCE_SPECTRA: dict[CodeRate, tuple[int, list[int]]] = {
+    CodeRate.R1_2: (10, [36, 0, 211, 0, 1404, 0, 11633]),
+    CodeRate.R2_3: (6, [1, 16, 48, 158, 642, 2435, 9174]),
+    CodeRate.R3_4: (5, [8, 31, 160, 892, 4512, 23307, 121077]),
+}
+
+
+def _q(x: float) -> float:
+    return float(stats.norm.sf(x))
+
+
+def uncoded_ber(snr_linear: float, modulation: Modulation) -> float:
+    """Exact-ish uncoded BER for Gray-coded square constellations.
+
+    ``snr_linear`` is the per-subcarrier symbol SINR (Es/N0).
+    """
+    if snr_linear <= 0:
+        return 0.5
+    if modulation is Modulation.BPSK:
+        return _q(math.sqrt(2.0 * snr_linear))
+    if modulation is Modulation.QPSK:
+        return _q(math.sqrt(snr_linear))
+    if modulation is Modulation.QAM16:
+        return 0.75 * _q(math.sqrt(snr_linear / 5.0))
+    if modulation is Modulation.QAM64:
+        return (7.0 / 12.0) * _q(math.sqrt(snr_linear / 21.0))
+    raise ConfigurationError(f"no BER expression for {modulation}")
+
+
+def _pairwise_error(d: int, ber: float) -> float:
+    """Hard-decision pairwise error probability for distance d."""
+    if ber <= 0.0:
+        return 0.0
+    if ber >= 0.5:
+        return 0.5
+    total = 0.0
+    if d % 2:
+        for k in range((d + 1) // 2, d + 1):
+            total += math.comb(d, k) * ber ** k * (1 - ber) ** (d - k)
+    else:
+        half = d // 2
+        total += 0.5 * math.comb(d, half) * ber ** half * (1 - ber) ** half
+        for k in range(half + 1, d + 1):
+            total += math.comb(d, k) * ber ** k * (1 - ber) ** (d - k)
+    return min(total, 0.5)
+
+
+def coded_ber(snr_linear: float, modulation: Modulation,
+              code_rate: CodeRate) -> float:
+    """Post-Viterbi BER via the truncated union bound."""
+    ber = uncoded_ber(snr_linear, modulation)
+    d_free, weights = _DISTANCE_SPECTRA[code_rate]
+    total = 0.0
+    for offset, weight in enumerate(weights):
+        if weight:
+            total += weight * _pairwise_error(d_free + offset, ber)
+    # Per the union bound the sum is divided by the puncturing period's
+    # information bits (already folded into B_d for these tables).
+    return min(total, 0.5)
+
+
+def segment_success(snr_db: float, rate: p.WifiRate, n_bits: int) -> float:
+    """Probability that ``n_bits`` information bits decode cleanly."""
+    if n_bits <= 0:
+        return 1.0
+    rp = p.RATE_PARAMETERS[rate]
+    ber = coded_ber(units.db_to_linear(snr_db), rp.modulation, rp.code_rate)
+    if ber >= 0.5:
+        return 0.0
+    return (1.0 - ber) ** n_bits
+
+
+#: SINR (dB) below which preamble synchronization is assumed lost.
+#: Anchored to our own waveform-level measurements: the receiver's
+#: long-preamble sync survives to roughly 0 dB, and energy capture of
+#: a jam burst destroys AGC/sync well above that.
+SYNC_LOSS_SNR_DB = 0.0
+
+
+@dataclass(frozen=True)
+class JamExposure:
+    """How a jam burst overlaps one PHY frame.
+
+    Attributes:
+        preamble_hit: The burst overlaps the preamble/SIGNAL region.
+        data_overlap_us: Microseconds of DATA field covered by bursts.
+        sinr_jammed_db: SINR during the jammed span.
+    """
+
+    preamble_hit: bool
+    data_overlap_us: float
+    sinr_jammed_db: float
+
+
+class LinkQualityModel:
+    """Frame success probabilities under clean and jammed conditions."""
+
+    def __init__(self, noise_floor_dbm: float = -95.0) -> None:
+        self.noise_floor_dbm = float(noise_floor_dbm)
+
+    def snr_db(self, rx_power_dbm: float) -> float:
+        """SNR implied by a received power against the noise floor."""
+        return rx_power_dbm - self.noise_floor_dbm
+
+    def sinr_db(self, rx_power_dbm: float, interference_dbm: float | None) -> float:
+        """SINR with an active interferer of the given received power."""
+        noise = units.dbm_to_watts(self.noise_floor_dbm)
+        if interference_dbm is not None:
+            noise += units.dbm_to_watts(interference_dbm)
+        signal = units.dbm_to_watts(rx_power_dbm)
+        return units.linear_to_db(signal / noise)
+
+    def frame_success_probability(self, snr_db: float, rate: p.WifiRate,
+                                  psdu_bytes: int,
+                                  exposure: JamExposure | None = None) -> float:
+        """Probability that one PPDU is received intact.
+
+        Combines SIGNAL-field success (always sent at 6 Mbps
+        parameters), DATA success over the clean span, and DATA success
+        over any jammed span at the degraded SINR.  A jam burst over
+        the preamble region fails the frame outright when the jammed
+        SINR is below the synchronization threshold.
+        """
+        if psdu_bytes < 1:
+            raise ConfigurationError("psdu_bytes must be >= 1")
+        signal_ok = segment_success(snr_db, p.WifiRate.MBPS_6, 24)
+        n_bits = 8 * psdu_bytes + p.SERVICE_BITS + p.TAIL_BITS
+        duration_us = p.data_symbols_for_psdu(psdu_bytes, rate) * p.SYMBOL_US
+        if exposure is None or exposure.data_overlap_us <= 0.0:
+            clean_bits = n_bits
+            jammed_bits = 0
+        else:
+            fraction = min(exposure.data_overlap_us / duration_us, 1.0)
+            jammed_bits = int(round(n_bits * fraction))
+            clean_bits = n_bits - jammed_bits
+        success = signal_ok
+        success *= segment_success(snr_db, rate, clean_bits)
+        if exposure is not None:
+            if exposure.preamble_hit:
+                if exposure.sinr_jammed_db < SYNC_LOSS_SNR_DB:
+                    return 0.0
+                # Preamble survived but SIGNAL sees the jammed SINR.
+                success = segment_success(exposure.sinr_jammed_db,
+                                          p.WifiRate.MBPS_6, 24)
+                success *= segment_success(snr_db, rate, clean_bits)
+            if jammed_bits:
+                success *= segment_success(exposure.sinr_jammed_db, rate,
+                                           jammed_bits)
+        return success

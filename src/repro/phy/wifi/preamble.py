@@ -1,0 +1,79 @@
+"""The 802.11 OFDM PLCP preamble (IEEE 802.11-2012 §18.3.3).
+
+* **Short training field**: a 16-sample (0.8 us) sequence repeated ten
+  times — 160 samples / 8 us.  Used by real receivers for AGC and
+  coarse timing, and by the paper's jammer as a 10x-repeating
+  correlation target (Fig. 7).
+* **Long training field**: a 32-sample guard followed by two identical
+  64-sample (3.2 us) symbols — 160 samples / 8 us.  The 64-sample code
+  is the natural template for the jammer's 64-tap correlator (Fig. 6),
+  except that the correlator samples at 25 MSPS while this code lives
+  at 20 MSPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.wifi.params import WIFI_OFDM
+
+# Short-training frequency values: nonzero on multiples of 4.
+_SHORT_CARRIERS = np.array([-24, -20, -16, -12, -8, -4, 4, 8, 12, 16, 20, 24])
+_SHORT_VALUES = np.sqrt(13.0 / 6.0) * np.array([
+    1 + 1j, -1 - 1j, 1 + 1j, -1 - 1j, -1 - 1j, 1 + 1j,
+    -1 - 1j, -1 - 1j, 1 + 1j, 1 + 1j, 1 + 1j, 1 + 1j,
+])
+
+# Long-training frequency values on subcarriers -26..-1, 1..26.
+_LONG_CARRIERS = np.array([k for k in range(-26, 27) if k != 0])
+_LONG_VALUES = np.array([
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1,
+    1, -1, 1, 1, 1, 1,
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1,
+    1, -1, 1, -1, 1, 1, 1, 1,
+], dtype=np.complex128)
+
+#: Number of short-preamble repetitions and their period in samples.
+SHORT_REPEATS = 10
+SHORT_PERIOD = 16
+
+#: Long-training guard length and symbol length in samples.
+LONG_GUARD = 32
+LONG_SYMBOL = 64
+
+
+def _unit_power(samples: np.ndarray) -> np.ndarray:
+    power = float(np.mean(np.abs(samples) ** 2))
+    return samples / np.sqrt(power)
+
+
+def short_training_symbol() -> np.ndarray:
+    """One 16-sample period of the short training sequence (unit power)."""
+    freq = np.zeros(WIFI_OFDM.fft_size, dtype=np.complex128)
+    freq[np.mod(_SHORT_CARRIERS, WIFI_OFDM.fft_size)] = _SHORT_VALUES
+    time = np.fft.ifft(freq) * WIFI_OFDM.fft_size
+    # The 64-sample IFFT output is periodic with period 16.
+    return _unit_power(time[:SHORT_PERIOD])
+
+
+def short_preamble() -> np.ndarray:
+    """The full 160-sample (8 us) short training field, unit power."""
+    return np.tile(short_training_symbol(), SHORT_REPEATS)
+
+
+def long_training_symbol() -> np.ndarray:
+    """One 64-sample (3.2 us) long training symbol, unit power.
+
+    This is the 64-sample orthogonal code the paper loads into the
+    cross-correlator for long-preamble detection.
+    """
+    freq = np.zeros(WIFI_OFDM.fft_size, dtype=np.complex128)
+    freq[np.mod(_LONG_CARRIERS, WIFI_OFDM.fft_size)] = _LONG_VALUES
+    time = np.fft.ifft(freq) * WIFI_OFDM.fft_size
+    return _unit_power(time)
+
+
+def long_preamble() -> np.ndarray:
+    """The full 160-sample (8 us) long training field: GI2 + 2 symbols."""
+    symbol = long_training_symbol()
+    return np.concatenate([symbol[-LONG_GUARD:], symbol, symbol])

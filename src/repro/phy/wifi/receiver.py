@@ -1,0 +1,227 @@
+"""An 802.11g OFDM receiver.
+
+Used to validate the transmitter, calibrate the SINR->PER link model,
+and measure packet corruption under jamming at the waveform level.
+The pipeline is the textbook one:
+
+1. timing synchronization by correlating the known 64-sample long
+   training symbol,
+2. least-squares channel estimation from the two long symbols,
+3. SIGNAL decode (rate + length),
+4. per-symbol equalization with pilot common-phase-error tracking,
+5. soft Viterbi decoding, descrambling, and FCS-agnostic PSDU return
+   (the MAC layer owns FCS checking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.measure import normalized_cross_correlation
+from repro.errors import DecodeError
+from repro.phy.bits import bits_to_bytes
+from repro.phy.coding import ConvolutionalCode
+from repro.phy.interleaving import deinterleave
+from repro.phy.modulation import demap_bits
+from repro.phy.scrambler import scramble, scrambler_sequence
+from repro.phy.wifi import params as p
+from repro.phy.wifi.preamble import LONG_SYMBOL, long_training_symbol
+from repro.phy.wifi.signal_field import decode_signal_symbol
+
+_ALL_CARRIERS = np.array([k for k in range(-26, 27) if k != 0])
+
+
+@dataclass
+class ReceiveResult:
+    """Outcome of one receive attempt."""
+
+    psdu: bytes
+    rate: p.WifiRate
+    length: int
+    start_index: int
+    snr_estimate_db: float | None = None
+    diagnostics: dict = field(default_factory=dict)
+
+
+class WifiReceiver:
+    """Stateless decoder for 20 MSPS 802.11g captures.
+
+    ``correct_cfo`` enables Moose-style carrier-frequency-offset
+    estimation from the two identical long training symbols, needed
+    when the capture passed through an impaired front end
+    (:mod:`repro.hw.impairments`).
+    """
+
+    def __init__(self, sync_threshold: float = 0.5,
+                 correct_cfo: bool = True) -> None:
+        self._lts = long_training_symbol()
+        self._sync_threshold = float(sync_threshold)
+        self._correct_cfo = bool(correct_cfo)
+
+    # ------------------------------------------------------------------
+    # Synchronization
+
+    def synchronize(self, samples: np.ndarray) -> int:
+        """Locate the end of the second long training symbol.
+
+        Returns the index of the first SIGNAL sample.  Raises
+        :class:`DecodeError` if no plausible preamble is found.
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.size < 2 * LONG_SYMBOL:
+            raise DecodeError("capture shorter than one long preamble")
+        corr = normalized_cross_correlation(samples, self._lts)
+        candidates = np.flatnonzero(corr > self._sync_threshold)
+        if candidates.size == 0:
+            raise DecodeError("no long-preamble correlation peak found")
+        # Look for peak pairs exactly LONG_SYMBOL apart (LTS1 and LTS2
+        # ends); pick the strongest pair sum.
+        best_score = -1.0
+        best_end = -1
+        for idx in candidates:
+            partner = idx + LONG_SYMBOL
+            if partner >= corr.size:
+                continue
+            if corr[partner] > self._sync_threshold:
+                score = corr[idx] + corr[partner]
+                if score > best_score:
+                    best_score = score
+                    best_end = partner
+        if best_end < 0:
+            # Fall back to the single strongest peak as the LTS2 end.
+            best_end = int(candidates[np.argmax(corr[candidates])])
+        return best_end + 1
+
+    # ------------------------------------------------------------------
+    # Channel estimation
+
+    def estimate_channel(self, samples: np.ndarray, signal_start: int) -> np.ndarray:
+        """LS channel estimate over the 52 occupied subcarriers."""
+        lts2_start = signal_start - LONG_SYMBOL
+        lts1_start = lts2_start - LONG_SYMBOL
+        if lts1_start < 0:
+            raise DecodeError("synchronization point leaves no room for the LTS")
+        known = np.fft.fft(self._lts)
+        h_sum = np.zeros(p.WIFI_OFDM.fft_size, dtype=np.complex128)
+        for start in (lts1_start, lts2_start):
+            observed = np.fft.fft(samples[start:start + LONG_SYMBOL])
+            h_sum += observed
+        bins = np.mod(_ALL_CARRIERS, p.WIFI_OFDM.fft_size)
+        h = np.zeros(p.WIFI_OFDM.fft_size, dtype=np.complex128)
+        denom = 2.0 * known[bins]
+        if np.any(np.abs(denom) < 1e-12):
+            raise DecodeError("degenerate channel estimate")
+        h[bins] = h_sum[bins] / denom
+        return h
+
+    # ------------------------------------------------------------------
+    # Symbol processing
+
+    def _equalized_points(self, samples: np.ndarray, start: int,
+                          channel: np.ndarray, symbol_index: int
+                          ) -> np.ndarray:
+        """Equalized data-subcarrier points of one OFDM symbol."""
+        sym = samples[start:start + p.WIFI_OFDM.symbol_length]
+        if sym.size < p.WIFI_OFDM.symbol_length:
+            raise DecodeError("capture truncated mid-frame")
+        core = sym[p.WIFI_OFDM.cp_length:]
+        # Undo the modulator's fft_size/sqrt(n_active) bin scaling so
+        # equalized points land on the unit-energy constellation grid.
+        scale = np.sqrt(_ALL_CARRIERS.size) / p.WIFI_OFDM.fft_size
+        freq = np.fft.fft(core) * scale
+        data_bins = np.mod(p.DATA_SUBCARRIERS, p.WIFI_OFDM.fft_size)
+        pilot_bins = np.mod(p.PILOT_SUBCARRIERS, p.WIFI_OFDM.fft_size)
+        eq_data = freq[data_bins] / channel[data_bins]
+        eq_pilots = freq[pilot_bins] / channel[pilot_bins]
+        # Common-phase-error correction from the pilots.
+        polarity = float(p.PILOT_POLARITY[symbol_index % p.PILOT_POLARITY.size])
+        expected = p.PILOT_VALUES * polarity
+        rotation = np.sum(eq_pilots * np.conj(expected))
+        if np.abs(rotation) > 1e-12:
+            eq_data = eq_data * (np.abs(rotation) / rotation)
+        return eq_data
+
+    # ------------------------------------------------------------------
+    # Full receive
+
+    def estimate_cfo(self, samples: np.ndarray, signal_start: int) -> float:
+        """CFO estimate (Hz) from the two long training symbols."""
+        from repro.dsp.measure import frequency_offset_estimate
+
+        lts_region = samples[signal_start - 2 * LONG_SYMBOL:signal_start]
+        return frequency_offset_estimate(lts_region, LONG_SYMBOL,
+                                         p.WIFI_SAMPLE_RATE)
+
+    @staticmethod
+    def estimate_snr_db(samples: np.ndarray, signal_start: int) -> float:
+        """SNR estimate from the two long training symbols.
+
+        The LTS copies are identical on air, so their half-sum is
+        signal + correlated noise and their half-difference is pure
+        noise — the classic repeated-training SNR estimator.
+        """
+        lts1 = samples[signal_start - 2 * LONG_SYMBOL:
+                       signal_start - LONG_SYMBOL]
+        lts2 = samples[signal_start - LONG_SYMBOL:signal_start]
+        if lts1.size != LONG_SYMBOL or lts2.size != LONG_SYMBOL:
+            raise DecodeError("no room for the long training symbols")
+        noise_power = float(np.mean(np.abs(lts2 - lts1) ** 2)) / 2.0
+        total_power = float(np.mean(np.abs(lts2) ** 2))
+        signal_power = max(total_power - noise_power, 0.0)
+        if noise_power <= 0:
+            return float("inf")
+        if signal_power <= 0:
+            return float("-inf")
+        return 10.0 * np.log10(signal_power / noise_power)
+
+    def receive(self, samples: np.ndarray) -> ReceiveResult:
+        """Decode the first PPDU found in ``samples``."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        signal_start = self.synchronize(samples)
+        cfo_hz = 0.0
+        if self._correct_cfo and signal_start >= 2 * LONG_SYMBOL:
+            cfo_hz = self.estimate_cfo(samples, signal_start)
+            n = np.arange(samples.size)
+            samples = samples * np.exp(-2j * np.pi * cfo_hz * n
+                                       / p.WIFI_SAMPLE_RATE)
+        channel = self.estimate_channel(samples, signal_start)
+        signal_points = self._equalized_points(samples, signal_start,
+                                               channel, symbol_index=0)
+        rate, length = decode_signal_symbol(signal_points)
+        rp = p.RATE_PARAMETERS[rate]
+        n_sym = p.data_symbols_for_psdu(length, rate)
+
+        soft_bits: list[np.ndarray] = []
+        data_start = signal_start + p.WIFI_OFDM.symbol_length
+        for n in range(n_sym):
+            start = data_start + n * p.WIFI_OFDM.symbol_length
+            points = self._equalized_points(samples, start, channel,
+                                            symbol_index=n + 1)
+            soft = demap_bits(points, rp.modulation)
+            soft_bits.append(deinterleave(soft, rp.n_cbps, rp.n_bpsc))
+        soft_all = np.concatenate(soft_bits)
+
+        code = ConvolutionalCode(rp.code_rate)
+        n_info = n_sym * rp.n_dbps
+        scrambled = code.decode(soft_all, n_info)
+        seed = self._recover_scrambler_seed(scrambled)
+        descrambled = scramble(scrambled, seed)
+        psdu_bits = descrambled[p.SERVICE_BITS:p.SERVICE_BITS + 8 * length]
+        psdu = bits_to_bytes(psdu_bits)
+        return ReceiveResult(
+            psdu=psdu, rate=rate, length=length, start_index=signal_start,
+            snr_estimate_db=self.estimate_snr_db(samples, signal_start),
+            diagnostics={"n_symbols": n_sym, "scrambler_seed": seed,
+                         "cfo_hz": cfo_hz},
+        )
+
+    @staticmethod
+    def _recover_scrambler_seed(scrambled: np.ndarray) -> int:
+        """The SERVICE field's first 7 bits are zeros pre-scrambling."""
+        prefix = scrambled[:7].astype(np.uint8)
+        for seed in range(1, 128):
+            if np.array_equal(scrambler_sequence(seed, 7), prefix):
+                return seed
+        raise DecodeError("could not recover the scrambler seed")

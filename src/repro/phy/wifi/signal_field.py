@@ -1,0 +1,78 @@
+"""The 802.11 OFDM SIGNAL field (IEEE 802.11-2012 §18.3.4).
+
+One BPSK, rate-1/2 OFDM symbol carrying 24 bits: RATE (4), a reserved
+bit, LENGTH (12, LSB first), an even-parity bit, and 6 tail zeros.
+The SIGNAL field is never scrambled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodeError
+from repro.phy.coding import CodeRate, ConvolutionalCode
+from repro.phy.interleaving import deinterleave, interleave
+from repro.phy.modulation import Modulation, demap_bits, map_bits
+from repro.phy.wifi.params import (
+    RATE_PARAMETERS,
+    SIGNAL_BITS_TO_RATE,
+    WifiRate,
+)
+
+#: Maximum PSDU length encodable in the 12-bit LENGTH field.
+MAX_LENGTH = (1 << 12) - 1
+
+_SIGNAL_CODE = ConvolutionalCode(CodeRate.R1_2)
+_SIGNAL_NCBPS = 48
+_SIGNAL_NBPSC = 1
+
+
+def encode_signal_bits(rate: WifiRate, length_bytes: int) -> np.ndarray:
+    """The 24 uncoded SIGNAL bits for a frame."""
+    if not 1 <= length_bytes <= MAX_LENGTH:
+        raise ConfigurationError(
+            f"PSDU length {length_bytes} outside [1, {MAX_LENGTH}] bytes"
+        )
+    bits = np.zeros(24, dtype=np.uint8)
+    rate_bits = RATE_PARAMETERS[rate].signal_bits
+    for k in range(4):
+        bits[k] = (rate_bits >> (3 - k)) & 1  # R1 first (MSB of the code)
+    # bit 4 reserved = 0; bits 5..16 LENGTH LSB first
+    for k in range(12):
+        bits[5 + k] = (length_bytes >> k) & 1
+    bits[17] = np.sum(bits[:17]) % 2  # even parity over bits 0..16
+    # bits 18..23 tail zeros
+    return bits
+
+
+def signal_to_coded_symbol(rate: WifiRate, length_bytes: int) -> np.ndarray:
+    """Coded + interleaved + BPSK-mapped SIGNAL constellation points."""
+    bits = encode_signal_bits(rate, length_bytes)
+    coded = _SIGNAL_CODE.encode(bits)
+    interleaved = interleave(coded, _SIGNAL_NCBPS, _SIGNAL_NBPSC)
+    return map_bits(interleaved, Modulation.BPSK)
+
+
+def decode_signal_symbol(points: np.ndarray) -> tuple[WifiRate, int]:
+    """Decode equalized SIGNAL constellation points.
+
+    Returns ``(rate, psdu_length_bytes)``.  Raises :class:`DecodeError`
+    on parity failure or an unknown RATE pattern.
+    """
+    soft = demap_bits(np.asarray(points, dtype=np.complex128), Modulation.BPSK)
+    soft = deinterleave(soft, _SIGNAL_NCBPS, _SIGNAL_NBPSC)
+    bits = _SIGNAL_CODE.decode(soft, 24)
+    if int(np.sum(bits[:18])) % 2:
+        raise DecodeError("SIGNAL parity check failed")
+    rate_bits = 0
+    for k in range(4):
+        rate_bits = (rate_bits << 1) | int(bits[k])
+    rate = SIGNAL_BITS_TO_RATE.get(rate_bits)
+    if rate is None:
+        raise DecodeError(f"unknown RATE field {rate_bits:04b}")
+    length = 0
+    for k in range(12):
+        length |= int(bits[5 + k]) << k
+    if length == 0:
+        raise DecodeError("SIGNAL LENGTH of zero")
+    return rate, length

@@ -1,0 +1,30 @@
+"""Mobile WiMAX (IEEE 802.16e) OFDMA downlink, as the paper uses it.
+
+The paper's WiMAX experiment targets the downlink of an Airspan Air4G
+base station: TDD mode, 10 MHz channel at 2.608 GHz, 11.4 MHz hardware
+sampling rate, 1024-point FFT.  The jammer locks onto the frame
+preamble — one OFDMA symbol carrying a per-segment 284-value PN
+sequence on every third subcarrier with 86 guard carriers per edge.
+
+Only the downlink transmit side is needed (the paper itself lacked a
+WiMAX receiver and evaluated at the PHY level with a scope), so this
+package implements preamble generation and TDD frame assembly.
+"""
+
+from repro.phy.wimax.params import WIMAX_OFDM, WimaxConfig
+from repro.phy.wimax.preamble import (
+    preamble_carriers,
+    preamble_pn_sequence,
+    preamble_symbol,
+)
+from repro.phy.wimax.frame import build_downlink_frame, downlink_stream
+
+__all__ = [
+    "WIMAX_OFDM",
+    "WimaxConfig",
+    "preamble_carriers",
+    "preamble_pn_sequence",
+    "preamble_symbol",
+    "build_downlink_frame",
+    "downlink_stream",
+]

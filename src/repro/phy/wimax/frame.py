@@ -1,0 +1,74 @@
+"""TDD downlink frame assembly for the WiMAX experiment.
+
+The Airspan base station in the paper broadcasts continuously: every
+5 ms TDD frame opens with the preamble symbol, followed by the FCH and
+DL bursts (which we fill with QPSK-modulated pseudo-random data on the
+PUSC-used subcarriers), followed by the uplink portion during which
+the base station is silent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.ofdm import ofdm_modulate
+from repro.errors import ConfigurationError
+from repro.phy.wimax import params as p
+from repro.phy.wimax.preamble import preamble_symbol
+
+#: Guard carriers per edge for data symbols (1024-FFT DL PUSC).
+DATA_GUARD_LEFT = 92
+DATA_GUARD_RIGHT = 91
+
+
+def data_carriers() -> np.ndarray:
+    """Logical indices of the used (data + pilot) DL subcarriers."""
+    physical = np.arange(DATA_GUARD_LEFT, p.WIMAX_FFT_SIZE - DATA_GUARD_RIGHT)
+    logical = physical - p.WIMAX_FFT_SIZE // 2
+    return logical[logical != 0]
+
+
+def _qpsk_points(count: int, rng: np.random.Generator) -> np.ndarray:
+    bits = rng.integers(0, 4, size=count)
+    table = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2.0)
+    return table[bits]
+
+
+def build_downlink_frame(config: p.WimaxConfig,
+                         rng: np.random.Generator,
+                         fch: "DlFramePrefix | None" = None) -> np.ndarray:
+    """One 5 ms TDD frame: preamble + FCH/DL symbols + silent UL gap.
+
+    The symbol after the preamble opens with the Frame Control Header
+    (:mod:`repro.phy.wimax.fch`) on its first subcarriers, as the
+    standard requires; the rest of the downlink carries QPSK data.
+    Returns ``config.frame_samples`` samples at 11.4 MHz with the DL
+    portion at unit average power.
+    """
+    from repro.phy.wimax.fch import FCH_SYMBOLS, DlFramePrefix, encode_fch
+
+    carriers = data_carriers()
+    parts = [preamble_symbol(config.cell_id, config.segment)]
+    for index in range(config.dl_symbols - 1):
+        points = _qpsk_points(carriers.size, rng)
+        if index == 0:
+            prefix = fch if fch is not None else DlFramePrefix()
+            points[:FCH_SYMBOLS] = encode_fch(prefix)
+        symbol = ofdm_modulate(p.WIMAX_OFDM, carriers, points)
+        parts.append(symbol / np.sqrt(np.mean(np.abs(symbol) ** 2)))
+    downlink = np.concatenate(parts)
+    frame = np.zeros(config.frame_samples, dtype=np.complex128)
+    if downlink.size > frame.size:
+        raise ConfigurationError("downlink subframe exceeds the TDD frame")
+    frame[:downlink.size] = downlink
+    return frame
+
+
+def downlink_stream(config: p.WimaxConfig, n_frames: int,
+                    rng: np.random.Generator) -> np.ndarray:
+    """A continuous broadcast of ``n_frames`` TDD frames."""
+    if n_frames < 1:
+        raise ConfigurationError("n_frames must be >= 1")
+    return np.concatenate([
+        build_downlink_frame(config, rng) for _ in range(n_frames)
+    ])

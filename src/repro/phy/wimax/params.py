@@ -1,0 +1,81 @@
+"""802.16e OFDMA numerology for the paper's base-station configuration.
+
+Values follow the experiment in paper §5: TDD, 10 MHz channel,
+11.4 MHz sampling rate, 1024-point FFT, preamble carrier sets selected
+by Cell ID and Segment ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsp.ofdm import OfdmParameters
+from repro.errors import ConfigurationError
+
+#: Hardware sampling rate the paper's base station uses (Hz).
+WIMAX_SAMPLE_RATE = 11_400_000
+
+#: FFT size for the 10 MHz OFDMA profile.
+WIMAX_FFT_SIZE = 1024
+
+#: Cyclic prefix fraction (G = 1/8, the common WiMAX profile).
+WIMAX_CP_LENGTH = WIMAX_FFT_SIZE // 8
+
+WIMAX_OFDM = OfdmParameters(
+    fft_size=WIMAX_FFT_SIZE,
+    cp_length=WIMAX_CP_LENGTH,
+    sample_rate=WIMAX_SAMPLE_RATE,
+)
+
+#: Guard subcarriers on each spectrum edge for the preamble symbol
+#: (paper: "86 guard band subcarriers on each side").
+PREAMBLE_GUARD_CARRIERS = 86
+
+#: Values per preamble PN sequence (paper: "a different 284-value PN
+#: sequence" per carrier set).
+PREAMBLE_PN_LENGTH = 284
+
+#: Number of preamble carrier sets (segments 0..2).
+NUM_PREAMBLE_SETS = 3
+
+#: TDD frame duration (5 ms, the standard WiMAX TDD frame).
+FRAME_DURATION_S = 0.005
+
+#: Downlink subframe length in OFDMA symbols (preamble included); the
+#: remainder of the 5 ms frame is uplink/idle as seen from the BS.
+DEFAULT_DL_SYMBOLS = 29
+
+
+@dataclass(frozen=True)
+class WimaxConfig:
+    """Base-station identity and TDD split.
+
+    Attributes:
+        cell_id: IDcell, 0..31.
+        segment: Segment ID, 0..2 — selects the preamble carrier set.
+        dl_symbols: Downlink OFDMA symbols per frame, preamble included.
+    """
+
+    cell_id: int = 1
+    segment: int = 0
+    dl_symbols: int = DEFAULT_DL_SYMBOLS
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cell_id <= 31:
+            raise ConfigurationError("cell_id must be in [0, 31]")
+        if not 0 <= self.segment < NUM_PREAMBLE_SETS:
+            raise ConfigurationError(
+                f"segment must be in [0, {NUM_PREAMBLE_SETS})"
+            )
+        if self.dl_symbols < 1:
+            raise ConfigurationError("dl_symbols must be >= 1")
+        frame_samples = int(FRAME_DURATION_S * WIMAX_SAMPLE_RATE)
+        if self.dl_symbols * WIMAX_OFDM.symbol_length > frame_samples:
+            raise ConfigurationError(
+                "downlink subframe does not fit the 5 ms TDD frame"
+            )
+
+    @property
+    def frame_samples(self) -> int:
+        """Total samples in one 5 ms TDD frame at 11.4 MHz."""
+        return int(FRAME_DURATION_S * WIMAX_SAMPLE_RATE)

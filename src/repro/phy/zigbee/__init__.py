@@ -1,0 +1,38 @@
+"""IEEE 802.15.4 (Zigbee) 2.4 GHz O-QPSK physical layer.
+
+The paper's sole prior-art real-time SDR reactive jammer is Wilhelm et
+al. (WiSec 2011), which operates on "low-rate, Zigbee-based 802.15.4
+networks"; the paper's contribution is extending reactive jamming to
+*high-speed* standards.  This package implements the 802.15.4 PHY so
+that baseline scenario can be reproduced on the same framework and
+compared against the WiFi/WiMAX results: at 250 kb/s with a 128 us
+preamble, the jammer's 2.64 us response time is overwhelming — which
+is exactly why the paper calls low-rate reactive jamming the easy
+case.
+
+Implements the 2.4 GHz DSSS PHY of IEEE 802.15.4-2006 §6.5: 4-bit
+symbols spread to 32-chip PN sequences at 2 Mchip/s, modulated with
+half-sine-shaped O-QPSK at a native 4 MSPS (2 samples/chip).
+"""
+
+from repro.phy.zigbee.params import (
+    CHIP_RATE,
+    ZIGBEE_SAMPLE_RATE,
+    chip_sequence,
+)
+from repro.phy.zigbee.frame import (
+    build_ppdu,
+    oqpsk_modulate,
+    ppdu_duration_s,
+    preamble_waveform,
+)
+
+__all__ = [
+    "CHIP_RATE",
+    "ZIGBEE_SAMPLE_RATE",
+    "chip_sequence",
+    "build_ppdu",
+    "oqpsk_modulate",
+    "ppdu_duration_s",
+    "preamble_waveform",
+]

@@ -1,0 +1,87 @@
+"""802.15.4 PPDU assembly and half-sine O-QPSK modulation.
+
+A PPDU is: preamble (4 zero octets) | SFD (0xA7) | frame length |
+PSDU.  The chip stream is modulated O-QPSK: even-indexed chips drive
+the I rail and odd-indexed chips the Q rail, each chip shaped as a
+half-sine spanning two chip periods, with the Q rail offset by one
+chip period (IEEE 802.15.4-2006 §6.5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy.zigbee import params as p
+
+
+def _rail(chips: np.ndarray, n_total_chips: int) -> np.ndarray:
+    """One O-QPSK rail: half-sine pulses at 2-chip spacing.
+
+    ``chips`` holds the rail's chip values (+-1); pulse ``k`` is
+    centred on chip slot ``2k`` of the full chip grid and spans two
+    chip periods.
+    """
+    spc = p.SAMPLES_PER_CHIP
+    out = np.zeros((n_total_chips + 2) * spc, dtype=np.float64)
+    pulse = np.sin(np.pi * np.arange(2 * spc) / (2 * spc))
+    for k, chip in enumerate(chips):
+        start = 2 * k * spc
+        out[start:start + pulse.size] += chip * pulse
+    return out
+
+
+def oqpsk_modulate(chips: np.ndarray) -> np.ndarray:
+    """Half-sine O-QPSK waveform for a chip stream at 4 MSPS.
+
+    Returns complex baseband with mean power ~1.0 over the burst.
+    """
+    chips = np.asarray(chips, dtype=np.int64)
+    if chips.size % 2:
+        raise ConfigurationError("O-QPSK needs an even number of chips")
+    bipolar = 1 - 2 * chips
+    i_rail = _rail(bipolar[0::2], chips.size)
+    q_rail = _rail(bipolar[1::2], chips.size)
+    # The Q rail is delayed by one chip period.
+    spc = p.SAMPLES_PER_CHIP
+    q_delayed = np.zeros_like(q_rail)
+    q_delayed[spc:] = q_rail[:-spc]
+    waveform = i_rail + 1j * q_delayed
+    power = float(np.mean(np.abs(waveform) ** 2))
+    return waveform / np.sqrt(power)
+
+
+def _phy_header_octets(psdu_len: int) -> bytes:
+    if not 1 <= psdu_len <= p.MAX_PSDU_BYTES:
+        raise ConfigurationError(
+            f"PSDU length {psdu_len} outside 1..{p.MAX_PSDU_BYTES}"
+        )
+    return bytes([0, 0, 0, 0, p.SFD_OCTET, psdu_len])
+
+
+def build_ppdu(psdu: bytes) -> np.ndarray:
+    """A complete 802.15.4 PPDU as complex baseband at 4 MSPS."""
+    if not psdu:
+        raise ConfigurationError("PSDU must not be empty")
+    octets = _phy_header_octets(len(psdu)) + psdu
+    symbols = p.octets_to_symbols(octets)
+    chips = p.symbols_to_chips(symbols)
+    return oqpsk_modulate(chips)
+
+
+def preamble_waveform() -> np.ndarray:
+    """Just the 128 us preamble (8 zero symbols), for templates."""
+    symbols = np.zeros(p.PREAMBLE_SYMBOLS, dtype=np.uint8)
+    chips = p.symbols_to_chips(symbols)
+    return oqpsk_modulate(chips)
+
+
+def ppdu_duration_s(psdu_bytes: int) -> float:
+    """Air time of a PPDU in seconds."""
+    octets = 6 + psdu_bytes  # preamble + SFD + length + PSDU
+    return octets * 2 * p.CHIPS_PER_SYMBOL / p.CHIP_RATE
+
+
+def preamble_duration_s() -> float:
+    """Air time of the preamble alone (128 us)."""
+    return p.PREAMBLE_SYMBOLS * p.CHIPS_PER_SYMBOL / p.CHIP_RATE

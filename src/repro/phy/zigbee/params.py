@@ -1,0 +1,70 @@
+"""802.15.4 2.4 GHz PHY constants and the symbol-to-chip table.
+
+IEEE 802.15.4-2006 §6.5.2: each 4-bit symbol maps to one of sixteen
+nearly-orthogonal 32-chip PN sequences; symbols 1..7 are 4-chip cyclic
+shifts of the symbol-0 base sequence, and symbols 8..15 are the same
+sequences with the odd-indexed (Q) chips inverted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Chip rate of the 2.4 GHz PHY (chips/s).
+CHIP_RATE = 2_000_000
+
+#: Native simulation sampling rate: 2 samples per chip.
+SAMPLES_PER_CHIP = 2
+ZIGBEE_SAMPLE_RATE = CHIP_RATE * SAMPLES_PER_CHIP
+
+#: Chips per symbol and bits per symbol.
+CHIPS_PER_SYMBOL = 32
+BITS_PER_SYMBOL = 4
+
+#: Symbol rate (62.5 ksym/s) and bit rate (250 kb/s).
+SYMBOL_RATE = CHIP_RATE / CHIPS_PER_SYMBOL
+BIT_RATE = SYMBOL_RATE * BITS_PER_SYMBOL
+
+#: The symbol-0 base chip sequence (IEEE 802.15.4-2006 Table 24).
+_BASE_CHIPS = np.array([
+    1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+    0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0,
+], dtype=np.uint8)
+
+#: Preamble: 8 zero symbols (4 octets of 0x00) = 256 chips = 128 us.
+PREAMBLE_SYMBOLS = 8
+
+#: Start-of-frame delimiter octet.
+SFD_OCTET = 0xA7
+
+#: Maximum PSDU length (bytes).
+MAX_PSDU_BYTES = 127
+
+
+def chip_sequence(symbol: int) -> np.ndarray:
+    """The 32-chip PN sequence for a 4-bit symbol (0..15)."""
+    if not 0 <= symbol <= 15:
+        raise ConfigurationError(f"symbol {symbol} outside 0..15")
+    shift = 4 * (symbol % 8)
+    chips = np.roll(_BASE_CHIPS, shift).copy()
+    if symbol >= 8:
+        chips[1::2] ^= 1  # invert the Q chips
+    return chips
+
+
+def octets_to_symbols(octets: bytes) -> np.ndarray:
+    """Split octets into 4-bit symbols, low nibble first (§6.5.2.2)."""
+    symbols = np.empty(2 * len(octets), dtype=np.uint8)
+    for n, octet in enumerate(octets):
+        symbols[2 * n] = octet & 0x0F
+        symbols[2 * n + 1] = octet >> 4
+    return symbols
+
+
+def symbols_to_chips(symbols: np.ndarray) -> np.ndarray:
+    """Spread a symbol stream to its chip stream."""
+    if len(symbols) == 0:
+        return np.zeros(0, dtype=np.uint8)
+    return np.concatenate([chip_sequence(int(s)) for s in symbols])

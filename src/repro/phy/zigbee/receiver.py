@@ -1,0 +1,142 @@
+"""An 802.15.4 receiver: chip correlation and symbol decisions.
+
+Completes :mod:`repro.phy.zigbee.frame`: O-QPSK chip-rail sampling,
+bank correlation against the sixteen PN sequences for each symbol
+slot, SFD verification, and PSDU extraction via the frame-length
+octet.  Like real 802.15.4 receivers it exploits the near-orthogonal
+chip sequences: a symbol decision needs only the best of sixteen
+32-chip correlations, giving large coding gain at low SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecodeError
+from repro.phy.zigbee import params as p
+
+#: Samples per chip slot on each rail.
+_SPC = p.SAMPLES_PER_CHIP
+
+
+@dataclass
+class ZigbeeReceiveResult:
+    """Outcome of one 802.15.4 receive attempt."""
+
+    psdu: bytes
+    frame_start: int
+    symbol_errors_corrected: int
+
+
+def _chip_estimates(samples: np.ndarray, start: int,
+                    n_chips: int) -> np.ndarray:
+    """Soft chip values from the half-sine O-QPSK rails.
+
+    Chip ``k`` peaks at sample ``start + k*SPC + SPC`` (the half-sine
+    maximum), on the I rail for even chips, Q (delayed one chip) for
+    odd chips.
+    """
+    soft = np.empty(n_chips, dtype=np.float64)
+    for k in range(n_chips):
+        index = start + k * _SPC + _SPC
+        if index >= samples.size:
+            raise DecodeError("capture truncated inside a symbol")
+        value = samples[index]
+        soft[k] = value.real if k % 2 == 0 else value.imag
+    return soft
+
+
+_BIPOLAR_BANK = np.array([1 - 2 * p.chip_sequence(s).astype(np.int64)
+                          for s in range(16)], dtype=np.float64)
+
+
+def _decide_symbol(soft_chips: np.ndarray) -> tuple[int, float]:
+    """Best-matching symbol and its normalized correlation score."""
+    scores = _BIPOLAR_BANK @ soft_chips
+    best = int(np.argmax(scores))
+    norm = np.linalg.norm(soft_chips) * np.sqrt(32.0)
+    score = float(scores[best] / norm) if norm > 0 else 0.0
+    return best, score
+
+
+class ZigbeeReceiver:
+    """Decoder for 4 MSPS 802.15.4 captures."""
+
+    def __init__(self, sync_threshold: float = 0.5) -> None:
+        self._sync_threshold = float(sync_threshold)
+        self._preamble_chips = 1 - 2 * p.chip_sequence(0).astype(np.float64)
+
+    def synchronize(self, samples: np.ndarray) -> int:
+        """Find the frame start via the repeated symbol-0 sequence.
+
+        Returns the sample index where chip 0 of the preamble begins
+        (i.e. one chip-period before the first half-sine peak).
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        span = p.CHIPS_PER_SYMBOL * _SPC
+        if samples.size < 3 * span:
+            raise DecodeError("capture shorter than three symbols")
+        best_offset = -1
+        best_score = 0.0
+        # Chip-slot search over two symbol periods; the preamble
+        # repeats, so any alignment inside it locks.
+        for offset in range(0, 2 * span, _SPC):
+            try:
+                soft = _chip_estimates(samples, offset - _SPC,
+                                       p.CHIPS_PER_SYMBOL)
+            except DecodeError:
+                break
+            score = float(np.dot(self._preamble_chips, soft)
+                          / (np.linalg.norm(soft) * np.sqrt(32.0) + 1e-12))
+            if score > best_score:
+                best_score = score
+                best_offset = offset
+        if best_score < self._sync_threshold or best_offset < 0:
+            raise DecodeError("no 802.15.4 preamble found")
+        return best_offset
+
+    def receive(self, samples: np.ndarray) -> ZigbeeReceiveResult:
+        """Decode the first PPDU in a 4 MSPS capture."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        start = self.synchronize(samples)
+        span = p.CHIPS_PER_SYMBOL * _SPC
+
+        # Walk symbols until the SFD octet (0xA7 = symbols 7, A).
+        symbols = []
+        offset = start
+        max_symbols = (samples.size - start) // span
+        for _ in range(min(max_symbols, 2 * (6 + p.MAX_PSDU_BYTES))):
+            soft = _chip_estimates(samples, offset - _SPC,
+                                   p.CHIPS_PER_SYMBOL)
+            symbol, _score = _decide_symbol(soft)
+            symbols.append(symbol)
+            offset += span
+        # Find the SFD pair (7, 10) after at least two zero symbols.
+        sfd_at = -1
+        for n in range(2, len(symbols) - 1):
+            if symbols[n] == 0x7 and symbols[n + 1] == 0xA \
+                    and symbols[n - 1] == 0 and symbols[n - 2] == 0:
+                sfd_at = n
+                break
+        if sfd_at < 0:
+            raise DecodeError("no SFD found after the preamble")
+
+        after_sfd = symbols[sfd_at + 2:]
+        if len(after_sfd) < 2:
+            raise DecodeError("capture truncated at the frame length")
+        length = after_sfd[0] | (after_sfd[1] << 4)
+        if not 1 <= length <= p.MAX_PSDU_BYTES:
+            raise DecodeError(f"implausible frame length {length}")
+        needed = 2 * length
+        payload_symbols = after_sfd[2:2 + needed]
+        if len(payload_symbols) < needed:
+            raise DecodeError("capture truncated inside the PSDU")
+        psdu = bytes(
+            payload_symbols[2 * k] | (payload_symbols[2 * k + 1] << 4)
+            for k in range(length)
+        )
+        return ZigbeeReceiveResult(
+            psdu=psdu, frame_start=start, symbol_errors_corrected=0,
+        )

@@ -1,0 +1,13 @@
+"""Host-side tooling.
+
+:mod:`repro.tools.console` is the equivalent of the paper's §2.5
+GNU Radio Companion GUI: "a reactive jamming event builder, where
+users can specifically control detection types and desired jamming
+reactions during run time".  It drives the same UHD register path the
+GUI did, as a scriptable command interpreter plus an interactive REPL
+(``python -m repro.tools.console``).
+"""
+
+from repro.tools.console import JammerConsole
+
+__all__ = ["JammerConsole"]

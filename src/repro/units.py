@@ -1,0 +1,125 @@
+"""Unit conversions used throughout the framework.
+
+The paper mixes several unit systems: RF power in dB/dBm, time in
+nanoseconds through seconds, and durations expressed in baseband samples
+(25 MSPS) or FPGA clock cycles (100 MHz).  This module centralizes the
+conversions so that magic constants appear exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: USRP N210 FPGA clock frequency used by the paper's design (Hz).
+FPGA_CLOCK_HZ = 100_000_000
+
+#: Baseband complex sampling rate of the custom DSP core (samples/s).
+BASEBAND_RATE = 25_000_000
+
+#: FPGA clock cycles per baseband sample (100 MHz / 25 MSPS).
+CLOCKS_PER_SAMPLE = FPGA_CLOCK_HZ // BASEBAND_RATE
+
+#: Duration of one baseband sample in seconds (40 ns).
+SAMPLE_PERIOD = 1.0 / BASEBAND_RATE
+
+#: Duration of one FPGA clock cycle in seconds (10 ns).
+CLOCK_PERIOD = 1.0 / FPGA_CLOCK_HZ
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in dB to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(linear: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises :class:`ValueError` for non-positive ratios, which have no
+    dB representation.
+    """
+    if linear <= 0.0:
+        raise ValueError(f"cannot express non-positive ratio {linear!r} in dB")
+    return 10.0 * math.log10(linear)
+
+
+def db_to_amplitude(db: float) -> float:
+    """Convert a power ratio in dB to a voltage (amplitude) ratio."""
+    return 10.0 ** (db / 20.0)
+
+
+def amplitude_to_db(amplitude: float) -> float:
+    """Convert a voltage (amplitude) ratio to a power ratio in dB."""
+    if amplitude <= 0.0:
+        raise ValueError(f"cannot express non-positive amplitude {amplitude!r} in dB")
+    return 20.0 * math.log10(amplitude)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert dBm to watts."""
+    return 10.0 ** (dbm / 10.0) * 1e-3
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert watts to dBm."""
+    if watts <= 0.0:
+        raise ValueError(f"cannot express non-positive power {watts!r} in dBm")
+    return 10.0 * math.log10(watts / 1e-3)
+
+
+def samples_to_seconds(n_samples: int, sample_rate: float = BASEBAND_RATE) -> float:
+    """Duration in seconds of ``n_samples`` at ``sample_rate``."""
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+    return n_samples / sample_rate
+
+
+def seconds_to_samples(seconds: float, sample_rate: float = BASEBAND_RATE) -> int:
+    """Number of whole samples spanning ``seconds`` at ``sample_rate``.
+
+    Rounds to the nearest sample; hardware durations are quantized to
+    the sample clock.
+    """
+    if sample_rate <= 0:
+        raise ValueError("sample_rate must be positive")
+    return int(round(seconds * sample_rate))
+
+
+def samples_to_clocks(n_samples: int) -> int:
+    """FPGA clock cycles spanned by ``n_samples`` baseband samples."""
+    return n_samples * CLOCKS_PER_SAMPLE
+
+
+def clocks_to_seconds(n_clocks: int) -> float:
+    """Duration in seconds of ``n_clocks`` FPGA clock cycles."""
+    return n_clocks * CLOCK_PERIOD
+
+
+def signal_power(samples: np.ndarray) -> float:
+    """Mean power of a complex baseband signal (|x|^2 average).
+
+    Returns 0.0 for an empty array, which is the natural identity for
+    downstream SNR bookkeeping (an absent signal carries no power).
+    """
+    if samples.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(samples) ** 2))
+
+
+def signal_power_db(samples: np.ndarray) -> float:
+    """Mean power of a complex baseband signal in dB relative to 1.0."""
+    return linear_to_db(signal_power(samples))
+
+
+def snr_scale(signal: np.ndarray, snr_db: float, noise_power: float = 1.0) -> np.ndarray:
+    """Scale ``signal`` so its mean power is ``snr_db`` above ``noise_power``.
+
+    This is how the detection experiments sweep received SNR: the noise
+    floor is held constant and the transmit amplitude is adjusted.
+    """
+    current = signal_power(signal)
+    if current == 0.0:
+        raise ValueError("cannot scale an all-zero signal to a target SNR")
+    target = noise_power * db_to_linear(snr_db)
+    return signal * math.sqrt(target / current)

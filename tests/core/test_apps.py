@@ -1,0 +1,103 @@
+"""Tests for the secure-communication applications (iJam, friendly)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.friendly_jamming import FriendlyJammingLink
+from repro.apps.ijam import IjamLink, minimum_padding_s
+from repro.errors import ConfigurationError
+from repro.phy.modulation import Modulation
+
+
+def make_bits(rng, modulation: Modulation, n_symbols: int) -> np.ndarray:
+    return rng.integers(0, 2, 48 * modulation.bits_per_symbol * n_symbols
+                        ).astype(np.uint8)
+
+
+class TestIjam:
+    def test_receiver_clean_eavesdropper_garbled(self, rng):
+        link = IjamLink()
+        bits = make_bits(rng, link.modulation, 8)
+        result = link.run(bits, rng)
+        assert result.receiver_ber == 0.0
+        assert result.eavesdropper_ber > 0.05
+
+    def test_padding_follows_hardware_timeline(self):
+        # 2.64 us response + 1 us margin.
+        assert minimum_padding_s() == pytest.approx(3.64e-6)
+
+    def test_higher_jam_power_does_not_hurt_receiver(self, rng):
+        link = IjamLink(jam_to_signal_db=10.0)
+        bits = make_bits(rng, link.modulation, 6)
+        result = link.run(bits, rng)
+        assert result.receiver_ber == 0.0
+
+    def test_secrecy_grows_with_constellation_density(self, rng):
+        results = {}
+        for mod in (Modulation.QPSK, Modulation.QAM64):
+            link = IjamLink(modulation=mod, jam_to_signal_db=6.0)
+            bits = make_bits(rng, mod, 8)
+            results[mod] = link.run(bits, np.random.default_rng(9))
+        assert results[Modulation.QAM64].eavesdropper_ber \
+            > results[Modulation.QPSK].eavesdropper_ber
+
+    def test_bit_count_validated(self, rng):
+        link = IjamLink()
+        with pytest.raises(ConfigurationError):
+            link.run(np.ones(13, dtype=np.uint8), rng)
+
+    def test_different_seeds_give_different_patterns(self, rng):
+        a = IjamLink(secret_seed=1)
+        b = IjamLink(secret_seed=2)
+        a._jam_pattern(4, 100)
+        b._jam_pattern(4, 100)
+        assert not np.array_equal(a._kill_first, b._kill_first)
+
+
+class TestFriendlyJamming:
+    def test_authorized_clean_unauthorized_garbled(self, rng):
+        link = FriendlyJammingLink()
+        bits = make_bits(rng, link.modulation, 12)
+        result = link.run(bits, rng)
+        assert result.authorized_ber < 0.01
+        assert result.unauthorized_ber > 0.1
+
+    def test_cancellation_depth(self, rng):
+        link = FriendlyJammingLink()
+        bits = make_bits(rng, link.modulation, 6)
+        result = link.run(bits, rng)
+        # The key-holder cancels the jamming by tens of dB.
+        assert result.residual_jam_db < -20.0
+
+    def test_stronger_jamming_hurts_unauthorized_more(self, rng):
+        weak = FriendlyJammingLink(jam_to_signal_db=0.0)
+        strong = FriendlyJammingLink(jam_to_signal_db=10.0)
+        bits = make_bits(rng, weak.modulation, 8)
+        r_weak = weak.run(bits, np.random.default_rng(3))
+        r_strong = strong.run(bits, np.random.default_rng(3))
+        assert r_strong.unauthorized_ber > r_weak.unauthorized_ber
+        assert r_strong.authorized_ber < 0.01
+
+    def test_wrong_key_cannot_cancel(self, rng):
+        # A receiver regenerating with the wrong key sees the same
+        # interference as an unauthorized one: verify by checking the
+        # jamming waveform differs per key.
+        from repro.core.jammer import ReactiveJammer
+        from repro.core.detection import DetectionConfig
+        from repro.core.events import JammingEventBuilder
+        from repro.core.presets import continuous_jammer
+
+        waves = []
+        for key in (1, 2):
+            jammer = ReactiveJammer()
+            jammer.configure(DetectionConfig(),
+                             JammingEventBuilder().on_energy_rise(),
+                             continuous_jammer(wgn_seed=key))
+            waves.append(jammer.run(np.zeros(512, dtype=complex)).tx)
+        assert not np.allclose(waves[0], waves[1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FriendlyJammingLink(training_samples=10)

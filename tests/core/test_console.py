@@ -1,0 +1,163 @@
+"""Tests for the jammer control console (the paper's GUI equivalent)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.trigger import TriggerMode, TriggerSource
+from repro.hw.tx_controller import JamWaveform
+from repro.tools.console import JammerConsole
+
+
+@pytest.fixture
+def console() -> JammerConsole:
+    return JammerConsole()
+
+
+class TestCommands:
+    def test_template_loads_coefficients(self, console):
+        reply = console.execute("template wifi-short")
+        assert "wifi-short" in reply
+        ci, _cq = console.device.core.correlator.coefficients
+        assert ci.any()
+
+    def test_unknown_template(self, console):
+        assert "error" in console.execute("template lte")
+
+    def test_threshold(self, console):
+        console.execute("threshold 12345")
+        assert console.device.core.correlator.threshold == 12345
+
+    def test_energy(self, console):
+        console.execute("energy 12 6")
+        assert console.device.core.energy.threshold_high_db == 12.0
+        assert console.device.core.energy.threshold_low_db == 6.0
+
+    def test_energy_range_error_reported(self, console):
+        assert "error" in console.execute("energy 50 10")
+
+    def test_trigger_sequence(self, console):
+        reply = console.execute("trigger energy-rise xcorr window 250")
+        assert "ENERGY_HIGH -> XCORR" in reply
+        fsm = console.device.core.fsm
+        assert [s.source for s in fsm.stages] == [
+            TriggerSource.ENERGY_HIGH, TriggerSource.XCORR]
+        assert fsm.window_samples == 250
+
+    def test_trigger_any_mode(self, console):
+        console.execute("trigger xcorr energy-rise mode any")
+        assert console.device.core.fsm.mode is TriggerMode.ANY
+
+    def test_waveform_and_timing(self, console):
+        console.execute("waveform replay")
+        console.execute("uptime 1e-4")
+        console.execute("delay 4e-6")
+        tx = console.device.core.tx
+        assert tx.waveform is JamWaveform.REPLAY
+        assert tx.uptime_samples == 2500
+        assert tx.delay_samples == 100
+
+    def test_enable_disable(self, console):
+        console.execute("enable off")
+        assert not console.device.core.jammer_enabled
+        console.execute("enable on")
+        assert console.device.core.jammer_enabled
+
+    def test_continuous(self, console):
+        console.execute("continuous on")
+        assert console.device.core.continuous
+
+    def test_tune_and_gains(self, console):
+        console.execute("tune 2.608e9")
+        console.execute("txgain 20")
+        console.execute("rxgain 10")
+        fe = console.device.frontend
+        assert fe.center_freq_hz == pytest.approx(2.608e9)
+        assert fe.tx_gain_db == 20.0
+        assert fe.rx_gain_db == 10.0
+
+    def test_tune_out_of_range_reported(self, console):
+        assert "error" in console.execute("tune 100e6")
+
+    def test_status_mentions_configuration(self, console):
+        console.execute("template wimax")
+        console.execute("threshold 9000")
+        status = console.execute("status")
+        assert "wimax" in status
+        assert "9000" in status
+
+    def test_timeline_shows_budget(self, console):
+        out = console.execute("timeline")
+        assert "T_xcorr_det" in out
+        assert "2.560 us" in out
+
+    def test_registers_counter(self, console):
+        before = console.execute("registers")
+        console.execute("threshold 100")
+        after = console.execute("registers")
+        assert before != after
+
+    def test_unknown_command(self, console):
+        assert "error" in console.execute("fire-the-lasers")
+
+    def test_empty_line(self, console):
+        assert console.execute("") == ""
+
+    def test_quit(self, console):
+        console.execute("quit")
+        assert console.done
+
+    def test_help_lists_commands(self, console):
+        text = console.execute("help")
+        for word in ("template", "trigger", "uptime", "demo"):
+            assert word in text
+
+
+class TestDemos:
+    @pytest.mark.parametrize("kind,template", [
+        ("wifi", "wifi-short"),
+        ("wimax", "wimax"),
+        ("zigbee", "zigbee"),
+    ])
+    def test_demo_detects_and_jams(self, console, kind, template):
+        console.execute(f"template {template}")
+        console.execute("threshold 20000" if kind != "wimax"
+                        else "threshold 9000")
+        console.execute("trigger xcorr")
+        console.execute("uptime 1e-5")
+        reply = console.execute(f"demo {kind}")
+        assert "jam bursts" in reply
+        assert " 0 jam bursts" not in reply
+
+    def test_unknown_demo(self, console):
+        console.execute("template wifi-short")
+        console.execute("trigger xcorr")
+        assert "error" in console.execute("demo lte")
+
+
+class TestFaCalibration:
+    def test_fa_sets_threshold_from_budget(self, console):
+        console.execute("template wifi-long")
+        reply = console.execute("fa 0.083")
+        assert "calibrated" in reply
+        strict = console.device.core.correlator.threshold
+        console.execute("fa 0.52")
+        loose = console.device.core.correlator.threshold
+        assert strict > loose > 0
+
+    def test_fa_requires_template(self, console):
+        assert "error" in console.execute("fa 0.1")
+
+
+class TestImpairments:
+    def test_profiles_attach_to_ddc(self, console):
+        from repro.hw.impairments import TYPICAL_N210
+
+        assert console.device.ddc.impairments is None
+        console.execute("impairments typical")
+        assert console.device.ddc.impairments == TYPICAL_N210
+        console.execute("impairments off")
+        assert console.device.ddc.impairments is None
+
+    def test_unknown_profile(self, console):
+        assert "error" in console.execute("impairments filthy")

@@ -1,0 +1,121 @@
+"""Tests for the ReactiveJammer facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn
+from repro.core.detection import DetectionConfig
+from repro.core.events import JammingEventBuilder
+from repro.core.jammer import JammingReport, ReactiveJammer
+from repro.core.presets import continuous_jammer, reactive_jammer
+from repro.errors import ConfigurationError
+from repro.hw.dsp_core import JamEvent
+from repro.hw.trigger import TriggerSource
+
+
+@pytest.fixture
+def template(rng):
+    return np.exp(1j * rng.uniform(0, 2 * np.pi, 64))
+
+
+@pytest.fixture
+def configured(template):
+    jammer = ReactiveJammer()
+    jammer.configure(
+        detection=DetectionConfig(template=template, xcorr_threshold=30_000),
+        events=JammingEventBuilder().on_correlation(),
+        personality=reactive_jammer(uptime_seconds=1e-5),
+    )
+    return jammer
+
+
+class TestConfiguration:
+    def test_run_before_configure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReactiveJammer().run(np.zeros(100, dtype=complex))
+
+    def test_correlation_events_need_template(self):
+        jammer = ReactiveJammer()
+        with pytest.raises(ConfigurationError):
+            jammer.configure(
+                detection=DetectionConfig(),  # no template
+                events=JammingEventBuilder().on_correlation(),
+                personality=reactive_jammer(1e-5),
+            )
+
+    def test_energy_only_needs_no_template(self, rng):
+        jammer = ReactiveJammer()
+        jammer.configure(
+            detection=DetectionConfig(energy_high_db=10.0),
+            events=JammingEventBuilder().on_energy_rise(),
+            personality=reactive_jammer(1e-5),
+        )
+        quiet = awgn(3000, 1e-6, rng)
+        quiet[1000:2000] += awgn(1000, 1e-3, rng)
+        report = jammer.run(quiet)
+        assert report.detections_by_source(TriggerSource.ENERGY_HIGH)
+
+    def test_frontend_accessible(self, configured):
+        configured.frontend.tune(2.608e9)
+        assert configured.frontend.center_freq_hz == pytest.approx(2.608e9)
+
+
+class TestRunning:
+    def test_detect_and_jam(self, configured, template, rng):
+        rx = awgn(2000, 1e-6, rng)
+        rx[700:764] += template
+        report = configured.run(rx)
+        assert len(report.jams) == 1
+        assert report.jams[0].trigger_time == 763
+
+    def test_report_conversions(self, configured, template, rng):
+        rx = awgn(2000, 1e-6, rng)
+        rx[700:764] += template
+        report = configured.run(rx)
+        spans = report.jam_spans_seconds
+        assert spans[0][0] == pytest.approx(765 / 25e6)
+        assert report.total_jam_airtime == pytest.approx(1e-5)
+        xcorr = report.detections_by_source(TriggerSource.XCORR)
+        assert xcorr[0].time / 25e6 == pytest.approx(763 / 25e6, abs=1e-9)
+
+    def test_personality_swap_at_runtime(self, configured, template, rng):
+        rx = awgn(2000, 1e-6, rng)
+        rx[700:764] += template
+        configured.apply_personality(continuous_jammer())
+        report = configured.run(rx)
+        assert np.all(np.abs(report.tx) > 0)
+
+    def test_disable_stops_tx(self, configured, template, rng):
+        configured.disable()
+        rx = awgn(2000, 1e-6, rng)
+        rx[700:764] += template
+        report = configured.run(rx)
+        assert not report.jams
+        assert not report.tx.any()
+        # Detection keeps running while disabled.
+        assert report.detections_by_source(TriggerSource.XCORR)
+
+    def test_reset_restores_clock(self, configured, rng):
+        configured.run(awgn(500, 1e-6, rng))
+        configured.reset()
+        assert configured.device.core.clock == 0
+
+    def test_surgical_delay_places_burst(self, template, rng):
+        jammer = ReactiveJammer()
+        jammer.configure(
+            detection=DetectionConfig(template=template, xcorr_threshold=30_000),
+            events=JammingEventBuilder().on_correlation(),
+            personality=reactive_jammer(1e-5, delay_seconds=4e-6),
+        )
+        rx = awgn(2000, 1e-6, rng)
+        rx[700:764] += template
+        report = jammer.run(rx)
+        # trigger 763 + init 2 + delay 100 samples.
+        assert report.jams[0].start == 763 + 2 + 100
+
+    def test_empty_report_without_signal(self, configured, rng):
+        report = configured.run(awgn(5000, 1e-6, rng))
+        assert not report.jams
+        assert isinstance(report, JammingReport)

@@ -1,0 +1,110 @@
+"""Tests for repro.dsp.filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import FirFilter, design_lowpass, moving_sum
+from repro.errors import ConfigurationError, StreamError
+
+
+class TestDesignLowpass:
+    def test_unit_dc_gain(self):
+        taps = design_lowpass(cutoff=5e6, sample_rate=25e6, num_taps=41)
+        assert np.sum(taps) == pytest.approx(1.0)
+
+    def test_attenuates_stopband(self):
+        taps = design_lowpass(cutoff=2e6, sample_rate=25e6, num_taps=101)
+        freqs = np.fft.rfftfreq(4096, d=1 / 25e6)
+        response = np.abs(np.fft.rfft(taps, 4096))
+        stop = response[freqs > 6e6]
+        assert np.max(stop) < 0.05
+
+    def test_passband_flat(self):
+        taps = design_lowpass(cutoff=5e6, sample_rate=25e6, num_taps=101)
+        freqs = np.fft.rfftfreq(4096, d=1 / 25e6)
+        response = np.abs(np.fft.rfft(taps, 4096))
+        passband = response[freqs < 2e6]
+        assert np.min(passband) > 0.9
+
+    def test_rejects_cutoff_above_nyquist(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass(cutoff=13e6, sample_rate=25e6)
+
+    def test_rejects_zero_cutoff(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass(cutoff=0.0, sample_rate=25e6)
+
+    def test_rejects_bad_tap_count(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass(cutoff=5e6, sample_rate=25e6, num_taps=0)
+
+
+class TestFirFilter:
+    def test_identity_filter(self, rng):
+        f = FirFilter(np.array([1.0]))
+        x = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        assert np.allclose(f.process(x), x)
+
+    def test_chunked_equals_single_shot(self, rng):
+        taps = design_lowpass(5e6, 25e6, num_taps=31)
+        x = rng.standard_normal(1000) + 1j * rng.standard_normal(1000)
+        whole = FirFilter(taps).process(x)
+        chunked = FirFilter(taps)
+        parts = [chunked.process(x[i:i + 137]) for i in range(0, 1000, 137)]
+        assert np.allclose(np.concatenate(parts), whole)
+
+    def test_reset_clears_state(self, rng):
+        taps = design_lowpass(5e6, 25e6, num_taps=31)
+        f = FirFilter(taps)
+        x = rng.standard_normal(64) + 0j
+        first = f.process(x)
+        f.reset()
+        second = f.process(x)
+        assert np.allclose(first, second)
+
+    def test_group_delay(self):
+        f = FirFilter(np.ones(31) / 31)
+        assert f.group_delay_samples == 15.0
+
+    def test_empty_chunk(self):
+        f = FirFilter(np.array([1.0, 0.5]))
+        assert f.process(np.zeros(0)).size == 0
+
+    def test_rejects_2d_input(self):
+        f = FirFilter(np.array([1.0]))
+        with pytest.raises(StreamError):
+            f.process(np.zeros((2, 2)))
+
+    def test_rejects_empty_taps(self):
+        with pytest.raises(ConfigurationError):
+            FirFilter(np.array([]))
+
+    def test_taps_returns_copy(self):
+        taps = np.array([1.0, 2.0])
+        f = FirFilter(taps)
+        f.taps[0] = 99.0
+        assert f.taps[0] == 1.0
+
+
+class TestMovingSum:
+    def test_window_one_is_identity(self, rng):
+        x = rng.standard_normal(20)
+        assert np.allclose(moving_sum(x, 1), x)
+
+    def test_matches_bruteforce(self, rng):
+        x = rng.standard_normal(50)
+        out = moving_sum(x, 7)
+        for n in range(50):
+            expected = np.sum(x[max(0, n - 6):n + 1])
+            assert out[n] == pytest.approx(expected)
+
+    def test_constant_input_saturates_to_window(self):
+        out = moving_sum(np.ones(40), 8)
+        assert np.allclose(out[7:], 8.0)
+        assert np.allclose(out[:8], np.arange(1, 9))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            moving_sum(np.ones(4), 0)

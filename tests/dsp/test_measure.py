@@ -1,0 +1,137 @@
+"""Tests for repro.dsp.measure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.measure import (
+    estimate_snr_db,
+    frequency_offset_estimate,
+    normalized_cross_correlation,
+    papr_db,
+    sliding_energy,
+)
+from repro.errors import StreamError
+
+
+class TestSlidingEnergy:
+    def test_matches_bruteforce(self, rng):
+        x = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        out = sliding_energy(x, 8)
+        for n in range(40):
+            expected = np.sum(np.abs(x[max(0, n - 7):n + 1]) ** 2)
+            assert out[n] == pytest.approx(expected)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_energy(np.ones(4), 0)
+
+
+class TestEstimateSnr:
+    def test_recovers_known_snr(self, rng):
+        noise_ref = rng.standard_normal(200000) + 1j * rng.standard_normal(200000)
+        noise_ref /= np.sqrt(2)
+        signal = np.exp(2j * np.pi * 0.1 * np.arange(200000))
+        for snr_db in (0.0, 10.0, 20.0):
+            amp = 10 ** (snr_db / 20)
+            rx = amp * signal + (rng.standard_normal(200000)
+                                 + 1j * rng.standard_normal(200000)) / np.sqrt(2)
+            est = estimate_snr_db(rx, noise_ref)
+            assert est == pytest.approx(snr_db, abs=0.3)
+
+    def test_noise_only_gives_negative_infinity_or_low(self, rng):
+        noise = (rng.standard_normal(50000) + 1j * rng.standard_normal(50000))
+        ref = (rng.standard_normal(50000) + 1j * rng.standard_normal(50000))
+        est = estimate_snr_db(noise, ref)
+        assert est < -10 or est == float("-inf")
+
+    def test_rejects_zero_noise(self):
+        with pytest.raises(StreamError):
+            estimate_snr_db(np.ones(10, dtype=complex), np.zeros(10, dtype=complex))
+
+
+class TestPapr:
+    def test_constant_envelope_is_zero_db(self):
+        tone = np.exp(2j * np.pi * 0.01 * np.arange(1000))
+        assert papr_db(tone) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_spike(self):
+        x = np.ones(100, dtype=complex)
+        x[50] = 10.0
+        # peak 100, mean (99 + 100)/100 = 1.99
+        assert papr_db(x) == pytest.approx(10 * np.log10(100 / 1.99), abs=1e-6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(StreamError):
+            papr_db(np.zeros(0, dtype=complex))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(StreamError):
+            papr_db(np.zeros(8, dtype=complex))
+
+    def test_ofdm_has_high_papr(self, rng):
+        from repro.phy.wifi.frame import build_data_field, WifiFrameConfig
+
+        psdu = rng.integers(0, 256, 200, dtype=np.uint8).tobytes()
+        wave = build_data_field(psdu, WifiFrameConfig())
+        assert papr_db(wave) > 6.0
+
+
+class TestNormalizedCrossCorrelation:
+    def test_perfect_match_peaks_at_one(self, rng):
+        template = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        signal = np.concatenate([np.zeros(50, dtype=complex), template,
+                                 np.zeros(50, dtype=complex)])
+        corr = normalized_cross_correlation(signal, template)
+        peak_idx = int(np.argmax(corr))
+        # Peak where the template's last sample arrives: 50 + 31
+        assert peak_idx == 81
+        assert corr[peak_idx] == pytest.approx(1.0)
+
+    def test_phase_invariance(self, rng):
+        template = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        signal = np.concatenate([np.zeros(20, dtype=complex),
+                                 template * np.exp(1j * 1.23),
+                                 np.zeros(20, dtype=complex)])
+        corr = normalized_cross_correlation(signal, template)
+        assert np.max(corr) == pytest.approx(1.0)
+
+    def test_range_bounded(self, rng):
+        template = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        signal = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+        corr = normalized_cross_correlation(signal, template)
+        assert np.all(corr >= 0.0)
+        assert np.all(corr <= 1.0)
+
+    def test_rejects_short_signal(self, rng):
+        with pytest.raises(StreamError):
+            normalized_cross_correlation(np.zeros(4, dtype=complex),
+                                         np.ones(8, dtype=complex))
+
+    def test_rejects_zero_template(self):
+        with pytest.raises(StreamError):
+            normalized_cross_correlation(np.ones(16, dtype=complex),
+                                         np.zeros(8, dtype=complex))
+
+
+class TestFrequencyOffset:
+    def test_recovers_cfo_from_repeated_preamble(self):
+        rate = 20e6
+        period = 64
+        base = np.exp(2j * np.pi * 0.031 * np.arange(period))
+        repeated = np.tile(base, 4)
+        cfo = 50e3
+        t = np.arange(repeated.size) / rate
+        rx = repeated * np.exp(2j * np.pi * cfo * t)
+        est = frequency_offset_estimate(rx, period, rate)
+        assert est == pytest.approx(cfo, rel=0.01)
+
+    def test_zero_offset(self):
+        base = np.exp(2j * np.pi * 0.1 * np.arange(32))
+        rx = np.tile(base, 3)
+        assert frequency_offset_estimate(rx, 32, 20e6) == pytest.approx(0.0, abs=1.0)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(StreamError):
+            frequency_offset_estimate(np.ones(10, dtype=complex), 8, 20e6)

@@ -1,0 +1,133 @@
+"""Tests for the generic OFDM engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.ofdm import (
+    OfdmParameters,
+    ofdm_demodulate,
+    ofdm_modulate,
+    ofdm_symbol_stream,
+    subcarriers_to_fft_bins,
+)
+from repro.errors import ConfigurationError, StreamError
+
+WIFI = OfdmParameters(fft_size=64, cp_length=16, sample_rate=20e6)
+WIMAX = OfdmParameters(fft_size=1024, cp_length=128, sample_rate=11.4e6)
+
+
+class TestOfdmParameters:
+    def test_symbol_length(self):
+        assert WIFI.symbol_length == 80
+        assert WIMAX.symbol_length == 1152
+
+    def test_symbol_duration(self):
+        assert WIFI.symbol_duration == pytest.approx(4e-6)
+
+    def test_subcarrier_spacing(self):
+        assert WIFI.subcarrier_spacing == pytest.approx(312_500.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            OfdmParameters(fft_size=60, cp_length=4, sample_rate=1e6)
+
+    def test_rejects_cp_too_long(self):
+        with pytest.raises(ConfigurationError):
+            OfdmParameters(fft_size=64, cp_length=64, sample_rate=1e6)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            OfdmParameters(fft_size=64, cp_length=16, sample_rate=0)
+
+
+class TestBinMapping:
+    def test_positive_carriers(self):
+        bins = subcarriers_to_fft_bins(np.array([1, 2, 26]), 64)
+        assert list(bins) == [1, 2, 26]
+
+    def test_negative_carriers_wrap(self):
+        bins = subcarriers_to_fft_bins(np.array([-1, -26]), 64)
+        assert list(bins) == [63, 38]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            subcarriers_to_fft_bins(np.array([32]), 64)
+        with pytest.raises(ConfigurationError):
+            subcarriers_to_fft_bins(np.array([-33]), 64)
+
+
+class TestModulateDemodulate:
+    def test_roundtrip(self, rng):
+        carriers = np.array([k for k in range(-26, 27) if k != 0])
+        values = rng.standard_normal(52) + 1j * rng.standard_normal(52)
+        symbol = ofdm_modulate(WIFI, carriers, values)
+        assert symbol.size == WIFI.symbol_length
+        back = ofdm_demodulate(WIFI, symbol, carriers)
+        assert np.allclose(back, values)
+
+    def test_cyclic_prefix_is_tail_copy(self, rng):
+        carriers = np.arange(1, 27)
+        values = rng.standard_normal(26) + 0j
+        symbol = ofdm_modulate(WIFI, carriers, values)
+        assert np.allclose(symbol[:16], symbol[-16:])
+
+    def test_mean_power_near_unity(self, rng):
+        carriers = np.array([k for k in range(-26, 27) if k != 0])
+        powers = []
+        for _ in range(50):
+            values = np.exp(2j * np.pi * rng.random(52))
+            symbol = ofdm_modulate(WIFI, carriers, values)
+            powers.append(np.mean(np.abs(symbol[16:]) ** 2))
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.05)
+
+    def test_duplicate_carriers_rejected(self):
+        with pytest.raises(StreamError):
+            ofdm_modulate(WIFI, np.array([1, 1]), np.array([1 + 0j, 1 + 0j]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(StreamError):
+            ofdm_modulate(WIFI, np.array([1, 2]), np.array([1 + 0j]))
+
+    def test_empty_carriers_rejected(self):
+        with pytest.raises(StreamError):
+            ofdm_modulate(WIFI, np.array([], dtype=int), np.array([], dtype=complex))
+
+    def test_demodulate_wrong_length_rejected(self):
+        with pytest.raises(StreamError):
+            ofdm_demodulate(WIFI, np.zeros(10, dtype=complex), np.array([1]))
+
+    def test_large_fft_roundtrip(self, rng):
+        carriers = np.arange(-400, 401)
+        carriers = carriers[carriers != 0]
+        values = (1 - 2 * rng.integers(0, 2, carriers.size)).astype(np.complex128)
+        symbol = ofdm_modulate(WIMAX, carriers, values)
+        back = ofdm_demodulate(WIMAX, symbol, carriers)
+        assert np.allclose(back, values)
+
+
+class TestSymbolStream:
+    def test_stream_length(self, rng):
+        carriers = np.arange(1, 9)
+        rows = rng.standard_normal((5, 8)) + 0j
+        stream = ofdm_symbol_stream(WIFI, carriers, rows)
+        assert stream.size == 5 * WIFI.symbol_length
+
+    def test_each_symbol_independent(self, rng):
+        carriers = np.arange(1, 9)
+        rows = rng.standard_normal((3, 8)) + 0j
+        stream = ofdm_symbol_stream(WIFI, carriers, rows)
+        for n, row in enumerate(rows):
+            single = ofdm_modulate(WIFI, carriers, row)
+            chunk = stream[n * 80:(n + 1) * 80]
+            assert np.allclose(chunk, single)
+
+    def test_rejects_1d(self):
+        with pytest.raises(StreamError):
+            ofdm_symbol_stream(WIFI, np.arange(1, 3), np.zeros(2, dtype=complex))
+
+    def test_empty_rows(self):
+        out = ofdm_symbol_stream(WIFI, np.arange(1, 3),
+                                 np.zeros((0, 2), dtype=complex))
+        assert out.size == 0

@@ -1,0 +1,99 @@
+"""Tests for repro.dsp.resample — the 20/25 MSPS machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import RationalResampler, rate_ratio, resample
+from repro.errors import ConfigurationError
+
+
+class TestRateRatio:
+    def test_twenty_to_twenty_five(self):
+        ratio = rate_ratio(20e6, 25e6)
+        assert (ratio.numerator, ratio.denominator) == (5, 4)
+
+    def test_wimax_to_jammer(self):
+        ratio = rate_ratio(11.4e6, 25e6)
+        assert (ratio.numerator, ratio.denominator) == (125, 57)
+
+    def test_identity(self):
+        ratio = rate_ratio(25e6, 25e6)
+        assert float(ratio) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            rate_ratio(0.0, 25e6)
+
+    def test_rejects_irrational_within_limit(self):
+        with pytest.raises(ConfigurationError):
+            rate_ratio(1.0, np.pi, max_denominator=10)
+
+
+class TestRationalResampler:
+    def test_factors_reduced(self):
+        r = RationalResampler(10, 8)
+        assert (r.up, r.down) == (5, 4)
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(ConfigurationError):
+            RationalResampler(0, 1)
+
+    def test_output_length(self):
+        r = RationalResampler(5, 4)
+        assert r.output_length(160) == 200
+
+    def test_identity_is_copy(self, rng):
+        r = RationalResampler(3, 3)
+        x = rng.standard_normal(64) + 0j
+        out = r.process(x)
+        assert np.allclose(out, x)
+        out[0] = 99
+        assert x[0] != 99
+
+    def test_empty_input(self):
+        assert RationalResampler(5, 4).process(np.zeros(0)).size == 0
+
+    def test_tone_frequency_preserved(self):
+        # A 2 MHz tone at 20 MSPS must still be 2 MHz at 25 MSPS.
+        t20 = np.arange(2000) / 20e6
+        tone = np.exp(2j * np.pi * 2e6 * t20)
+        out = RationalResampler(5, 4).process(tone)
+        spectrum = np.abs(np.fft.fft(out))
+        freqs = np.fft.fftfreq(out.size, d=1 / 25e6)
+        peak_freq = abs(freqs[np.argmax(spectrum)])
+        assert peak_freq == pytest.approx(2e6, rel=0.01)
+
+
+class TestResampleConvenience:
+    def test_length_scaling_20_to_25(self, rng):
+        x = rng.standard_normal(160) + 0j
+        out = resample(x, 20e6, 25e6)
+        assert out.size == 200
+
+    def test_identical_rates_returns_copy(self, rng):
+        x = rng.standard_normal(32) + 0j
+        out = resample(x, 25e6, 25e6)
+        assert np.allclose(out, x)
+        assert out is not x
+
+    def test_power_roughly_preserved(self, rng):
+        x = rng.standard_normal(4000) + 1j * rng.standard_normal(4000)
+        out = resample(x, 20e6, 25e6)
+        p_in = np.mean(np.abs(x) ** 2)
+        p_out = np.mean(np.abs(out) ** 2)
+        assert p_out == pytest.approx(p_in, rel=0.1)
+
+    def test_downsample(self, rng):
+        x = rng.standard_normal(250) + 0j
+        out = resample(x, 25e6, 20e6)
+        assert out.size == 200
+
+    def test_long_preamble_becomes_80_samples(self):
+        from repro.phy.wifi.preamble import long_training_symbol
+
+        lts = long_training_symbol()
+        at25 = resample(lts, 20e6, 25e6)
+        # 64 samples at 20 MSPS (3.2 us) -> 80 samples at 25 MSPS.
+        assert at25.size == 80

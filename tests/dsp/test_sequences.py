@@ -1,0 +1,96 @@
+"""Tests for LFSR/PN sequence generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.sequences import Lfsr, pn_sequence, random_bits
+from repro.errors import ConfigurationError
+
+
+class TestLfsr:
+    def test_wifi_scrambler_polynomial_period(self):
+        # x^7 + x^4 + 1 is maximal length: period 127.
+        lfsr = Lfsr(taps=(7, 4), state=1, n_bits=7)
+        assert lfsr.period() == 127
+
+    def test_default_pn_polynomial_period(self):
+        # x^11 + x^9 + 1 is maximal length: period 2047.
+        lfsr = Lfsr(taps=(11, 9), state=1, n_bits=11)
+        assert lfsr.period() == 2047
+
+    def test_bits_output_binary(self):
+        lfsr = Lfsr(taps=(7, 4), state=0x5A, n_bits=7)
+        bits = lfsr.bits(200)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_deterministic_for_same_seed(self):
+        a = Lfsr(taps=(7, 4), state=93, n_bits=7).bits(64)
+        b = Lfsr(taps=(7, 4), state=93, n_bits=7).bits(64)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = Lfsr(taps=(7, 4), state=1, n_bits=7).bits(64)
+        b = Lfsr(taps=(7, 4), state=2, n_bits=7).bits(64)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_zero_state(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(taps=(7, 4), state=0, n_bits=7)
+
+    def test_rejects_state_too_wide(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(taps=(7, 4), state=0x80, n_bits=7)
+
+    def test_rejects_bad_taps(self):
+        with pytest.raises(ConfigurationError):
+            Lfsr(taps=(8,), state=1, n_bits=7)
+        with pytest.raises(ConfigurationError):
+            Lfsr(taps=(), state=1, n_bits=7)
+
+    def test_negative_count_rejected(self):
+        lfsr = Lfsr(taps=(7, 4), state=1, n_bits=7)
+        with pytest.raises(ValueError):
+            lfsr.bits(-1)
+
+    def test_known_first_bits_of_scrambler(self):
+        # IEEE 802.11 scrambler seeded all-ones starts 0000111011110010...
+        lfsr = Lfsr(taps=(7, 4), state=0x7F, n_bits=7)
+        first = "".join(str(b) for b in lfsr.bits(16))
+        assert first == "0000111011110010"
+
+
+class TestPnSequence:
+    def test_bipolar_values(self):
+        seq = pn_sequence(284, seed=11)
+        assert set(np.unique(seq)) <= {-1, 1}
+
+    def test_length(self):
+        assert pn_sequence(100, seed=5).size == 100
+
+    def test_roughly_balanced(self):
+        seq = pn_sequence(2000, seed=77)
+        assert abs(int(np.sum(seq))) < 200
+
+    def test_distinct_seeds_give_distinct_sequences(self):
+        a = pn_sequence(284, seed=11)
+        b = pn_sequence(284, seed=48)
+        assert not np.array_equal(a, b)
+
+    def test_low_cross_correlation_between_seeds(self):
+        a = pn_sequence(1000, seed=11).astype(float)
+        b = pn_sequence(1000, seed=48).astype(float)
+        rho = abs(np.dot(a, b)) / 1000
+        assert rho < 0.15
+
+
+class TestRandomBits:
+    def test_length_and_alphabet(self, rng):
+        bits = random_bits(1000, rng)
+        assert bits.size == 1000
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            random_bits(-1, rng)

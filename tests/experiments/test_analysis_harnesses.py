@@ -1,0 +1,88 @@
+"""Tests for the analysis harnesses (energy, calibration, sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.presets import continuous_jammer, reactive_jammer
+from repro.errors import ConfigurationError
+from repro.experiments.energy_analysis import (
+    EnergyPoint,
+    find_kill_sir,
+    energy_comparison,
+)
+from repro.experiments.link_calibration import CalibrationPoint, run_calibration
+from repro.experiments.wifi_jamming import WifiJammingTestbed
+from repro.phy.wifi.params import WifiRate
+
+
+class TestEnergyAnalysis:
+    def test_energy_point_arithmetic(self):
+        point = EnergyPoint(personality="x", kill_sir_db=10.0,
+                            jammer_tx_dbm=0.0, airtime_s=0.05,
+                            duration_s=0.5, energy_joules=50e-6)
+        assert point.duty_cycle == pytest.approx(0.1)
+        # 50 uJ over 0.5 s = 100 uW = -10 dBm.
+        assert point.mean_power_dbm == pytest.approx(-10.0)
+
+    def test_find_kill_sir_continuous(self):
+        bed = WifiJammingTestbed(duration_s=0.12)
+        sir = find_kill_sir(bed, continuous_jammer(),
+                            sir_grid_db=[36.0, 30.0, 24.0])
+        assert sir == 30.0  # the CCA-denial cliff
+
+    def test_find_kill_sir_reports_failure(self):
+        bed = WifiJammingTestbed(duration_s=0.1)
+        with pytest.raises(ConfigurationError):
+            find_kill_sir(bed, reactive_jammer(1e-5),
+                          sir_grid_db=[45.0])  # far too weak
+
+    def test_comparison_orders_personalities(self):
+        points = energy_comparison(duration_s=0.12)
+        names = [p.personality for p in points]
+        assert names == ["continuous", "reactive-0.1ms", "reactive-0.01ms"]
+        kill_sirs = [p.kill_sir_db for p in points]
+        assert kill_sirs == sorted(kill_sirs, reverse=True)
+
+
+class TestLinkCalibration:
+    def test_decision_agreement_logic(self):
+        agree = CalibrationPoint(WifiRate.MBPS_6, 0.0, 0.0, 0.0,
+                                 model_success=0.1, measured_success=0.2,
+                                 n_trials=10)
+        disagree = CalibrationPoint(WifiRate.MBPS_6, 0.0, 0.0, 0.0,
+                                    model_success=0.1, measured_success=0.9,
+                                    n_trials=10)
+        assert agree.decisions_agree
+        assert not disagree.decisions_agree
+
+    def test_single_run_is_conservative(self):
+        points = run_calibration(n_trials=8)
+        for p in points:
+            assert p.model_success <= p.measured_success + 0.3
+
+    def test_extreme_points_agree(self):
+        points = run_calibration(n_trials=8)
+        clean = [p for p in points if p.model_success > 0.9]
+        dead = [p for p in points if p.model_success < 0.1
+                and p.sir_db <= 0.0]
+        assert clean and dead
+        for p in clean + dead:
+            assert p.decisions_agree
+
+
+class TestSweep:
+    def test_sweep_covers_grid_plus_baseline(self):
+        bed = WifiJammingTestbed(duration_s=0.08)
+        points = bed.sweep(sir_values_db=[40.0, 8.0],
+                           personalities=[reactive_jammer(1e-4)])
+        assert len(points) == 3  # off + 2 SIRs
+        assert points[0].personality == "off"
+        assert {p.sir_at_ap_db for p in points[1:]} == {40.0, 8.0}
+
+    def test_sweep_default_personalities(self):
+        bed = WifiJammingTestbed(duration_s=0.05)
+        points = bed.sweep(sir_values_db=[40.0])
+        names = {p.personality for p in points}
+        assert names == {"off", "continuous", "reactive-0.1ms",
+                         "reactive-0.01ms"}

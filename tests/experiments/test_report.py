@@ -1,0 +1,55 @@
+"""Tests for the one-shot reproduction report generator."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import report as report_mod
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> str:
+    # Shrink the quick profile further for test speed.
+    small = dict(report_mod.QUICK)
+    small.update(n_frames=60, iperf_s=0.1, wimax_frames=6,
+                 snrs=[-3.0, 0.0, 6.0], sirs=[40.0, 8.0])
+    original = report_mod.QUICK
+    report_mod.QUICK = small
+    try:
+        return report_mod.generate_report(quick=True)
+    finally:
+        report_mod.QUICK = original
+
+
+class TestReport:
+    def test_contains_every_paper_item(self, quick_report):
+        for heading in ("Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8",
+                        "Table 1", "Figs. 10/11", "Fig. 12",
+                        "802.15.4"):
+            assert heading in quick_report
+
+    def test_headline_numbers_present(self, quick_report):
+        assert "2.640 µs" in quick_report    # T_resp(xcorr)
+        assert "-51.0dB" in quick_report     # Table 1 cell
+        assert "Mbps" in quick_report
+
+    def test_renders_as_markdown_tables(self, quick_report):
+        assert quick_report.count("|---") > 8
+        assert quick_report.startswith("# Reproduction report")
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        small = dict(report_mod.QUICK)
+        small.update(n_frames=40, iperf_s=0.08, wimax_frames=4,
+                     snrs=[0.0], sirs=[40.0])
+        original = report_mod.QUICK
+        report_mod.QUICK = small
+        try:
+            out = tmp_path / "report.md"
+            report_mod.main([str(out), "--quick"])
+            assert out.exists()
+            assert "Reproduction report" in out.read_text()
+            assert "written" in capsys.readouterr().out
+        finally:
+            report_mod.QUICK = original

@@ -1,0 +1,59 @@
+"""Tests for the antenna control path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.antenna import AntennaConfig, AntennaPort
+from repro.hw.uhd import UhdDriver
+from repro.hw.usrp import UsrpN210
+
+
+class TestEncoding:
+    def test_roundtrip_all_configs(self):
+        for rx_port in AntennaPort:
+            for tx in (True, False):
+                config = AntennaConfig(rx_port=rx_port, tx_enabled=tx)
+                assert AntennaConfig.decode(config.encode()) == config
+
+    def test_decode_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AntennaConfig.decode(0x100)
+
+    def test_default_is_papers_full_duplex_setup(self):
+        config = AntennaConfig()
+        assert config.rx_port is AntennaPort.RX2
+        assert config.tx_enabled
+        assert config.full_duplex_capable
+
+    def test_rx_through_radiating_switch_not_full_duplex(self):
+        config = AntennaConfig(rx_port=AntennaPort.TX_RX, tx_enabled=True)
+        assert not config.full_duplex_capable
+
+    def test_rx_only_on_txrx_port_is_fine(self):
+        config = AntennaConfig(rx_port=AntennaPort.TX_RX, tx_enabled=False)
+        assert config.full_duplex_capable
+
+    def test_switch_latency_sub_microsecond(self):
+        assert AntennaConfig().switch_latency_s < 1e-6
+
+
+class TestRegisterPath:
+    def test_antenna_bits_reach_the_core(self):
+        device = UsrpN210()
+        driver = UhdDriver(device)
+        config = AntennaConfig(rx_port=AntennaPort.RX2, tx_enabled=True)
+        driver.set_control(jammer_enabled=True,
+                           antenna_bits=config.encode())
+        decoded = AntennaConfig.decode(device.core.antenna_bits)
+        assert decoded == config
+
+    def test_reconfiguration_is_one_register_write(self):
+        device = UsrpN210()
+        driver = UhdDriver(device)
+        driver.set_control(True, antenna_bits=AntennaConfig().encode())
+        before = driver.register_writes()
+        other = AntennaConfig(rx_port=AntennaPort.TX_RX, tx_enabled=False)
+        driver.set_control(True, antenna_bits=other.encode())
+        assert driver.register_writes() - before == 1

@@ -1,0 +1,151 @@
+"""Tests for the energy differentiator (paper Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, StreamError
+from repro.hw.energy_differentiator import (
+    DEFAULT_DELAY,
+    DEFAULT_WINDOW,
+    EnergyDifferentiator,
+    THRESHOLD_MAX_DB,
+    THRESHOLD_MIN_DB,
+)
+
+
+def reference_sums(signal: np.ndarray, window: int) -> np.ndarray:
+    energy = np.abs(signal) ** 2
+    out = np.zeros(signal.size)
+    for n in range(signal.size):
+        out[n] = np.sum(energy[max(0, n - window + 1):n + 1])
+    return out
+
+
+class TestConfiguration:
+    def test_paper_defaults(self):
+        det = EnergyDifferentiator()
+        assert det.window == DEFAULT_WINDOW == 32
+        assert det.delay == DEFAULT_DELAY == 64
+
+    def test_threshold_range_enforced(self):
+        det = EnergyDifferentiator()
+        with pytest.raises(ConfigurationError):
+            det.threshold_high_db = THRESHOLD_MIN_DB - 0.1
+        with pytest.raises(ConfigurationError):
+            det.threshold_low_db = THRESHOLD_MAX_DB + 0.1
+
+    def test_threshold_extremes_allowed(self):
+        det = EnergyDifferentiator(threshold_high_db=3.0, threshold_low_db=30.0)
+        assert det.threshold_high_db == 3.0
+        assert det.threshold_low_db == 30.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            EnergyDifferentiator(window=0)
+        with pytest.raises(ConfigurationError):
+            EnergyDifferentiator(delay=0)
+
+
+class TestEnergySums:
+    def test_matches_reference(self, rng):
+        det = EnergyDifferentiator()
+        x = rng.standard_normal(200) + 1j * rng.standard_normal(200)
+        assert np.allclose(det.energy_sums(x), reference_sums(x, 32))
+
+    def test_chunked_equals_single_shot(self, rng):
+        x = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+        whole = EnergyDifferentiator().energy_sums(x)
+        det = EnergyDifferentiator()
+        parts = [det.energy_sums(x[i:i + 73]) for i in range(0, 500, 73)]
+        assert np.allclose(np.concatenate(parts), whole)
+
+    def test_rejects_2d(self):
+        with pytest.raises(StreamError):
+            EnergyDifferentiator().energy_sums(np.zeros((2, 3)))
+
+    def test_empty_chunk(self):
+        det = EnergyDifferentiator()
+        high, low = det.process(np.zeros(0, dtype=complex))
+        assert high.size == 0 and low.size == 0
+
+
+class TestTriggers:
+    def test_detects_energy_rise(self, rng):
+        det = EnergyDifferentiator(threshold_high_db=10.0)
+        quiet = 0.01 * (rng.standard_normal(300) + 1j * rng.standard_normal(300))
+        loud = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        det.process(quiet)  # charge history with the quiet floor
+        high, _low = det.process(np.concatenate([quiet[:100], loud]))
+        assert high.any()
+        first = int(np.flatnonzero(high)[0])
+        # Rise detected within one moving-sum window of the step.
+        assert 100 <= first <= 100 + det.window
+
+    def test_detects_energy_fall(self, rng):
+        det = EnergyDifferentiator(threshold_low_db=10.0)
+        loud = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+        quiet = 0.01 * (rng.standard_normal(300) + 1j * rng.standard_normal(300))
+        det.process(loud)
+        _high, low = det.process(quiet)
+        assert low.any()
+
+    def test_no_trigger_on_steady_signal(self, rng):
+        det = EnergyDifferentiator(threshold_high_db=10.0, threshold_low_db=10.0)
+        x = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+        det.process(x[:500])  # consume the cold-start rise
+        high, low = det.process(x[500:])
+        assert not high.any()
+        assert not low.any()
+
+    def test_small_rise_below_threshold_ignored(self, rng):
+        det = EnergyDifferentiator(threshold_high_db=10.0)
+        base = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+        det.process(base)
+        # 6 dB step < 10 dB threshold
+        high, _ = det.process(2.0 * (rng.standard_normal(300)
+                                     + 1j * rng.standard_normal(300)))
+        assert not high.any()
+
+    def test_rise_above_threshold_fires(self, rng):
+        det = EnergyDifferentiator(threshold_high_db=10.0)
+        base = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+        det.process(base)
+        # 14 dB step > 10 dB threshold
+        high, _ = det.process(5.0 * (rng.standard_normal(300)
+                                     + 1j * rng.standard_normal(300)))
+        assert high.any()
+
+    def test_detection_latency_within_window(self):
+        # T_en_det: at most `window` samples (32 samples = 1.28 us).
+        det = EnergyDifferentiator(threshold_high_db=10.0)
+        quiet = np.full(200, 0.001 + 0j)
+        det.process(quiet)
+        step = np.full(100, 1.0 + 0j)
+        high, _ = det.process(step)
+        first = int(np.flatnonzero(high)[0])
+        assert first < det.window
+
+    def test_reset_clears_history(self, rng):
+        det = EnergyDifferentiator(threshold_high_db=10.0)
+        loud = rng.standard_normal(200) + 1j * rng.standard_normal(200)
+        det.process(loud)
+        det.reset()
+        # After reset the detector behaves like a cold start: the same
+        # loud signal causes a fresh rise trigger.
+        high, _ = det.process(loud)
+        assert high.any()
+
+    def test_threshold_reconfigurable_at_runtime(self, rng):
+        det = EnergyDifferentiator(threshold_high_db=30.0)
+        base = rng.standard_normal(400) + 1j * rng.standard_normal(400)
+        det.process(base)
+        step = 5.0 * (rng.standard_normal(200) + 1j * rng.standard_normal(200))
+        high, _ = det.process(step)
+        assert not high.any()  # 14 dB rise < 30 dB threshold
+        det2 = EnergyDifferentiator(threshold_high_db=30.0)
+        det2.process(base)
+        det2.threshold_high_db = 10.0
+        high2, _ = det2.process(step)
+        assert high2.any()

@@ -1,0 +1,105 @@
+"""Tests for the user register bus and field packing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegisterError
+from repro.hw.registers import (
+    NUM_REGISTERS,
+    UserRegisterBus,
+    pack_signed_fields,
+    unpack_signed_fields,
+)
+
+
+class TestUserRegisterBus:
+    def test_write_read_roundtrip(self):
+        bus = UserRegisterBus()
+        bus.write(7, 0xDEADBEEF)
+        assert bus.read(7) == 0xDEADBEEF
+
+    def test_initial_state_zero(self):
+        bus = UserRegisterBus()
+        assert all(bus.read(a) == 0 for a in range(NUM_REGISTERS))
+
+    def test_rejects_out_of_range_address(self):
+        bus = UserRegisterBus()
+        with pytest.raises(RegisterError):
+            bus.write(NUM_REGISTERS, 1)
+        with pytest.raises(RegisterError):
+            bus.read(-1)
+
+    def test_rejects_oversized_value(self):
+        bus = UserRegisterBus()
+        with pytest.raises(RegisterError):
+            bus.write(0, 1 << 32)
+        with pytest.raises(RegisterError):
+            bus.write(0, -1)
+
+    def test_watcher_called_on_write(self):
+        bus = UserRegisterBus()
+        seen = []
+        bus.watch(3, seen.append)
+        bus.write(3, 42)
+        bus.write(4, 43)  # different address: not seen
+        assert seen == [42]
+
+    def test_multiple_watchers(self):
+        bus = UserRegisterBus()
+        seen_a, seen_b = [], []
+        bus.watch(1, seen_a.append)
+        bus.watch(1, seen_b.append)
+        bus.write(1, 5)
+        assert seen_a == [5] and seen_b == [5]
+
+    def test_write_count(self):
+        bus = UserRegisterBus()
+        for k in range(10):
+            bus.write(k, k)
+        assert bus.write_count == 10
+
+    def test_watch_invalid_address(self):
+        bus = UserRegisterBus()
+        with pytest.raises(RegisterError):
+            bus.watch(300, lambda v: None)
+
+
+class TestFieldPacking:
+    def test_roundtrip_3bit(self):
+        values = [3, -4, 0, 1, -1, 2, -2, -3, 3, 3, -4]
+        words = pack_signed_fields(values, 3)
+        back = unpack_signed_fields(words, 3, len(values))
+        assert back == values
+
+    def test_64_coefficients_need_7_words(self):
+        words = pack_signed_fields([1] * 64, 3)
+        assert len(words) == 7
+
+    def test_words_fit_32_bits(self):
+        words = pack_signed_fields([-4] * 64, 3)
+        assert all(0 <= w <= 0xFFFFFFFF for w in words)
+
+    def test_rejects_value_too_wide(self):
+        with pytest.raises(RegisterError):
+            pack_signed_fields([4], 3)
+        with pytest.raises(RegisterError):
+            pack_signed_fields([-5], 3)
+
+    def test_rejects_bad_field_width(self):
+        with pytest.raises(RegisterError):
+            pack_signed_fields([0], 0)
+        with pytest.raises(RegisterError):
+            unpack_signed_fields([0], 33, 1)
+
+    def test_unpack_insufficient_words(self):
+        with pytest.raises(RegisterError):
+            unpack_signed_fields([0], 3, 20)
+
+    def test_roundtrip_various_widths(self):
+        for bits in (2, 4, 5, 8, 16):
+            lo = -(1 << (bits - 1))
+            hi = (1 << (bits - 1)) - 1
+            values = [lo, hi, 0, lo // 2, hi // 2]
+            words = pack_signed_fields(values, bits)
+            assert unpack_signed_fields(words, bits, len(values)) == values

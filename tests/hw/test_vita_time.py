@@ -1,0 +1,65 @@
+"""Tests for the VITA time source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.usrp import UsrpN210
+from repro.hw.vita_time import VitaTimestamp, VitaTimeSource
+
+
+class TestVitaTimestamp:
+    def test_seconds_composition(self):
+        ts = VitaTimestamp(full_seconds=10, fractional_seconds=0.25)
+        assert ts.seconds == pytest.approx(10.25)
+
+    def test_string_rendering(self):
+        ts = VitaTimestamp(full_seconds=3, fractional_seconds=0.5)
+        assert str(ts) == "3.500000000"
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            VitaTimestamp(full_seconds=0, fractional_seconds=1.0)
+
+
+class TestVitaTimeSource:
+    def test_sample_to_time_roundtrip(self):
+        src = VitaTimeSource(epoch_seconds=100.0)
+        for n in (0, 1, 25_000_000, 10 ** 9):
+            assert src.sample_at(src.timestamp(n)) == n
+
+    def test_sample_duration(self):
+        src = VitaTimeSource()
+        ts = src.timestamp(25_000_000)
+        assert ts.seconds == pytest.approx(1.0)
+
+    def test_gps_locked_has_no_drift(self):
+        a = VitaTimeSource(gps_locked=True)
+        b = VitaTimeSource(gps_locked=True)
+        assert a.offset_after(b, duration_s=3600.0) == 0.0
+
+    def test_free_running_drift(self):
+        locked = VitaTimeSource(gps_locked=True)
+        free = VitaTimeSource(gps_locked=False, drift_ppm=2.5)
+        # 2.5 ppm over an hour = 9 ms of disagreement.
+        assert locked.offset_after(free, 3600.0) == pytest.approx(9e-3)
+
+    def test_drifting_clock_changes_rate(self):
+        free = VitaTimeSource(gps_locked=False, drift_ppm=10.0)
+        assert free.effective_rate == pytest.approx(25e6 * (1 + 1e-5))
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VitaTimeSource().timestamp(-1)
+
+    def test_pre_epoch_timestamp_rejected(self):
+        src = VitaTimeSource(epoch_seconds=100.0)
+        with pytest.raises(ConfigurationError):
+            src.sample_at(VitaTimestamp(50, 0.0))
+
+    def test_device_integration(self):
+        device = UsrpN210()
+        ts = device.timestamp_of(66)
+        # 66 samples at 25 MSPS = 2.64 us: T_resp as absolute time.
+        assert ts.seconds == pytest.approx(2.64e-6)

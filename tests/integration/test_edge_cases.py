@@ -1,0 +1,124 @@
+"""Edge-case batch: gaps identified across module boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.detection import DetectionConfig
+from repro.core.events import JammingEventBuilder
+from repro.core.jammer import JammingReport, ReactiveJammer
+from repro.core.presets import reactive_jammer
+from repro.mac.frames import FrameKind, MacFrame
+from repro.mac.medium import Medium
+from repro.phy.wifi.params import WifiRate
+
+
+def flat_loss(src: str, dst: str) -> float | None:
+    return -40.0 if src != dst else None
+
+
+class TestMediumEdges:
+    def test_multiple_overlapping_jams_aggregate(self):
+        medium = Medium(flat_loss)
+        frame = MacFrame(FrameKind.DATA, "tx", "rx", 1534, WifiRate.MBPS_6)
+        emission = medium.emit_frame("tx", frame, 0.0, tx_power_dbm=10.0)
+        # Two weak bursts over the data region; individually harmless,
+        # their combined power halves the SINR.
+        for offset in (100e-6, 100e-6):
+            medium.emit_jam("jam", offset, 300e-6, tx_power_dbm=-15.0)
+        combined = medium.frame_success_probability(emission, "rx")
+        medium2 = Medium(flat_loss)
+        e2 = medium2.emit_frame("tx", frame, 0.0, tx_power_dbm=10.0)
+        medium2.emit_jam("jam", 100e-6, 300e-6, tx_power_dbm=-15.0)
+        single = medium2.frame_success_probability(e2, "rx")
+        assert combined <= single
+
+    def test_capture_boundary_at_10db(self):
+        medium = Medium(flat_loss)
+        frame = MacFrame(FrameKind.DATA, "tx", "rx", 1534, WifiRate.MBPS_6)
+        emission = medium.emit_frame("tx", frame, 0.0, tx_power_dbm=10.0)
+        # An overlapping frame 9 dB down: no capture, collision.
+        medium.emit_frame("other", frame, 50e-6, tx_power_dbm=1.0)
+        assert medium.frame_success_probability(emission, "rx") == 0.0
+
+    def test_jam_ending_before_frame_harmless(self):
+        medium = Medium(flat_loss)
+        frame = MacFrame(FrameKind.DATA, "tx", "rx", 1534, WifiRate.MBPS_6)
+        medium.emit_jam("jam", 0.0, 50e-6, tx_power_dbm=30.0)
+        emission = medium.emit_frame("tx", frame, 100e-6, tx_power_dbm=10.0)
+        assert medium.frame_success_probability(emission, "rx") > 0.99
+
+    def test_unknown_node_is_isolated(self):
+        medium = Medium(lambda s, d: None)
+        frame = MacFrame(FrameKind.DATA, "tx", "rx", 100, WifiRate.MBPS_6)
+        emission = medium.emit_frame("tx", frame, 0.0, tx_power_dbm=10.0)
+        assert medium.frame_success_probability(emission, "rx") == 0.0
+
+
+class TestReportEdges:
+    def test_empty_report_properties(self):
+        report = JammingReport(tx=np.zeros(10, dtype=complex))
+        assert report.detection_times == []
+        assert report.jam_spans_seconds == []
+        assert report.total_jam_airtime == 0.0
+
+    def test_jammer_handles_empty_signal(self, rng):
+        jammer = ReactiveJammer()
+        template = np.exp(1j * rng.uniform(0, 2 * np.pi, 64))
+        jammer.configure(
+            DetectionConfig(template=template, xcorr_threshold=30_000),
+            JammingEventBuilder().on_correlation(),
+            reactive_jammer(1e-5),
+        )
+        report = jammer.run(np.zeros(0, dtype=complex))
+        assert report.tx.size == 0
+
+
+class TestBurstsSpanningChunks:
+    def test_jam_interval_straddles_many_chunks(self, rng):
+        # A long burst across many small chunks stays contiguous.
+        from repro.channel.awgn import awgn
+
+        jammer = ReactiveJammer()
+        template = np.exp(1j * rng.uniform(0, 2 * np.pi, 64))
+        jammer.configure(
+            DetectionConfig(template=template, xcorr_threshold=30_000),
+            JammingEventBuilder().on_correlation(),
+            reactive_jammer(uptime_seconds=4e-5),  # 1000 samples
+        )
+        rx = awgn(3000, 1e-8, rng)
+        rx[200:264] += template
+        report = jammer.run(rx, chunk_size=97)
+        jam = report.jams[0]
+        active = np.flatnonzero(np.abs(report.tx) > 0)
+        assert active[0] == jam.start
+        assert active[-1] == jam.end - 1
+        assert active.size == jam.end - jam.start  # no gaps
+
+    def test_burst_truncated_at_capture_end(self, rng):
+        from repro.channel.awgn import awgn
+
+        jammer = ReactiveJammer()
+        template = np.exp(1j * rng.uniform(0, 2 * np.pi, 64))
+        jammer.configure(
+            DetectionConfig(template=template, xcorr_threshold=30_000),
+            JammingEventBuilder().on_correlation(),
+            reactive_jammer(uptime_seconds=1e-3),  # longer than capture
+        )
+        rx = awgn(1000, 1e-8, rng)
+        rx[500:564] += template
+        report = jammer.run(rx)
+        # The interval extends beyond the capture; tx covers what fits.
+        assert report.jams[0].end > rx.size
+        assert np.all(np.abs(report.tx[566:]) > 0)
+
+
+class TestUnitsEdges:
+    def test_zero_duration_jam_span(self):
+        assert units.seconds_to_samples(0.0) == 0
+
+    def test_sample_clock_identities(self):
+        assert units.samples_to_clocks(1) * units.CLOCK_PERIOD \
+            == pytest.approx(units.SAMPLE_PERIOD)

@@ -1,0 +1,136 @@
+"""Tests for MAC frame accounting, DCF constants, and rate control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac import dcf
+from repro.mac.frames import (
+    ACK_LENGTH,
+    FrameKind,
+    MacFrame,
+    ack_duration_us,
+    ack_rate_for,
+    data_duration_us,
+    udp_datagram_psdu,
+)
+from repro.mac.rate_control import RATE_LADDER, ArfRateController
+from repro.phy.wifi.params import WifiRate
+
+
+class TestFrames:
+    def test_udp_datagram_overheads(self):
+        # 1470 payload + 28 IP/UDP + 8 LLC/SNAP + 28 MAC = 1534.
+        assert udp_datagram_psdu(1470) == 1534
+
+    def test_data_duration_54mbps(self):
+        # 1534 B at 54 Mbps: ceil((16+12272+6)/216)=57 symbols -> 248 us.
+        assert data_duration_us(1470, WifiRate.MBPS_54) == pytest.approx(248.0)
+
+    def test_ack_rates_are_basic_set(self):
+        assert ack_rate_for(WifiRate.MBPS_54) == WifiRate.MBPS_24
+        assert ack_rate_for(WifiRate.MBPS_18) == WifiRate.MBPS_12
+        assert ack_rate_for(WifiRate.MBPS_9) == WifiRate.MBPS_6
+        assert ack_rate_for(WifiRate.MBPS_6) == WifiRate.MBPS_6
+
+    def test_ack_duration(self):
+        # ACK at 24 Mbps: ceil((16+112+6)/96)=2 symbols -> 28 us.
+        assert ack_duration_us(WifiRate.MBPS_54) == pytest.approx(28.0)
+
+    def test_frame_duration_seconds(self):
+        frame = MacFrame(FrameKind.DATA, "a", "b", 1534, WifiRate.MBPS_54)
+        assert frame.duration_s == pytest.approx(248e-6)
+
+    def test_rejects_undersized_psdu(self):
+        with pytest.raises(ConfigurationError):
+            MacFrame(FrameKind.ACK, "a", "b", ACK_LENGTH - 1, WifiRate.MBPS_6)
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ConfigurationError):
+            udp_datagram_psdu(0)
+
+
+class TestDcfConstants:
+    def test_erp_ofdm_timings(self):
+        assert dcf.SLOT_S == pytest.approx(9e-6)
+        assert dcf.SIFS_S == pytest.approx(10e-6)
+        assert dcf.DIFS_S == pytest.approx(28e-6)
+
+    def test_contention_window_doubles(self):
+        assert dcf.contention_window(0) == 15
+        assert dcf.contention_window(1) == 31
+        assert dcf.contention_window(2) == 63
+
+    def test_contention_window_caps(self):
+        assert dcf.contention_window(10) == 1023
+
+    def test_rejects_negative_retry(self):
+        with pytest.raises(ConfigurationError):
+            dcf.contention_window(-1)
+
+    def test_ack_timeout(self):
+        timeout = dcf.ack_timeout_s(28e-6)
+        assert timeout == pytest.approx(10e-6 + 28e-6 + 9e-6)
+
+    def test_ack_timeout_validation(self):
+        with pytest.raises(ConfigurationError):
+            dcf.ack_timeout_s(0.0)
+
+
+class TestArf:
+    def test_ladder_ordering(self):
+        mbps = [r.mbps for r in RATE_LADDER]
+        assert mbps == sorted(mbps)
+
+    def test_starts_at_initial(self):
+        arf = ArfRateController(initial=WifiRate.MBPS_54)
+        assert arf.rate == WifiRate.MBPS_54
+
+    def test_steps_down_after_failures(self):
+        arf = ArfRateController(down_after=2)
+        arf.report_failure()
+        assert arf.rate == WifiRate.MBPS_54
+        arf.report_failure()
+        assert arf.rate == WifiRate.MBPS_48
+
+    def test_success_resets_failure_count(self):
+        arf = ArfRateController(down_after=2)
+        arf.report_failure()
+        arf.report_success()
+        arf.report_failure()
+        assert arf.rate == WifiRate.MBPS_54
+
+    def test_steps_up_after_successes(self):
+        arf = ArfRateController(initial=WifiRate.MBPS_6, up_after=10)
+        for _ in range(10):
+            arf.report_success()
+        assert arf.rate == WifiRate.MBPS_9
+
+    def test_floor_at_lowest_rate(self):
+        arf = ArfRateController(initial=WifiRate.MBPS_6, down_after=1)
+        for _ in range(5):
+            arf.report_failure()
+        assert arf.rate == WifiRate.MBPS_6
+
+    def test_ceiling_at_highest_rate(self):
+        arf = ArfRateController(initial=WifiRate.MBPS_54, up_after=1)
+        for _ in range(5):
+            arf.report_success()
+        assert arf.rate == WifiRate.MBPS_54
+
+    def test_collapse_under_sustained_failure(self):
+        arf = ArfRateController(down_after=2)
+        for _ in range(16):
+            arf.report_failure()
+        assert arf.rate == WifiRate.MBPS_6
+
+    def test_reset(self):
+        arf = ArfRateController()
+        arf.report_failure()
+        arf.reset(WifiRate.MBPS_12)
+        assert arf.rate == WifiRate.MBPS_12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArfRateController(down_after=0)

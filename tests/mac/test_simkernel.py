@@ -1,0 +1,99 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mac.simkernel import SimKernel
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        k = SimKernel()
+        order = []
+        k.schedule(3.0, lambda: order.append("c"))
+        k.schedule(1.0, lambda: order.append("a"))
+        k.schedule(2.0, lambda: order.append("b"))
+        k.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        k = SimKernel()
+        order = []
+        for name in "abc":
+            k.schedule(1.0, lambda n=name: order.append(n))
+        k.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        k = SimKernel()
+        seen = []
+        k.schedule(2.5, lambda: seen.append(k.now))
+        k.run()
+        assert seen == [2.5]
+
+    def test_run_until_stops(self):
+        k = SimKernel()
+        fired = []
+        k.schedule(1.0, lambda: fired.append(1))
+        k.schedule(5.0, lambda: fired.append(5))
+        k.run_until(3.0)
+        assert fired == [1]
+        assert k.now == 3.0
+
+    def test_events_can_schedule_events(self):
+        k = SimKernel()
+        hits = []
+
+        def chain(n):
+            hits.append(n)
+            if n < 3:
+                k.schedule(1.0, lambda: chain(n + 1))
+
+        k.schedule(0.0, lambda: chain(0))
+        k.run()
+        assert hits == [0, 1, 2, 3]
+        assert k.now == 3.0
+
+    def test_cancellation(self):
+        k = SimKernel()
+        fired = []
+        handle = k.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        k.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_count(self):
+        k = SimKernel()
+        h = k.schedule(1.0, lambda: None)
+        k.schedule(2.0, lambda: None)
+        assert k.pending == 2
+        h.cancel()
+        assert k.pending == 1
+
+    def test_rejects_past_scheduling(self):
+        k = SimKernel()
+        k.schedule(1.0, lambda: None)
+        k.run()
+        with pytest.raises(SimulationError):
+            k.schedule_at(0.5, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            SimKernel().schedule(-1.0, lambda: None)
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(SimulationError):
+            SimKernel().schedule_at(float("nan"), lambda: None)
+
+    def test_not_reentrant(self):
+        k = SimKernel()
+
+        def recurse():
+            k.run_until(10.0)
+
+        k.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            k.run()

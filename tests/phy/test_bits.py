@@ -1,0 +1,71 @@
+"""Tests for bit/byte helpers and CRC-32."""
+
+from __future__ import annotations
+
+import binascii
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.phy.bits import (
+    append_fcs,
+    bits_to_bytes,
+    bytes_to_bits,
+    check_fcs,
+    crc32,
+)
+
+
+class TestBitPacking:
+    def test_roundtrip(self, rng):
+        data = rng.integers(0, 256, 100, dtype=np.uint8).tobytes()
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_lsb_first_order(self):
+        bits = bytes_to_bits(b"\x01")
+        assert list(bits) == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_byte_0x80(self):
+        bits = bytes_to_bits(b"\x80")
+        assert list(bits) == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_rejects_partial_byte(self):
+        with pytest.raises(StreamError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+    def test_empty(self):
+        assert bits_to_bytes(bytes_to_bits(b"")) == b""
+
+
+class TestCrc32:
+    def test_matches_zlib(self, rng):
+        for length in (0, 1, 13, 100, 1500):
+            data = rng.integers(0, 256, length, dtype=np.uint8).tobytes()
+            assert crc32(data) == binascii.crc32(data)
+
+    def test_known_vector(self):
+        # The classic "123456789" check value.
+        assert crc32(b"123456789") == 0xCBF43926
+
+
+class TestFcs:
+    def test_append_and_check(self, rng):
+        frame = rng.integers(0, 256, 64, dtype=np.uint8).tobytes()
+        assert check_fcs(append_fcs(frame))
+
+    def test_corruption_detected(self, rng):
+        frame = append_fcs(rng.integers(0, 256, 64, dtype=np.uint8).tobytes())
+        corrupted = bytes([frame[0] ^ 0x01]) + frame[1:]
+        assert not check_fcs(corrupted)
+
+    def test_fcs_corruption_detected(self, rng):
+        frame = append_fcs(rng.integers(0, 256, 64, dtype=np.uint8).tobytes())
+        corrupted = frame[:-1] + bytes([frame[-1] ^ 0x80])
+        assert not check_fcs(corrupted)
+
+    def test_short_frame_fails(self):
+        assert not check_fcs(b"ab")
+
+    def test_fcs_length(self):
+        assert len(append_fcs(b"x")) == 5

@@ -1,0 +1,126 @@
+"""Tests for the convolutional code and Viterbi decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DecodeError
+from repro.phy.coding import CodeRate, ConvolutionalCode
+
+
+@pytest.fixture(params=list(CodeRate), ids=lambda r: r.name)
+def code(request):
+    return ConvolutionalCode(request.param)
+
+
+class TestRates:
+    def test_ratios(self):
+        assert CodeRate.R1_2.ratio == pytest.approx(0.5)
+        assert CodeRate.R2_3.ratio == pytest.approx(2 / 3)
+        assert CodeRate.R3_4.ratio == pytest.approx(0.75)
+
+    def test_coded_length_rate_half(self):
+        code = ConvolutionalCode(CodeRate.R1_2)
+        assert code.coded_length(100) == 200
+
+    def test_coded_length_punctured(self):
+        assert ConvolutionalCode(CodeRate.R2_3).coded_length(100) == 150
+        assert ConvolutionalCode(CodeRate.R3_4).coded_length(99) == 132
+
+    def test_rate_setter_validation(self):
+        code = ConvolutionalCode()
+        with pytest.raises(ConfigurationError):
+            code.rate = 0.5  # type: ignore[assignment]
+
+
+class TestEncoding:
+    def test_impulse_response_is_generator_polynomials(self):
+        # The impulse response's A stream spells g0 = 133o = 1011011
+        # and the B stream spells g1 = 171o = 1111001 (MSB first, the
+        # current input occupying the register's top bit).
+        code = ConvolutionalCode(CodeRate.R1_2)
+        out = code.encode(np.array([1, 0, 0, 0, 0, 0, 0], dtype=np.uint8))
+        stream_a = list(out[0::2])
+        stream_b = list(out[1::2])
+        assert stream_a == [1, 0, 1, 1, 0, 1, 1]  # 0o133
+        assert stream_b == [1, 1, 1, 1, 0, 0, 1]  # 0o171
+
+    def test_zero_input_gives_zero_output(self, code):
+        out = code.encode(np.zeros(24, dtype=np.uint8))
+        assert not out.any()
+
+    def test_output_length_matches(self, code, rng):
+        bits = rng.integers(0, 2, 120).astype(np.uint8)
+        assert code.encode(bits).size == code.coded_length(120)
+
+    def test_linearity(self, rng):
+        # Convolutional codes are linear: enc(a^b) = enc(a)^enc(b).
+        code = ConvolutionalCode(CodeRate.R1_2)
+        a = rng.integers(0, 2, 64).astype(np.uint8)
+        b = rng.integers(0, 2, 64).astype(np.uint8)
+        assert np.array_equal(code.encode(a ^ b),
+                              code.encode(a) ^ code.encode(b))
+
+
+class TestDecoding:
+    def test_clean_roundtrip(self, code, rng):
+        bits = rng.integers(0, 2, 240).astype(np.uint8)
+        bits[-6:] = 0
+        decoded = code.decode_hard(code.encode(bits), bits.size)
+        assert np.array_equal(decoded, bits)
+
+    def test_corrects_isolated_errors(self, rng):
+        code = ConvolutionalCode(CodeRate.R1_2)
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        bits[-6:] = 0
+        coded = code.encode(bits)
+        # Flip well-separated coded bits: free distance 10 corrects them.
+        for pos in (10, 100, 250, 380):
+            coded[pos] ^= 1
+        decoded = code.decode_hard(coded, bits.size)
+        assert np.array_equal(decoded, bits)
+
+    def test_soft_beats_hard_at_low_snr(self, rng):
+        code = ConvolutionalCode(CodeRate.R1_2)
+        bits = rng.integers(0, 2, 3000).astype(np.uint8)
+        bits[-6:] = 0
+        coded = code.encode(bits)
+        clean = 1.0 - 2.0 * coded.astype(float)
+        noisy = clean + rng.normal(0, 1.0, coded.size)
+        soft_errors = int(np.sum(code.decode(noisy, bits.size) != bits))
+        hard_errors = int(np.sum(
+            code.decode_hard((noisy < 0).astype(np.uint8), bits.size) != bits))
+        assert soft_errors <= hard_errors
+
+    def test_ber_waterfall(self, rng):
+        # BER must decrease monotonically (statistically) with SNR.
+        code = ConvolutionalCode(CodeRate.R1_2)
+        bits = rng.integers(0, 2, 4000).astype(np.uint8)
+        bits[-6:] = 0
+        coded = code.encode(bits)
+        clean = 1.0 - 2.0 * coded.astype(float)
+        errors = []
+        for sigma in (1.2, 0.8, 0.5):
+            noisy = clean + rng.normal(0, sigma, coded.size)
+            errors.append(int(np.sum(code.decode(noisy, bits.size) != bits)))
+        assert errors[0] > errors[2]
+        assert errors[2] == 0
+
+    def test_wrong_soft_length_rejected(self, code):
+        with pytest.raises(DecodeError):
+            code.decode(np.zeros(11), 24)
+
+    def test_bad_info_bits_rejected(self, code):
+        with pytest.raises(DecodeError):
+            code.decode(np.zeros(0), 0)
+
+    def test_punctured_roundtrips_with_noise(self, rng):
+        for rate in (CodeRate.R2_3, CodeRate.R3_4):
+            code = ConvolutionalCode(rate)
+            bits = rng.integers(0, 2, 600).astype(np.uint8)
+            bits[-6:] = 0
+            coded = code.encode(bits)
+            noisy = 1.0 - 2.0 * coded.astype(float) + rng.normal(0, 0.35, coded.size)
+            decoded = code.decode(noisy, bits.size)
+            assert np.array_equal(decoded, bits), rate

@@ -1,0 +1,117 @@
+"""Tests for constellation mapping and the block interleaver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.phy.interleaving import deinterleave, interleave, interleave_indices
+from repro.phy.modulation import Modulation, demap_bits, hard_decide, map_bits
+
+
+class TestMapping:
+    @pytest.mark.parametrize("mod", list(Modulation), ids=lambda m: m.name)
+    def test_hard_decision_roundtrip(self, mod, rng):
+        bits = rng.integers(0, 2, 600 * mod.bits_per_symbol).astype(np.uint8)
+        assert np.array_equal(hard_decide(map_bits(bits, mod), mod), bits)
+
+    @pytest.mark.parametrize("mod", list(Modulation), ids=lambda m: m.name)
+    def test_unit_average_energy(self, mod, rng):
+        bits = rng.integers(0, 2, 4000 * mod.bits_per_symbol).astype(np.uint8)
+        symbols = map_bits(bits, mod)
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_bpsk_values(self):
+        symbols = map_bits(np.array([0, 1], dtype=np.uint8), Modulation.BPSK)
+        assert symbols[0] == pytest.approx(-1.0)
+        assert symbols[1] == pytest.approx(1.0)
+
+    def test_qpsk_gray_axes(self):
+        symbols = map_bits(np.array([0, 0, 1, 1], dtype=np.uint8),
+                           Modulation.QPSK)
+        assert symbols[0] == pytest.approx((-1 - 1j) / np.sqrt(2))
+        assert symbols[1] == pytest.approx((1 + 1j) / np.sqrt(2))
+
+    def test_16qam_standard_mapping(self):
+        # 802.11 Table: b0b1 = 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3.
+        cases = {(0, 0): -3, (0, 1): -1, (1, 1): 1, (1, 0): 3}
+        for (b0, b1), level in cases.items():
+            bits = np.array([b0, b1, 0, 0], dtype=np.uint8)
+            sym = map_bits(bits, Modulation.QAM16)[0]
+            assert sym.real == pytest.approx(level / np.sqrt(10))
+
+    def test_64qam_standard_mapping(self):
+        cases = {(0, 0, 0): -7, (0, 1, 0): -1, (1, 1, 0): 1, (1, 0, 0): 7,
+                 (0, 0, 1): -5, (0, 1, 1): -3, (1, 1, 1): 3, (1, 0, 1): 5}
+        for (b0, b1, b2), level in cases.items():
+            bits = np.array([b0, b1, b2, 0, 0, 0], dtype=np.uint8)
+            sym = map_bits(bits, Modulation.QAM64)[0]
+            assert sym.real == pytest.approx(level / np.sqrt(42))
+
+    def test_gray_property_adjacent_levels(self):
+        # Adjacent constellation levels differ in exactly one bit.
+        for mod, half in ((Modulation.QAM16, 2), (Modulation.QAM64, 3)):
+            level_to_bits = {}
+            for idx in range(1 << half):
+                bits = [(idx >> k) & 1 for k in range(half)]
+                full = np.array(bits + [0] * half, dtype=np.uint8)
+                sym = map_bits(full, mod)[0]
+                level_to_bits[round(float(sym.real) * 100)] = bits
+            levels = sorted(level_to_bits)
+            for a, b in zip(levels, levels[1:]):
+                diff = sum(x != y for x, y in
+                           zip(level_to_bits[a], level_to_bits[b]))
+                assert diff == 1, mod
+
+    def test_wrong_bit_count_rejected(self):
+        with pytest.raises(StreamError):
+            map_bits(np.ones(5, dtype=np.uint8), Modulation.QPSK)
+
+    def test_soft_demap_sign_convention(self):
+        # Positive soft value means bit 0.
+        soft = demap_bits(np.array([-1.0 + 0j]), Modulation.BPSK)
+        assert soft[0] > 0
+
+    def test_soft_magnitude_grows_with_distance(self):
+        near = abs(demap_bits(np.array([-0.1 + 0j]), Modulation.BPSK))[0]
+        far = abs(demap_bits(np.array([-2.0 + 0j]), Modulation.BPSK))[0]
+        assert far > near
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("n_cbps,n_bpsc", [(48, 1), (96, 2), (192, 4), (288, 6)])
+    def test_roundtrip(self, n_cbps, n_bpsc, rng):
+        bits = rng.integers(0, 2, n_cbps * 4).astype(np.uint8)
+        out = deinterleave(interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc)
+        assert np.array_equal(out, bits)
+
+    def test_is_permutation(self):
+        for n_cbps, n_bpsc in ((48, 1), (288, 6)):
+            idx = interleave_indices(n_cbps, n_bpsc)
+            assert sorted(idx) == list(range(n_cbps))
+
+    def test_adjacent_bits_separated(self):
+        # The point of the interleaver: adjacent coded bits land on
+        # non-adjacent positions.
+        idx = interleave_indices(192, 4)
+        gaps = np.abs(np.diff(idx.astype(int)))
+        assert np.min(gaps) > 1
+
+    def test_known_first_entries_bpsk(self):
+        # For BPSK (s=1): j = i = (n/16)(k mod 16) + floor(k/16).
+        idx = interleave_indices(48, 1)
+        assert idx[0] == 0
+        assert idx[1] == 3
+        assert idx[16] == 1
+
+    def test_wrong_length_rejected(self, rng):
+        with pytest.raises(StreamError):
+            interleave(np.ones(50, dtype=np.uint8), 48, 1)
+        with pytest.raises(StreamError):
+            deinterleave(np.ones(50, dtype=np.uint8), 48, 1)
+
+    def test_works_on_soft_values(self, rng):
+        soft = rng.standard_normal(96)
+        out = deinterleave(interleave(soft, 96, 2), 96, 2)
+        assert np.allclose(out, soft)

@@ -1,0 +1,122 @@
+"""Tests for the SINR->PER link model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.phy.coding import CodeRate
+from repro.phy.modulation import Modulation
+from repro.phy.wifi.params import WifiRate
+from repro.phy.wifi.per_model import (
+    JamExposure,
+    LinkQualityModel,
+    coded_ber,
+    segment_success,
+    uncoded_ber,
+)
+
+
+class TestUncodedBer:
+    def test_half_at_zero_snr(self):
+        assert uncoded_ber(0.0, Modulation.BPSK) == 0.5
+
+    def test_decreases_with_snr(self):
+        for mod in Modulation:
+            bers = [uncoded_ber(units.db_to_linear(snr), mod)
+                    for snr in (0, 5, 10, 15, 20, 25)]
+            assert all(a >= b for a, b in zip(bers, bers[1:])), mod
+
+    def test_higher_order_needs_more_snr(self):
+        snr = units.db_to_linear(10.0)
+        assert uncoded_ber(snr, Modulation.BPSK) < uncoded_ber(snr, Modulation.QPSK) \
+            < uncoded_ber(snr, Modulation.QAM16) < uncoded_ber(snr, Modulation.QAM64)
+
+    def test_bpsk_known_value(self):
+        # BER = Q(sqrt(2*SNR)); at SNR 10 lin -> Q(sqrt(20)) ~ 3.9e-6.
+        assert uncoded_ber(10.0, Modulation.BPSK) == pytest.approx(3.87e-6, rel=0.05)
+
+
+class TestCodedBer:
+    def test_coding_gain(self):
+        # At moderate SNR the coded BER must beat the uncoded one.
+        snr = units.db_to_linear(6.0)
+        assert coded_ber(snr, Modulation.BPSK, CodeRate.R1_2) \
+            < uncoded_ber(snr, Modulation.BPSK)
+
+    def test_stronger_code_wins(self):
+        snr = units.db_to_linear(8.0)
+        assert coded_ber(snr, Modulation.QPSK, CodeRate.R1_2) \
+            < coded_ber(snr, Modulation.QPSK, CodeRate.R3_4)
+
+    def test_saturates_at_half(self):
+        assert coded_ber(0.0, Modulation.QAM64, CodeRate.R3_4) == 0.5
+
+
+class TestSegmentSuccess:
+    def test_zero_bits_always_succeed(self):
+        assert segment_success(-20.0, WifiRate.MBPS_54, 0) == 1.0
+
+    def test_high_snr_succeeds(self):
+        assert segment_success(35.0, WifiRate.MBPS_54, 12000) > 0.99
+
+    def test_low_snr_fails(self):
+        assert segment_success(5.0, WifiRate.MBPS_54, 12000) < 0.01
+
+    def test_robust_rate_survives_lower_snr(self):
+        snr = 8.0
+        assert segment_success(snr, WifiRate.MBPS_6, 12000) \
+            > segment_success(snr, WifiRate.MBPS_54, 12000)
+
+    def test_longer_frames_fail_more(self):
+        snr = 22.0
+        assert segment_success(snr, WifiRate.MBPS_54, 12000) \
+            <= segment_success(snr, WifiRate.MBPS_54, 1200)
+
+
+class TestLinkQualityModel:
+    def test_snr_from_power(self):
+        model = LinkQualityModel(noise_floor_dbm=-95.0)
+        assert model.snr_db(-35.0) == pytest.approx(60.0)
+
+    def test_sinr_with_interference(self):
+        model = LinkQualityModel(noise_floor_dbm=-95.0)
+        # Strong interferer dominates the noise floor.
+        sinr = model.sinr_db(-40.0, interference_dbm=-60.0)
+        assert sinr == pytest.approx(20.0, abs=0.1)
+
+    def test_clean_frame_at_high_snr(self):
+        model = LinkQualityModel()
+        prob = model.frame_success_probability(40.0, WifiRate.MBPS_54, 1470)
+        assert prob > 0.99
+
+    def test_jam_over_preamble_kills_frame(self):
+        model = LinkQualityModel()
+        exposure = JamExposure(preamble_hit=True, data_overlap_us=50.0,
+                               sinr_jammed_db=-10.0)
+        prob = model.frame_success_probability(40.0, WifiRate.MBPS_54,
+                                               1470, exposure)
+        assert prob == 0.0
+
+    def test_partial_data_jam_degrades(self):
+        model = LinkQualityModel()
+        exposure = JamExposure(preamble_hit=False, data_overlap_us=50.0,
+                               sinr_jammed_db=10.0)
+        jammed = model.frame_success_probability(40.0, WifiRate.MBPS_54,
+                                                 1470, exposure)
+        clean = model.frame_success_probability(40.0, WifiRate.MBPS_54, 1470)
+        assert jammed < clean
+
+    def test_weak_jam_harmless(self):
+        model = LinkQualityModel()
+        exposure = JamExposure(preamble_hit=False, data_overlap_us=20.0,
+                               sinr_jammed_db=35.0)
+        prob = model.frame_success_probability(40.0, WifiRate.MBPS_54,
+                                               1470, exposure)
+        assert prob > 0.95
+
+    def test_rejects_empty_psdu(self):
+        with pytest.raises(ConfigurationError):
+            LinkQualityModel().frame_success_probability(
+                40.0, WifiRate.MBPS_54, 0)

@@ -1,0 +1,63 @@
+"""Tests for the 802.11 scrambler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.scrambler import recover_seed, scramble, scrambler_sequence
+
+
+class TestScramblerSequence:
+    def test_period_127(self):
+        seq = scrambler_sequence(1, 254)
+        assert np.array_equal(seq[:127], seq[127:])
+
+    def test_known_all_ones_seed(self):
+        # IEEE 802.11-2012 §18.3.5.5: seed 1111111 generates the
+        # 127-bit sequence starting 00001110 11110010 11001001 ...
+        seq = scrambler_sequence(0x7F, 24)
+        expected = [0, 0, 0, 0, 1, 1, 1, 0,
+                    1, 1, 1, 1, 0, 0, 1, 0,
+                    1, 1, 0, 0, 1, 0, 0, 1]
+        assert list(seq) == expected
+
+    def test_rejects_zero_seed(self):
+        with pytest.raises(ConfigurationError):
+            scrambler_sequence(0, 10)
+
+    def test_rejects_wide_seed(self):
+        with pytest.raises(ConfigurationError):
+            scrambler_sequence(0x80, 10)
+
+    def test_balanced(self):
+        seq = scrambler_sequence(0x5B, 127)
+        assert int(np.sum(seq)) == 64  # maximal-length property
+
+
+class TestScramble:
+    def test_involution(self, rng):
+        bits = rng.integers(0, 2, 500).astype(np.uint8)
+        assert np.array_equal(scramble(scramble(bits, 93), 93), bits)
+
+    def test_different_seeds_differ(self, rng):
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        assert not np.array_equal(scramble(bits, 1), scramble(bits, 2))
+
+    def test_zero_bits_become_sequence(self):
+        zeros = np.zeros(32, dtype=np.uint8)
+        assert np.array_equal(scramble(zeros, 0x7F),
+                              scrambler_sequence(0x7F, 32))
+
+
+class TestRecoverSeed:
+    def test_recovers_every_seed(self):
+        plain = np.zeros(7, dtype=np.uint8)
+        for seed in range(1, 128):
+            scrambled = scramble(plain, seed)[:7]
+            assert recover_seed(plain, scrambled) == seed
+
+    def test_rejects_short_prefix(self):
+        with pytest.raises(ConfigurationError):
+            recover_seed(np.zeros(5, dtype=np.uint8), np.zeros(5, dtype=np.uint8))

@@ -1,0 +1,153 @@
+"""Tests for the 802.16e OFDMA downlink PHY."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.wimax import params as p
+from repro.phy.wimax.frame import build_downlink_frame, data_carriers, downlink_stream
+from repro.phy.wimax.preamble import (
+    preamble_carriers,
+    preamble_pn_sequence,
+    preamble_symbol,
+)
+
+
+class TestParams:
+    def test_paper_numerology(self):
+        assert p.WIMAX_SAMPLE_RATE == 11_400_000
+        assert p.WIMAX_FFT_SIZE == 1024
+        assert p.WIMAX_CP_LENGTH == 128
+
+    def test_preamble_duration_near_100us(self):
+        # Paper: the preamble symbol lasts ~100.8 us.
+        duration = p.WIMAX_OFDM.symbol_length / p.WIMAX_SAMPLE_RATE
+        assert duration == pytest.approx(101e-6, rel=0.01)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            p.WimaxConfig(cell_id=32)
+        with pytest.raises(ConfigurationError):
+            p.WimaxConfig(segment=3)
+        with pytest.raises(ConfigurationError):
+            p.WimaxConfig(dl_symbols=0)
+        with pytest.raises(ConfigurationError):
+            p.WimaxConfig(dl_symbols=100)  # exceeds the 5 ms frame
+
+    def test_frame_samples(self):
+        cfg = p.WimaxConfig()
+        assert cfg.frame_samples == 57_000  # 5 ms at 11.4 MHz
+
+
+class TestPreambleCarriers:
+    def test_every_third_carrier(self):
+        for segment in range(3):
+            carriers = preamble_carriers(segment)
+            physical = carriers + p.WIMAX_FFT_SIZE // 2
+            assert np.all(np.diff(sorted(physical)) % 3 == 0)
+
+    def test_segments_disjoint(self):
+        sets = [set(preamble_carriers(s).tolist()) for s in range(3)]
+        assert not sets[0] & sets[1]
+        assert not sets[0] & sets[2]
+        assert not sets[1] & sets[2]
+
+    def test_guard_bands_respected(self):
+        for segment in range(3):
+            physical = preamble_carriers(segment) + p.WIMAX_FFT_SIZE // 2
+            assert physical.min() >= p.PREAMBLE_GUARD_CARRIERS
+            assert physical.max() < p.WIMAX_FFT_SIZE - p.PREAMBLE_GUARD_CARRIERS
+
+    def test_284_values_per_set(self):
+        # Segment 0's set crosses DC, which is excluded; others keep 284.
+        assert preamble_carriers(0).size in (283, 284)
+        assert preamble_carriers(1).size == 284
+        assert preamble_carriers(2).size == 284
+
+    def test_invalid_segment(self):
+        with pytest.raises(ConfigurationError):
+            preamble_carriers(3)
+
+
+class TestPnSequences:
+    def test_length(self):
+        assert preamble_pn_sequence(1, 0).size == p.PREAMBLE_PN_LENGTH
+
+    def test_bipolar(self):
+        seq = preamble_pn_sequence(5, 2)
+        assert set(np.unique(seq)) <= {-1, 1}
+
+    def test_distinct_per_cell_and_segment(self):
+        seqs = [preamble_pn_sequence(c, s) for c in (0, 1, 2) for s in (0, 1, 2)]
+        for i in range(len(seqs)):
+            for j in range(i + 1, len(seqs)):
+                assert not np.array_equal(seqs[i], seqs[j])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            preamble_pn_sequence(32, 0)
+        with pytest.raises(ConfigurationError):
+            preamble_pn_sequence(0, 3)
+
+
+class TestPreambleSymbol:
+    def test_length_and_power(self):
+        sym = preamble_symbol()
+        assert sym.size == p.WIMAX_OFDM.symbol_length == 1152
+        assert np.mean(np.abs(sym) ** 2) == pytest.approx(1.0)
+
+    def test_cyclic_prefix(self):
+        sym = preamble_symbol()
+        assert np.allclose(sym[:128], sym[-128:])
+
+    def test_pseudo_periodicity(self):
+        # Every-third-carrier occupancy makes the core pseudo-periodic
+        # with period fft/3 ~ 341 samples (the paper's "code that
+        # repeats itself 3 times").
+        core = preamble_symbol()[128:]
+        third = 1024 // 3
+        a, b = core[:third], core[third:2 * third]
+        rho = np.abs(np.vdot(a, b)) / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert rho > 0.8
+
+    def test_different_segments_differ(self):
+        assert not np.allclose(preamble_symbol(1, 0), preamble_symbol(1, 1))
+
+
+class TestDownlinkFrame:
+    def test_frame_shape(self, rng):
+        cfg = p.WimaxConfig()
+        frame = build_downlink_frame(cfg, rng)
+        assert frame.size == cfg.frame_samples
+
+    def test_tdd_quiet_period(self, rng):
+        cfg = p.WimaxConfig(dl_symbols=10)
+        frame = build_downlink_frame(cfg, rng)
+        dl_samples = 10 * p.WIMAX_OFDM.symbol_length
+        assert np.all(frame[dl_samples:] == 0)
+        assert np.mean(np.abs(frame[:dl_samples]) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_frame_opens_with_preamble(self, rng):
+        cfg = p.WimaxConfig(cell_id=1, segment=0)
+        frame = build_downlink_frame(cfg, rng)
+        assert np.allclose(frame[:1152], preamble_symbol(1, 0))
+
+    def test_stream_concatenates_frames(self, rng):
+        cfg = p.WimaxConfig()
+        stream = downlink_stream(cfg, 3, rng)
+        assert stream.size == 3 * cfg.frame_samples
+        # Every frame starts with the same preamble.
+        for k in range(3):
+            start = k * cfg.frame_samples
+            assert np.allclose(stream[start:start + 1152],
+                               preamble_symbol(1, 0))
+
+    def test_stream_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            downlink_stream(p.WimaxConfig(), 0, rng)
+
+    def test_data_carriers_exclude_dc(self):
+        carriers = data_carriers()
+        assert 0 not in carriers

@@ -1,0 +1,162 @@
+"""Property-based tests for the extension modules."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.channel.multipath import TappedDelayLine, two_ray
+from repro.dsp.spectrum import occupied_bandwidth, welch_psd
+from repro.hw.impairments import FrontEndImpairments
+from repro.hw.vita_time import VitaTimeSource
+from repro.phy.wifi.dsss import differential_encode, scramble_bits
+from repro.phy.zigbee.params import chip_sequence, octets_to_symbols
+
+seeds = st.integers(0, 2 ** 31 - 1)
+
+
+def noise(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(n) + 1j * rng.standard_normal(n)) / np.sqrt(2)
+
+
+# ----------------------------------------------------------------------
+# Zigbee chip table
+
+@given(st.integers(0, 15))
+def test_chip_sequences_are_binary_and_32_long(symbol: int):
+    chips = chip_sequence(symbol)
+    assert chips.size == 32
+    assert set(np.unique(chips)) <= {0, 1}
+
+
+@given(st.integers(0, 15), st.integers(0, 15))
+def test_chip_sequences_distinct(a: int, b: int):
+    if a != b:
+        assert not np.array_equal(chip_sequence(a), chip_sequence(b))
+
+
+@given(st.binary(min_size=0, max_size=64))
+def test_octets_to_symbols_preserves_information(data: bytes):
+    symbols = octets_to_symbols(data)
+    assert symbols.size == 2 * len(data)
+    rebuilt = bytes(
+        int(symbols[2 * k]) | (int(symbols[2 * k + 1]) << 4)
+        for k in range(len(data))
+    )
+    assert rebuilt == data
+
+
+# ----------------------------------------------------------------------
+# DSSS
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=300),
+       st.integers(1, 127))
+def test_dsss_scrambler_output_binary(bits, seed):
+    out = scramble_bits(np.array(bits, dtype=np.uint8), seed)
+    assert out.size == len(bits)
+    assert set(np.unique(out)) <= {0, 1}
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+def test_differential_encoding_phase_count(bits):
+    bits_arr = np.array(bits, dtype=np.uint8)
+    phases = differential_encode(bits_arr)
+    # The number of phase flips equals the number of 1 bits.
+    flips = int(np.sum(phases[1:] != phases[:-1]))
+    ones_after_first = int(np.sum(bits_arr[1:]))
+    assert flips == ones_after_first
+
+
+# ----------------------------------------------------------------------
+# Impairments
+
+@given(seeds, st.floats(-0.2, 0.2), st.floats(-0.2, 0.2))
+@settings(max_examples=30)
+def test_dc_offset_is_exactly_additive(seed, dc_i, dc_q):
+    imp = FrontEndImpairments(dc_offset=complex(dc_i, dc_q))
+    x = noise(seed, 64)
+    assert np.allclose(imp.apply(x), x + complex(dc_i, dc_q))
+
+
+@given(seeds, st.floats(-100e3, 100e3))
+@settings(max_examples=30)
+def test_cfo_preserves_power(seed, cfo):
+    imp = FrontEndImpairments(cfo_hz=cfo)
+    x = noise(seed, 256)
+    np.testing.assert_allclose(units.signal_power(imp.apply(x)),
+                               units.signal_power(x), rtol=1e-9)
+
+
+@given(seeds, st.integers(1, 5))
+@settings(max_examples=25)
+def test_impairments_chunking_invariant(seed, n_chunks):
+    imp = FrontEndImpairments(dc_offset=0.05, cfo_hz=33e3,
+                              iq_phase_error_deg=5.0)
+    x = noise(seed, 300)
+    whole = imp.apply(x, 0)
+    bounds = np.linspace(0, 300, n_chunks + 1).astype(int)
+    parts = np.concatenate([
+        imp.apply(x[a:b], a) for a, b in zip(bounds, bounds[1:])
+    ])
+    assert np.allclose(parts, whole)
+
+
+# ----------------------------------------------------------------------
+# Multipath
+
+@given(seeds, st.integers(1, 12), st.floats(-20.0, 0.0))
+@settings(max_examples=30)
+def test_two_ray_power_preserving_on_noise(seed, delay, echo_db):
+    channel = two_ray(delay_samples=delay, echo_db=echo_db)
+    x = noise(seed, 20_000)
+    p_out = units.signal_power(channel.apply(x))
+    # A unit-power channel preserves average power on white input.
+    assert abs(p_out - 1.0) < 0.15
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=5, unique=True))
+def test_impulse_response_places_taps(delays):
+    delays = sorted(delays)
+    gains = tuple(1.0 + 0j for _ in delays)
+    tdl = TappedDelayLine(delays=tuple(delays), gains=gains)
+    h = tdl.impulse_response
+    assert set(np.flatnonzero(h)) == set(delays)
+
+
+# ----------------------------------------------------------------------
+# Spectrum
+
+@given(seeds)
+@settings(max_examples=20)
+def test_psd_is_nonnegative(seed):
+    _f, psd = welch_psd(noise(seed, 4096), 25e6)
+    assert np.all(psd >= 0)
+
+
+@given(seeds, st.floats(0.5, 0.99))
+@settings(max_examples=20)
+def test_occupied_bandwidth_monotone_in_fraction(seed, fraction):
+    x = noise(seed, 8192)
+    low = occupied_bandwidth(x, 25e6, fraction=fraction / 2)
+    high = occupied_bandwidth(x, 25e6, fraction=fraction)
+    assert low <= high
+
+
+# ----------------------------------------------------------------------
+# VITA time
+
+@given(st.integers(0, 10 ** 12), st.floats(0.0, 10 ** 6))
+@settings(max_examples=40)
+def test_vita_roundtrip(sample, epoch):
+    src = VitaTimeSource(epoch_seconds=epoch)
+    assert src.sample_at(src.timestamp(sample)) == sample
+
+
+@given(st.floats(0.0, 10.0), st.floats(0.0, 3600.0))
+@settings(max_examples=30)
+def test_gps_locked_clocks_never_drift(ppm, duration):
+    a = VitaTimeSource(gps_locked=True, drift_ppm=ppm)
+    b = VitaTimeSource(gps_locked=True, drift_ppm=ppm * 2)
+    assert a.offset_after(b, duration) == 0.0

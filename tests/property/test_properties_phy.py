@@ -1,0 +1,111 @@
+"""Property-based tests: PHY round trips and frame formats."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.dot11 import (
+    FrameType,
+    build_ack_frame,
+    build_data_frame,
+    build_deauth_frame,
+    mac_address,
+    parse_frame,
+)
+from repro.phy.wifi.dsss import build_dsss_ppdu
+from repro.phy.wifi.dsss_receiver import DsssReceiver
+from repro.phy.zigbee.frame import build_ppdu as build_zigbee_ppdu
+from repro.phy.zigbee.receiver import ZigbeeReceiver
+
+payloads = st.binary(min_size=1, max_size=40)
+addresses = st.integers(0, 0xFFFFFF).map(mac_address)
+
+
+# ----------------------------------------------------------------------
+# 802.11 frame formats
+
+@given(addresses, addresses, addresses, payloads, st.integers(0, 0xFFF))
+@settings(max_examples=40)
+def test_data_frame_roundtrip(dst, src, bssid, payload, seq):
+    mpdu = build_data_frame(dst, src, bssid, payload, sequence=seq)
+    header, body = parse_frame(mpdu)
+    assert header.frame_type is FrameType.DATA
+    assert header.sequence == seq
+    assert body == payload
+
+
+@given(addresses)
+def test_ack_roundtrip(receiver):
+    header, body = parse_frame(build_ack_frame(receiver))
+    assert header.frame_type is FrameType.ACK
+    assert header.addr1 == receiver
+    assert body == b""
+
+
+@given(addresses, addresses, addresses, st.integers(0, 0xFFFF))
+@settings(max_examples=40)
+def test_deauth_roundtrip(dst, src, bssid, reason):
+    mpdu = build_deauth_frame(dst, src, bssid, reason=reason)
+    header, body = parse_frame(mpdu)
+    assert header.frame_type is FrameType.DEAUTH
+    assert int.from_bytes(body, "little") == reason
+
+
+@given(addresses, addresses, addresses, payloads,
+       st.integers(0, 2000), st.integers(0, 7))
+@settings(max_examples=40)
+def test_any_bit_flip_is_detected(dst, src, bssid, payload, pos, bit):
+    mpdu = bytearray(build_data_frame(dst, src, bssid, payload))
+    mpdu[pos % len(mpdu)] ^= 1 << bit
+    try:
+        parse_frame(bytes(mpdu))
+    except Exception:
+        return  # rejected, as it must be
+    raise AssertionError("a corrupted frame parsed cleanly")
+
+
+# ----------------------------------------------------------------------
+# Legacy PHY round trips (clean channel)
+
+@given(payloads)
+@settings(max_examples=15, deadline=None)
+def test_dsss_roundtrip_any_payload(payload):
+    wave = build_dsss_ppdu(payload)
+    assert DsssReceiver().receive(wave).psdu == payload
+
+
+@given(payloads)
+@settings(max_examples=15, deadline=None)
+def test_zigbee_roundtrip_any_payload(payload):
+    wave = build_zigbee_ppdu(payload)
+    assert ZigbeeReceiver().receive(wave).psdu == payload
+
+
+@given(payloads, st.floats(0.0, 2 * np.pi))
+@settings(max_examples=10, deadline=None)
+def test_dsss_roundtrip_any_carrier_phase(payload, phase):
+    wave = build_dsss_ppdu(payload) * np.exp(1j * phase)
+    assert DsssReceiver().receive(wave).psdu == payload
+
+
+# ----------------------------------------------------------------------
+# Profiles
+
+@given(st.integers(0, 0xFFFF_FFFF), st.integers(1, 2 ** 20),
+       st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_profile_roundtrip_random_settings(threshold, uptime, delay):
+    from repro.core.profiles import apply_profile, snapshot_profile
+    from repro.hw.uhd import UhdDriver
+    from repro.hw.usrp import UsrpN210
+
+    device = UsrpN210()
+    driver = UhdDriver(device)
+    driver.set_xcorr_threshold(threshold)
+    driver.set_jam_uptime(uptime)
+    driver.set_jam_delay(delay)
+    profile = snapshot_profile(device)
+    clone = UsrpN210()
+    apply_profile(clone, profile)
+    assert snapshot_profile(clone) == profile
