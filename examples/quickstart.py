@@ -7,6 +7,11 @@ the hardware did — detections, the jam burst, and the response
 latency, which lands at the paper's 2.64 us.
 
 Run:  python examples/quickstart.py
+
+Before committing changes that touch register writes or timing
+constants, run the domain-aware linter over the tree (it gates CI):
+
+    repro-lint src examples          # or: python -m repro.analysis src
 """
 
 import numpy as np
@@ -21,6 +26,7 @@ from repro.core import (
     wifi_short_preamble_template,
 )
 from repro.phy.wifi import WifiFrameConfig, WifiRate, build_ppdu
+from repro.phy.wifi.params import WIFI_SAMPLE_RATE
 
 
 def main() -> None:
@@ -32,7 +38,7 @@ def main() -> None:
     frame = build_ppdu(psdu, WifiFrameConfig(rate=WifiRate.MBPS_54))
     noise_floor = 1e-4
     rx = mix_at_port(
-        [Transmission(frame, sample_rate=20e6, start_time=100e-6,
+        [Transmission(frame, sample_rate=WIFI_SAMPLE_RATE, start_time=100e-6,
                       power=units.db_to_linear(20.0) * noise_floor)],
         out_rate=units.BASEBAND_RATE, duration=400e-6,
         noise_power=noise_floor, rng=rng,
@@ -64,7 +70,7 @@ def main() -> None:
           f"({(trigger_s - frame_start_s) * 1e6:.2f} us into the frame)")
     print(f"RF burst begins at     {tx_start_s * 1e6:8.2f} us "
           f"(T_init = {(tx_start_s - trigger_s) * 1e9:.0f} ns)")
-    print(f"burst length           {(first_jam.end - first_jam.start) / 25e6 * 1e6:8.2f} us")
+    print(f"burst length           {units.samples_to_seconds(first_jam.end - first_jam.start) * 1e6:8.2f} us")
     print(f"total jam airtime      {report.total_jam_airtime * 1e6:8.2f} us")
 
     # 5. The headline check: the frame is hit before its first data

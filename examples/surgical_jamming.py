@@ -41,6 +41,7 @@ from repro.core import (
 from repro.dsp.resample import resample
 from repro.errors import DecodeError
 from repro.phy.wifi import WifiFrameConfig, WifiRate, build_ppdu
+from repro.phy.wifi.params import WIFI_SAMPLE_RATE
 from repro.phy.wifi.receiver import WifiReceiver
 
 NOISE = 1e-4
@@ -65,7 +66,7 @@ def run_one(delay_s: float | None, jam_gain_db: float,
     psdu = rng.integers(0, 256, 500, dtype=np.uint8).tobytes()
     frame = build_ppdu(psdu, WifiFrameConfig(rate=WifiRate.MBPS_24))
     rx = mix_at_port(
-        [Transmission(frame, 20e6, start_time=FRAME_START_S,
+        [Transmission(frame, WIFI_SAMPLE_RATE, start_time=FRAME_START_S,
                       power=units.db_to_linear(SNR_DB) * NOISE)],
         out_rate=units.BASEBAND_RATE, duration=300e-6,
         noise_power=NOISE, rng=rng,
@@ -84,7 +85,7 @@ def run_one(delay_s: float | None, jam_gain_db: float,
         )
         jammer.device.set_tx_amplitude_db(jam_gain_db)
         victim = rx + jammer.run(rx).tx
-    capture = resample(victim, units.BASEBAND_RATE, 20e6)
+    capture = resample(victim, units.BASEBAND_RATE, WIFI_SAMPLE_RATE)
     try:
         return WifiReceiver().receive(capture).psdu == psdu
     except DecodeError:

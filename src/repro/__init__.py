@@ -41,6 +41,8 @@ Quickstart::
     report = jammer.run(received_waveform_25msps)
 """
 
+from __future__ import annotations
+
 from repro import units
 from repro.errors import (
     ConfigurationError,

@@ -1,0 +1,59 @@
+"""repro-lint: domain-aware static analysis for the reproduction.
+
+The FPGA core reproduced here is correct only because every value that
+crosses the user-register bus respects a bit-exact contract — 3-bit
+signed correlator coefficients packed ten per word, Q8.8 energy
+thresholds, a 2-bit waveform select, a 32-bit uptime counter.  A typo'd
+register address or an over-wide literal compiles fine and only fails
+at runtime, if ever.  This package closes that gap with an AST-based
+static-analysis pass that understands the hardware model:
+
+========  ==========================================================
+Rule      Invariant
+========  ==========================================================
+RJ001     register bus accesses must use ``REG_*`` constants from
+          :mod:`repro.hw.register_map`, never raw integer addresses
+RJ002     literal values written to a register must fit the
+          destination field width declared in the register map
+RJ003     designated bit-exact modules (the FPGA datapath models)
+          must stay integer/sign-bit exact — no float arithmetic
+RJ004     timing/rate magic numbers (25e6, 100e6, 40e-9, ...) live in
+          :mod:`repro.units` / ``phy/*/params.py``, nowhere else
+RJ005     generic hygiene the runtime cannot afford: mutable default
+          arguments, bare ``except``, missing
+          ``from __future__ import annotations`` under ``src/``
+========  ==========================================================
+
+The analyzer itself is pure stdlib (``ast`` + ``tokenize``); its only
+domain import is :mod:`repro.hw.register_map`, the declarative table
+it checks against.  Run it as ``python -m repro.analysis [paths]`` or
+via the ``repro-lint`` console script; findings suppress inline with
+``# repro-lint: disable=RJ00x``.  See ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    FileContext,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    resolve_rules,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, get_rule
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "Finding",
+    "Severity",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+]

@@ -1,0 +1,94 @@
+"""The repro-lint command line.
+
+::
+
+    python -m repro.analysis [paths ...] [--format text|json]
+                             [--select RJ001,RJ002] [--ignore RJ005]
+                             [--list-rules]
+
+Exit codes: 0 clean, 1 findings reported, 2 usage error.  With no
+paths, ``src`` is scanned when it exists, else the current directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import analyze_paths, resolve_rules
+from repro.analysis.reporters import render_json, render_text
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _split_codes(raw: list[str]) -> list[str]:
+    codes: list[str] = []
+    for chunk in raw:
+        codes.extend(code.strip() for code in chunk.split(",") if code.strip())
+    return codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-aware static analysis for the reactive-jamming "
+                    "reproduction (register-map, fixed-point, and units "
+                    "invariants).",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: src if present, else .)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="CODES",
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        rules = resolve_rules(_split_codes(args.select),
+                              _split_codes(args.ignore))
+    except ValueError as exc:
+        parser.error(str(exc))  # exits with code 2
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}")
+            print(f"       {rule.description}")
+        return EXIT_CLEAN
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"path(s) do not exist: {', '.join(missing)}")
+
+    findings = analyze_paths(paths, rules)
+    if args.format == "json":
+        print(render_json(findings, [rule.code for rule in rules]))
+    else:
+        print(render_text(findings))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""The rule engine: file discovery, parsing, dispatch, suppression.
+
+The engine is deliberately boring: it parses each file once, hands the
+shared :class:`FileContext` to every rule, filters the findings
+through the suppression table, and returns them sorted.  All domain
+knowledge lives in the rules (:mod:`repro.analysis.rules`).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import Suppressions, collect_suppressions
+
+#: Rule code reserved for files the parser rejects.
+PARSE_ERROR_CODE = "RJ000"
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              "build", "dist"}
+
+
+class FileContext:
+    """Everything a rule needs to know about one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 suppressions: Suppressions) -> None:
+        self.path = path
+        #: Forward-slash path, for suffix matching regardless of OS.
+        self.posix_path = path.replace("\\", "/")
+        self.source = source
+        self.tree = tree
+        self.suppressions = suppressions
+
+    @property
+    def is_src(self) -> bool:
+        """Whether the file lives under the ``src/`` package tree."""
+        parts = Path(self.posix_path).parts
+        return "src" in parts
+
+    def path_endswith(self, *suffixes: str) -> bool:
+        """Suffix match against the normalized path."""
+        return any(self.posix_path.endswith(suffix) for suffix in suffixes)
+
+
+class Rule:
+    """Base class for repro-lint rules.
+
+    Subclasses set ``code`` (``RJ00x``), ``name`` (short slug), and
+    ``description``, and implement :meth:`check` yielding findings.
+    Rules must not mutate the context.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule=self.code,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def resolve_rules(select: Iterable[str] | None = None,
+                  ignore: Iterable[str] | None = None) -> list[Rule]:
+    """Turn ``--select`` / ``--ignore`` code lists into rule instances."""
+    from repro.analysis.rules import ALL_RULES
+
+    rules = list(ALL_RULES)
+    if select:
+        wanted = {code.upper() for code in select}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore:
+        dropped = {code.upper() for code in ignore}
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules
+
+
+def analyze_source(source: str, path: str,
+                   rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Analyze one source string as if it lived at ``path``."""
+    if rules is None:
+        rules = resolve_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule=PARSE_ERROR_CODE,
+            message=f"file does not parse: {exc.msg}",
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+        )]
+    ctx = FileContext(path, source, tree, collect_suppressions(source, tree))
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check(ctx)
+        if not ctx.suppressions.is_suppressed(finding.rule, finding.line)
+    ]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def analyze_file(path: str | Path,
+                 rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Analyze one file on disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(
+            rule=PARSE_ERROR_CODE,
+            message=f"file is unreadable: {exc}",
+            path=str(path),
+            line=1,
+            col=0,
+        )]
+    return analyze_source(source, str(path), rules)
+
+
+def analyze_paths(paths: Iterable[str | Path],
+                  rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Analyze every Python file under ``paths`` (the CLI entry point)."""
+    if rules is None:
+        rules = resolve_rules()
+    else:
+        rules = list(rules)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(analyze_file(file_path, rules))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,54 @@
+"""The machine-readable finding model.
+
+A finding pins one rule violation to one source location.  The model
+is deliberately small and stable: future PRs diff JSON reports over
+time, so every field here is part of the report schema documented in
+``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the CI gate; ``WARNING`` findings are
+    reported but reserved for advisory rules added later.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: Severity = Severity.ERROR
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` for terminal output (clickable in IDEs)."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialize for the JSON report (schema version 1)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

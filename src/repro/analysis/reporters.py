@@ -1,0 +1,49 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON schema (version 1) is stable; future PRs diff reports over
+time, so fields are only ever added, never renamed.  See
+``docs/static_analysis.md`` for the documented schema.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+#: Bumped only when an existing field changes meaning.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding + summary."""
+    lines = [
+        f"{finding.location}: {finding.rule} {finding.message}"
+        for finding in findings
+    ]
+    if findings:
+        counts = Counter(finding.rule for finding in findings)
+        breakdown = ", ".join(
+            f"{code} x{count}" for code, count in sorted(counts.items())
+        )
+        lines.append(f"repro-lint: {len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("repro-lint: clean, no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                rule_codes: Iterable[str] = ()) -> str:
+    """The machine-readable report, schema version 1."""
+    counts = Counter(finding.rule for finding in findings)
+    report = {
+        "tool": "repro-lint",
+        "schema_version": JSON_SCHEMA_VERSION,
+        "rules_run": sorted(rule_codes),
+        "total": len(findings),
+        "counts": dict(sorted(counts.items())),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(report, indent=2)

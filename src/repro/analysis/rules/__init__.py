@@ -1,0 +1,33 @@
+"""Rule registry.
+
+Rules register themselves by being instantiated here; the engine and
+CLI only ever see :data:`ALL_RULES`.  Adding a rule means adding a
+module under this package and one line below — the contract a future
+PR needs is deliberately that small.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.bitexact import BitExactRule
+from repro.analysis.rules.hygiene import HygieneRule
+from repro.analysis.rules.magic_numbers import MagicNumberRule
+from repro.analysis.rules.registers import RegisterAddressRule, RegisterWidthRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    RegisterAddressRule(),
+    RegisterWidthRule(),
+    BitExactRule(),
+    MagicNumberRule(),
+    HygieneRule(),
+)
+
+_BY_CODE = {rule.code: rule for rule in ALL_RULES}
+
+
+def get_rule(code: str) -> Rule:
+    """Look a rule up by its ``RJ00x`` code."""
+    return _BY_CODE[code.upper()]
+
+
+__all__ = ["ALL_RULES", "get_rule"]

@@ -1,0 +1,86 @@
+"""RJ003: bit-exactness of the FPGA datapath models.
+
+The cross-correlator, energy differentiator, and trigger FSM mirror
+fixed-point hardware: sign-bit slicing, 3-bit coefficients, integer
+accumulators, Q8.8 thresholds.  Floating-point arithmetic creeping
+into these modules silently breaks the "matches the FPGA bit for bit"
+property the detection-latency results rest on, so this rule flags:
+
+* true division (``/``) — the hardware has no divider;
+* float literals used in arithmetic or comparisons;
+* calls to the ``float()`` builtin.
+
+Host-side helpers that legitimately run in floating point (offline
+template quantization, dB threshold validation) are marked with a
+``# repro-lint: disable=RJ003`` directive on their ``def`` line, which
+scopes the suppression to the whole function.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+#: Modules whose datapaths must stay integer/sign-bit exact.
+BIT_EXACT_MODULES: tuple[str, ...] = (
+    "hw/cross_correlator.py",
+    "hw/energy_differentiator.py",
+    "hw/trigger.py",
+)
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+              ast.Mod, ast.Pow)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class BitExactRule(Rule):
+    """RJ003: no float arithmetic in designated bit-exact modules."""
+
+    code = "RJ003"
+    name = "float-in-bit-exact-module"
+    description = (
+        "designated bit-exact modules (FPGA datapath models) must not use "
+        "true division, float literals in arithmetic/comparisons, or float()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.path_endswith(*BIT_EXACT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp):
+                if isinstance(node.op, ast.Div):
+                    yield self.finding(
+                        ctx, node,
+                        "true division in a bit-exact module; the FPGA "
+                        "datapath has no divider (use shifts or //)",
+                    )
+                elif (isinstance(node.op, _ARITH_OPS)
+                        and (_is_float_literal(node.left)
+                             or _is_float_literal(node.right))):
+                    yield self.finding(
+                        ctx, node,
+                        "float literal in arithmetic inside a bit-exact "
+                        "module; the datapath is integer/sign-bit exact",
+                    )
+            elif isinstance(node, ast.Compare):
+                if any(_is_float_literal(comp)
+                       for comp in [node.left, *node.comparators]):
+                    yield self.finding(
+                        ctx, node,
+                        "comparison against a float literal inside a "
+                        "bit-exact module; thresholds are integer registers",
+                    )
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "float"):
+                yield self.finding(
+                    ctx, node,
+                    "float() conversion inside a bit-exact module; keep "
+                    "the datapath integer (host-side helpers may suppress "
+                    "with '# repro-lint: disable=RJ003' on the def line)",
+                )

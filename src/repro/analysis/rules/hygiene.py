@@ -1,0 +1,83 @@
+"""RJ005: generic hygiene the runtime cannot afford.
+
+Three checks, all cheap and all with a history of biting streaming
+code: mutable default arguments (shared state across calls of a block
+that is supposed to be stateless), bare ``except`` (swallows
+``KeyboardInterrupt`` in the console event loop), and a missing
+``from __future__ import annotations`` in ``src/`` modules (the
+codebase uses PEP 604 unions in signatures, which need it on the
+oldest supported interpreter).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+def _has_future_annotations(tree: ast.Module) -> bool:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ImportFrom) and stmt.module == "__future__":
+            if any(alias.name == "annotations" for alias in stmt.names):
+                return True
+    return False
+
+
+def _is_docstring_only(tree: ast.Module) -> bool:
+    body = tree.body
+    if not body:
+        return True
+    return (len(body) == 1
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str))
+
+
+class HygieneRule(Rule):
+    """RJ005: mutable defaults, bare except, missing future import."""
+
+    code = "RJ005"
+    name = "runtime-hygiene"
+    description = (
+        "no mutable default arguments, no bare except, and src/ modules "
+        "must start with 'from __future__ import annotations'"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if (ctx.is_src and not _is_docstring_only(ctx.tree)
+                and not _has_future_annotations(ctx.tree)):
+            yield Finding(
+                rule=self.code,
+                message="missing 'from __future__ import annotations' "
+                        "(required in src/ modules)",
+                path=ctx.path, line=1, col=0,
+            )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = [*node.args.defaults, *node.args.kw_defaults]
+                for default in defaults:
+                    if default is not None and _is_mutable_default(default):
+                        yield self.finding(
+                            ctx, default,
+                            f"mutable default argument in {node.name}(); "
+                            "shared across calls — default to None instead",
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                    "catch a concrete exception type",
+                )

@@ -1,0 +1,88 @@
+"""RJ004: timing/rate magic numbers.
+
+The framework mixes three clock domains (100 MHz FPGA clock, 25 MSPS
+baseband, per-standard PHY rates) and the conversions are exactly the
+kind of constant that drifts when spelled inline: ``25e6`` in one file
+and ``25_000_000`` in another are the same jammer today and two
+different jammers after a retune.  Every such constant has one home —
+:mod:`repro.units` for the core clocks, ``phy/<std>/params.py`` for
+per-standard rates — and this rule flags the literal anywhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+# This table must spell the values literally: the analyzer is pure
+# stdlib and cannot import repro.units (numpy) to read the real
+# constants.  It is the one other place they may appear.
+# repro-lint: disable-file=RJ004
+
+#: Files allowed to define timing/rate constants.
+ALLOWED_SUFFIXES: tuple[str, ...] = ("repro/units.py",)
+
+#: Integer-valued magic constants -> the name to use instead.
+MAGIC_INTS: dict[int, str] = {
+    25_000_000: "repro.units.BASEBAND_RATE",
+    100_000_000: "repro.units.FPGA_CLOCK_HZ",
+    20_000_000: "repro.phy.wifi.params.WIFI_SAMPLE_RATE",
+    11_400_000: "repro.phy.wimax.params.WIMAX_SAMPLE_RATE",
+    4_000_000: "repro.phy.zigbee.params.ZIGBEE_SAMPLE_RATE",
+    2_000_000: "repro.phy.zigbee.params.CHIP_RATE",
+}
+
+#: Float-valued magic constants (periods) -> replacement name.
+MAGIC_FLOATS: dict[float, str] = {
+    40e-9: "repro.units.SAMPLE_PERIOD",
+    10e-9: "repro.units.CLOCK_PERIOD",
+}
+
+_REL_TOLERANCE = 1e-9
+
+
+def _is_params_module(ctx: FileContext) -> bool:
+    parts = ctx.posix_path.split("/")
+    return len(parts) >= 2 and parts[-1] == "params.py" and "phy" in parts
+
+
+def _match(value: int | float) -> str | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        return MAGIC_INTS.get(value)
+    if isinstance(value, float):
+        for magic, name in MAGIC_FLOATS.items():
+            if abs(value - magic) <= _REL_TOLERANCE * magic:
+                return name
+        if value.is_integer():
+            return MAGIC_INTS.get(int(value))
+    return None
+
+
+class MagicNumberRule(Rule):
+    """RJ004: clock/rate/period literals outside units.py / params.py."""
+
+    code = "RJ004"
+    name = "timing-magic-number"
+    description = (
+        "timing/rate magic numbers (25e6, 100e6, 40e-9, PHY sample rates) "
+        "belong in repro.units or phy/*/params.py, not inline"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path_endswith(*ALLOWED_SUFFIXES) or _is_params_module(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            if not isinstance(node.value, (int, float)):
+                continue
+            replacement = _match(node.value)
+            if replacement is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"timing magic number {node.value!r}; use {replacement}",
+                )

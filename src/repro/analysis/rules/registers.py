@@ -1,0 +1,159 @@
+"""RJ001/RJ002: the user-register bus contract.
+
+The 24-register layout in :mod:`repro.hw.register_map` is the single
+source of truth for addresses and field widths.  RJ001 keeps raw
+integer addresses out of bus calls (a typo'd address silently programs
+the wrong block); RJ002 statically folds literal writes and checks
+them against the destination register's declared width (an over-wide
+literal would be rejected — or worse, truncated — only at runtime).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.hw import register_map
+
+#: The register map itself is the one place raw addresses may live.
+_ADDRESS_AUTHORITY = ("hw/register_map.py",)
+
+#: Receiver names that mark a call target as the register bus.
+_BUS_METHODS = {"write", "read", "watch"}
+
+
+def _receiver_is_bus(node: ast.expr) -> bool:
+    """Whether an attribute/name chain plausibly names the register bus."""
+    if isinstance(node, ast.Name):
+        return node.id.lower().endswith("bus")
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower().endswith("bus")
+    return False
+
+
+def _fold_constant(node: ast.expr) -> int | None:
+    """Fold an expression of int literals and register-map names.
+
+    Returns the value if the expression is statically known (integer
+    literals, ``REG_*``-style names resolvable in the register map,
+    and +,-,*,//,<<,>>,| combinations thereof), else ``None``.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, int) and not isinstance(node.value, bool):
+            return node.value
+        return None
+    if isinstance(node, ast.Name):
+        value = getattr(register_map, node.id, None)
+        return value if isinstance(value, int) else None
+    if isinstance(node, ast.Attribute):
+        value = getattr(register_map, node.attr, None)
+        return value if isinstance(value, int) else None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _fold_constant(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.BinOp):
+        left = _fold_constant(node.left)
+        right = _fold_constant(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.FloorDiv) and right != 0:
+            return left // right
+        if isinstance(node.op, ast.LShift) and right >= 0:
+            return left << right
+        if isinstance(node.op, ast.RShift) and right >= 0:
+            return left >> right
+        if isinstance(node.op, ast.BitOr):
+            return left | right
+        return None
+    return None
+
+
+def _is_pure_literal(node: ast.expr) -> bool:
+    """Whether an expression is built from integer literals only."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int) and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp):
+        return _is_pure_literal(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_pure_literal(node.left) and _is_pure_literal(node.right)
+    return False
+
+
+def _bus_calls(ctx: FileContext) -> Iterator[ast.Call]:
+    for node in ast.walk(ctx.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BUS_METHODS
+                and _receiver_is_bus(node.func.value)
+                and node.args):
+            yield node
+
+
+class RegisterAddressRule(Rule):
+    """RJ001: bus accesses must address registers by ``REG_*`` name."""
+
+    code = "RJ001"
+    name = "raw-register-address"
+    description = (
+        "bus.write()/bus.read()/bus.watch() must use REG_* constants from "
+        "repro.hw.register_map, not raw integer addresses"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path_endswith(*_ADDRESS_AUTHORITY):
+            return
+        for call in _bus_calls(ctx):
+            address = call.args[0]
+            if _is_pure_literal(address):
+                value = _fold_constant(address)
+                shown = f" {value}" if value is not None else ""
+                method = call.func.attr if isinstance(call.func, ast.Attribute) else "?"
+                yield self.finding(
+                    ctx, address,
+                    f"raw register address{shown} in bus.{method}(); "
+                    "use a REG_* constant from repro.hw.register_map",
+                )
+
+
+class RegisterWidthRule(Rule):
+    """RJ002: literal register writes must fit the declared field width."""
+
+    code = "RJ002"
+    name = "register-field-overflow"
+    description = (
+        "a literal value written to a register must fit the destination "
+        "field width declared in repro.hw.register_map.REGISTER_SPECS"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in _bus_calls(ctx):
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            if call.func.attr != "write" or len(call.args) < 2:
+                continue
+            address = _fold_constant(call.args[0])
+            value = _fold_constant(call.args[1])
+            if address is None or value is None:
+                continue
+            spec = register_map.register_spec(address)
+            if spec is None:
+                if value > register_map.JAM_UPTIME_MAX or value < 0:
+                    yield self.finding(
+                        ctx, call.args[1],
+                        f"value {value:#x} does not fit the 32-bit data bus",
+                    )
+                continue
+            if not 0 <= value <= spec.max_value:
+                yield self.finding(
+                    ctx, call.args[1],
+                    f"value {value:#x} overflows {spec.name} (address "
+                    f"{spec.address}): {spec.description}; the field accepts "
+                    f"at most {spec.max_value:#x} ({spec.width} bits)",
+                )

@@ -1,0 +1,94 @@
+"""Inline suppression comments.
+
+Three forms are understood, all spelled in a regular comment:
+
+``# repro-lint: disable=RJ001``
+    Suppress the listed rules on this line.  When the comment sits on
+    a ``def`` or ``class`` header line, the suppression covers the
+    whole body — the idiom for marking a host-side helper inside an
+    otherwise bit-exact module.
+
+``# repro-lint: disable-file=RJ004``
+    Suppress the listed rules for the entire file, wherever the
+    comment appears.
+
+Multiple codes separate with commas: ``disable=RJ001,RJ003``.
+Unknown codes are accepted silently so a suppression never turns into
+a crash when a rule is renamed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+
+_DIRECTIVE = re.compile(
+    r"repro-lint:\s*disable(?P<scope>-file)?\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
+class Suppressions:
+    """Suppression state for one file."""
+
+    def __init__(self) -> None:
+        self.file_level: set[str] = set()
+        self.line_level: dict[int, set[str]] = {}
+        #: ``(first_line, last_line, codes)`` spans from def/class headers.
+        self.scoped: list[tuple[int, int, set[str]]] = []
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        code = code.upper()
+        if code in self.file_level:
+            return True
+        if code in self.line_level.get(line, set()):
+            return True
+        return any(start <= line <= end and code in codes
+                   for start, end, codes in self.scoped)
+
+
+def collect_suppressions(source: str, tree: ast.Module | None) -> Suppressions:
+    """Scan comments (and the AST, for scoping) for directives."""
+    result = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("scope"):
+                result.file_level |= codes
+            else:
+                result.line_level.setdefault(token.start[0], set()).update(codes)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # A file the tokenizer rejects still gets analyzed (the engine
+        # reports the parse error); it just cannot carry suppressions.
+        return result
+
+    if tree is None:
+        return result
+
+    # Promote directives sitting on def/class header lines to cover the
+    # whole body.  ``node.lineno`` is the header line (decorators are
+    # listed separately), ``end_lineno`` the last body line.
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        header_codes: set[str] = set()
+        # The header may wrap across lines (long signatures); accept a
+        # directive on any header line before the first body statement.
+        body_start = node.body[0].lineno if node.body else node.lineno
+        for line in range(node.lineno, max(node.lineno + 1, body_start)):
+            header_codes |= result.line_level.get(line, set())
+        if header_codes and node.end_lineno is not None:
+            result.scoped.append((node.lineno, node.end_lineno, header_codes))
+    return result

@@ -33,6 +33,8 @@ awareness enables:
   expects, so the loss is invisible to the victim.
 """
 
+from __future__ import annotations
+
 from repro.apps.ijam import IjamLink, IjamResult
 from repro.apps.friendly_jamming import FriendlyJammingLink, FriendlyJammingResult
 from repro.apps.jamming_detector import JammingDetector, LinkVerdict

@@ -12,6 +12,8 @@ attenuators emulating path loss.  This package models that plumbing:
   sample-rate conversion and time offsets.
 """
 
+from __future__ import annotations
+
 from repro.channel.awgn import AwgnChannel, awgn
 from repro.channel.attenuator import Attenuator, VariableAttenuator
 from repro.channel.splitter import FivePortNetwork, PAPER_TABLE1_DB

@@ -15,6 +15,8 @@ into the workflow the paper demonstrates:
    and analyze its timing (:mod:`repro.core.timeline`).
 """
 
+from __future__ import annotations
+
 from repro.core.coeffs import (
     dsss_preamble_template,
     infer_template_from_capture,

@@ -17,6 +17,8 @@ framework builds on:
 * :mod:`repro.dsp.measure` — power, SNR, and correlation measurements.
 """
 
+from __future__ import annotations
+
 from repro.dsp.fixed_point import FixedPointFormat, quantize
 from repro.dsp.filters import FirFilter, design_lowpass
 from repro.dsp.resample import RationalResampler, resample

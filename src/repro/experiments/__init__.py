@@ -26,6 +26,8 @@ Beyond the paper's own evaluation:
   stealth accounting at each personality's kill point.
 """
 
+from __future__ import annotations
+
 from repro.experiments.detection import (
     DetectionPoint,
     energy_detector_curve,

@@ -128,7 +128,7 @@ def _impaired_arrivals(base_frame_20: np.ndarray,
     quarter-sample grid by upsampling 20 -> 100 MSPS and decimating by
     4 at each of the four phases.
     """
-    up100 = resample(base_frame_20, WIFI_SAMPLE_RATE, 100_000_000)
+    up100 = resample(base_frame_20, WIFI_SAMPLE_RATE, units.FPGA_CLOCK_HZ)
     arrivals = []
     for offset in range(4):
         sig = up100[offset::4]

@@ -30,6 +30,8 @@ Timing is tracked in FPGA clock cycles (100 MHz) and baseband samples
 timeline analysis is exact.
 """
 
+from __future__ import annotations
+
 from repro.hw.registers import UserRegisterBus
 from repro.hw.cross_correlator import CrossCorrelator, quantize_coefficients
 from repro.hw.energy_differentiator import EnergyDifferentiator

@@ -36,7 +36,7 @@ PIPELINE_LATENCY_CLOCKS = 1
 METRIC_MAX = 2 * (CORRELATOR_LENGTH * 8) ** 2
 
 
-def quantize_coefficients(template: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def quantize_coefficients(template: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # repro-lint: disable=RJ003 (host-side offline step, not datapath)
     """Quantize a complex template to 3-bit signed I/Q coefficients.
 
     The host generates these offline from knowledge of the standard's

@@ -58,7 +58,7 @@ class EnergyDifferentiator:
         self._sum_tail = np.zeros(delay, dtype=np.float64)
 
     @staticmethod
-    def _check_threshold(value_db: float) -> float:
+    def _check_threshold(value_db: float) -> float:  # repro-lint: disable=RJ003 (host-side dB validation, not datapath)
         if not THRESHOLD_MIN_DB <= value_db <= THRESHOLD_MAX_DB:
             raise ConfigurationError(
                 f"energy threshold {value_db} dB outside the programmable "

@@ -31,6 +31,8 @@ Address     Contents
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 #: Bits per packed correlator coefficient (3-bit signed, paper Fig. 3).
 COEFF_BITS = 3
 
@@ -77,6 +79,99 @@ TRIGGER_MODE_BIT = 1 << 15
 # Waveform-select fields (register 21).
 WAVEFORM_SELECT_MASK = 0x3
 WGN_SEED_SHIFT = 2
+
+#: Highest value the 32-bit JAM_UPTIME register can carry.  The
+#: docstring contract above ("clipped to 2^32 - 1 by the bus width")
+#: is enforced by :func:`clip_jam_uptime`.
+JAM_UPTIME_MAX = (1 << 32) - 1
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Declarative contract for one user register.
+
+    ``width`` is the number of meaningful low bits; ``max_value`` the
+    highest value the hardware accepts (defaults to the all-ones value
+    of ``width`` bits, but can be tighter — the replay length stops at
+    512 even though it needs 10 bits).  The static-analysis pass
+    (:mod:`repro.analysis`, rule RJ002) checks literal writes against
+    this table, so it is the single source of truth for field widths.
+    """
+
+    name: str
+    address: int
+    width: int
+    description: str
+    max_value: int = -1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.width <= 32:
+            raise ValueError(f"register width {self.width} outside [1, 32]")
+        if self.max_value < 0:
+            object.__setattr__(self, "max_value", (1 << self.width) - 1)
+        if self.max_value >= (1 << self.width):
+            raise ValueError(
+                f"max_value {self.max_value:#x} does not fit {self.width} bits"
+            )
+
+
+#: Bits used per packed-coefficient word (10 coefficients x 3 bits).
+COEFF_WORD_WIDTH = COEFFS_PER_WORD * COEFF_BITS
+
+REGISTER_SPECS: tuple[RegisterSpec, ...] = tuple(
+    [RegisterSpec(f"REG_COEFF_I_{k}", REG_COEFF_I_BASE + k, COEFF_WORD_WIDTH,
+                  f"I correlator coefficients, word {k} (10 x 3-bit signed)")
+     for k in range(COEFF_WORDS)]
+    + [RegisterSpec(f"REG_COEFF_Q_{k}", REG_COEFF_Q_BASE + k, COEFF_WORD_WIDTH,
+                    f"Q correlator coefficients, word {k} (10 x 3-bit signed)")
+       for k in range(COEFF_WORDS)]
+    + [
+        RegisterSpec("REG_XCORR_THRESHOLD", REG_XCORR_THRESHOLD, 32,
+                     "cross-correlation detection threshold (unsigned)"),
+        RegisterSpec("REG_ENERGY_THRESHOLD_HIGH", REG_ENERGY_THRESHOLD_HIGH, 16,
+                     "energy rise threshold, dB x 256 (Q8.8 unsigned)"),
+        RegisterSpec("REG_ENERGY_THRESHOLD_LOW", REG_ENERGY_THRESHOLD_LOW, 16,
+                     "energy fall threshold, dB x 256 (Q8.8 unsigned)"),
+        RegisterSpec("REG_TRIGGER_CONFIG", REG_TRIGGER_CONFIG, 16,
+                     "3 x 4-bit stage sources + enable bits 12-14 + mode bit 15"),
+        RegisterSpec("REG_TRIGGER_WINDOW", REG_TRIGGER_WINDOW, 32,
+                     "trigger combination window, baseband samples"),
+        RegisterSpec("REG_JAM_DELAY", REG_JAM_DELAY, 32,
+                     "jam delay after trigger, baseband samples"),
+        RegisterSpec("REG_JAM_UPTIME", REG_JAM_UPTIME, 32,
+                     "jam uptime, baseband samples (saturates at 2^32 - 1)"),
+        RegisterSpec("REG_JAM_WAVEFORM", REG_JAM_WAVEFORM, 32,
+                     "waveform select (bits 0-1) + WGN seed (bits 2-31)"),
+        RegisterSpec("REG_CONTROL_FLAGS", REG_CONTROL_FLAGS, 16,
+                     "enable/continuous/freeze flags + antenna bits 8-15"),
+        RegisterSpec("REG_REPLAY_LENGTH", REG_REPLAY_LENGTH, 10,
+                     "replay capture length, samples (1..512)", max_value=512),
+    ]
+)
+
+#: Address -> spec, for bounds checks and the static analyzer.
+SPEC_BY_ADDRESS: dict[int, RegisterSpec] = {
+    spec.address: spec for spec in REGISTER_SPECS
+}
+
+assert len(SPEC_BY_ADDRESS) == REGISTERS_USED, "register spec table has gaps"
+
+
+def register_spec(address: int) -> RegisterSpec | None:
+    """Spec for ``address``, or ``None`` for unassigned registers."""
+    return SPEC_BY_ADDRESS.get(address)
+
+
+def clip_jam_uptime(samples: int) -> int:
+    """Saturate a jam uptime request to the 32-bit bus width.
+
+    The register layout promises values above ``2^32 - 1`` are
+    *clipped*, not rejected — the bus simply cannot carry more.
+    Negative uptimes have no hardware meaning and are rejected.
+    """
+    if samples < 0:
+        raise ValueError(f"jam uptime {samples} cannot be negative")
+    return min(int(samples), JAM_UPTIME_MAX)
 
 
 def encode_energy_threshold_db(threshold_db: float) -> int:

@@ -48,11 +48,21 @@ class UserRegisterBus:
             )
 
     def write(self, address: int, value: int) -> None:
-        """Write a 32-bit word; values outside 32 bits are rejected."""
+        """Write a 32-bit word to ``address``.
+
+        Width policy — **reject, never mask**: a value outside
+        ``[0, WORD_MASK]`` raises :class:`RegisterError` instead of
+        being silently truncated to its low 32 bits.  Silent masking
+        would reprogram the hardware with a different value than the
+        caller asked for; callers that want saturation semantics must
+        clip explicitly (e.g. ``register_map.clip_jam_uptime``) so the
+        intent is visible at the call site.
+        """
         self._check_address(address)
         if not 0 <= value <= WORD_MASK:
             raise RegisterError(
-                f"value {value:#x} does not fit the 32-bit data bus"
+                f"value {value:#x} does not fit the 32-bit data bus "
+                "(the bus rejects out-of-range words, it never masks)"
             )
         self._values[address] = value
         self._write_count += 1

@@ -101,12 +101,22 @@ class UhdDriver:
         self.set_jam_delay(units.seconds_to_samples(seconds))
 
     def set_jam_uptime(self, samples: int) -> None:
-        """Jam burst duration in samples (1 .. 2^32-1)."""
-        if not 1 <= samples <= MAX_UPTIME_SAMPLES:
+        """Jam burst duration in samples.
+
+        Requests saturate rather than fail: the register layout
+        promises uptimes are "clipped to 2^32 - 1 by the bus width"
+        (:func:`repro.hw.register_map.clip_jam_uptime`), and the
+        transmit controller's uptime counter further caps the usable
+        range at ``MAX_UPTIME_SAMPLES``.  Zero/negative uptimes have
+        no hardware meaning and are rejected.
+        """
+        if samples < 1:
             raise ConfigurationError(
-                f"uptime {samples} outside [1, {MAX_UPTIME_SAMPLES}] samples"
+                f"uptime {samples} must be at least 1 sample"
             )
-        self._bus.write(regmap.REG_JAM_UPTIME, int(samples))
+        clipped = min(regmap.clip_jam_uptime(int(samples)),
+                      MAX_UPTIME_SAMPLES)
+        self._bus.write(regmap.REG_JAM_UPTIME, clipped)
 
     def set_jam_uptime_seconds(self, seconds: float) -> None:
         """Jam burst duration in seconds (40 ns .. ~40 s)."""

@@ -20,6 +20,8 @@ package provides the simulated equivalent:
   reporting bandwidth and PRR exactly as the paper's tables read them.
 """
 
+from __future__ import annotations
+
 from repro.mac.simkernel import SimKernel
 from repro.mac.frames import FrameKind, MacFrame, ack_duration_us, data_duration_us
 from repro.mac.rate_control import ArfRateController

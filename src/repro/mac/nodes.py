@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import units
 from repro.core.presets import JammerPersonality
 from repro.core.timeline import timeline_for
 from repro.errors import ConfigurationError, SimulationError
@@ -387,7 +388,7 @@ class JammerNode:
         now = emission.start
         if now < self._busy_until:
             return
-        delay_s = self.personality.delay_samples / 25e6
+        delay_s = units.samples_to_seconds(self.personality.delay_samples)
         burst_start = now + self._response_time_s + delay_s
         burst_len = self.personality.uptime_seconds
         self._busy_until = burst_start + burst_len

@@ -12,6 +12,8 @@ constellation mapping, CRC) live at this level because both standards
 draw from the same toolbox.
 """
 
+from __future__ import annotations
+
 from repro.phy.bits import (
     bits_to_bytes,
     bytes_to_bits,

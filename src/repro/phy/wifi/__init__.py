@@ -10,6 +10,8 @@ Implements what the paper's experiments exercise:
   the MAC simulation uses for the iperf experiments.
 """
 
+from __future__ import annotations
+
 from repro.phy.wifi.params import WifiRate, WIFI_OFDM, RATE_PARAMETERS
 from repro.phy.wifi.preamble import (
     long_preamble,

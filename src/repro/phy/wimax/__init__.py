@@ -11,6 +11,8 @@ WiMAX receiver and evaluated at the PHY level with a scope), so this
 package implements preamble generation and TDD frame assembly.
 """
 
+from __future__ import annotations
+
 from repro.phy.wimax.params import WIMAX_OFDM, WimaxConfig
 from repro.phy.wimax.preamble import (
     preamble_carriers,

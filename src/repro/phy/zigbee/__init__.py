@@ -15,6 +15,8 @@ symbols spread to 32-chip PN sequences at 2 Mchip/s, modulated with
 half-sine-shaped O-QPSK at a native 4 MSPS (2 samples/chip).
 """
 
+from __future__ import annotations
+
 from repro.phy.zigbee.params import (
     CHIP_RATE,
     ZIGBEE_SAMPLE_RATE,

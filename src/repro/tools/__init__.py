@@ -8,6 +8,8 @@ GUI did, as a scriptable command interpreter plus an interactive REPL
 (``python -m repro.tools.console``).
 """
 
+from __future__ import annotations
+
 from repro.tools.console import JammerConsole
 
 __all__ = ["JammerConsole"]

@@ -254,8 +254,10 @@ class JammerConsole:
             f"fall {core.energy.threshold_low_db} dB",
             f"trigger       : {self._trigger_desc}",
             f"waveform      : {core.tx.waveform.name}",
-            f"uptime        : {core.tx.uptime_samples / 25e6 * 1e6:g} us",
-            f"delay         : {core.tx.delay_samples / 25e6 * 1e6:g} us",
+            f"uptime        : "
+            f"{units.samples_to_seconds(core.tx.uptime_samples) * 1e6:g} us",
+            f"delay         : "
+            f"{units.samples_to_seconds(core.tx.delay_samples) * 1e6:g} us",
             f"enabled       : {core.jammer_enabled}  "
             f"continuous: {core.continuous}",
             f"detections    : " + "  ".join(
@@ -301,23 +303,28 @@ class JammerConsole:
         power = units.db_to_linear(15.0) * noise
         if kind == "wifi":
             from repro.phy.wifi.frame import WifiFrameConfig, build_ppdu
+            from repro.phy.wifi.params import WIFI_SAMPLE_RATE
 
             psdu = rng.integers(0, 256, 100, dtype=np.uint8).tobytes()
-            tx = [Transmission(build_ppdu(psdu, WifiFrameConfig()), 20e6,
+            tx = [Transmission(build_ppdu(psdu, WifiFrameConfig()),
+                               WIFI_SAMPLE_RATE,
                                100e-6 + k * 500e-6, power) for k in range(4)]
             duration = 2.1e-3
         elif kind == "wimax":
             from repro.phy.wimax.frame import build_downlink_frame
-            from repro.phy.wimax.params import WimaxConfig
+            from repro.phy.wimax.params import WIMAX_SAMPLE_RATE, WimaxConfig
 
             tx = [Transmission(build_downlink_frame(WimaxConfig(), rng),
-                               11.4e6, k * 5e-3, power) for k in range(2)]
+                               WIMAX_SAMPLE_RATE, k * 5e-3, power)
+                  for k in range(2)]
             duration = 10e-3
         elif kind == "zigbee":
             from repro.phy.zigbee.frame import build_ppdu as zb
+            from repro.phy.zigbee.params import ZIGBEE_SAMPLE_RATE
 
             psdu = rng.integers(0, 256, 30, dtype=np.uint8).tobytes()
-            tx = [Transmission(zb(psdu), 4e6, 100e-6 + k * 1.5e-3, power)
+            tx = [Transmission(zb(psdu), ZIGBEE_SAMPLE_RATE,
+                               100e-6 + k * 1.5e-3, power)
                   for k in range(3)]
             duration = 5e-3
         else:

@@ -1,0 +1,98 @@
+"""The tier-1 gate: the repository itself must be repro-lint clean,
+and a deliberately corrupted fixture must fail loudly through the CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def _cli(args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd, env=env,
+    )
+
+
+class TestRepoIsClean:
+    def test_src_has_zero_findings(self):
+        findings = analyze_paths([SRC])
+        assert findings == [], "\n".join(
+            f"{finding.location}: {finding.rule} {finding.message}"
+            for finding in findings
+        )
+
+    def test_examples_have_zero_findings(self):
+        assert analyze_paths([EXAMPLES]) == []
+
+    def test_cli_gate_exits_zero(self):
+        result = _cli(["src", "--format", "json"], cwd=REPO_ROOT)
+        assert result.returncode == 0, result.stdout + result.stderr
+        report = json.loads(result.stdout)
+        assert report["total"] == 0
+
+
+class TestCorruptedFixtureFailsTheGate:
+    def test_raw_address_yields_json_finding_and_nonzero_exit(self, tmp_path):
+        scratch = tmp_path / "src" / "repro" / "apps" / "corrupted.py"
+        scratch.parent.mkdir(parents=True)
+        scratch.write_text(
+            "from __future__ import annotations\n"
+            "\n"
+            "def sabotage(bus):\n"
+            "    bus.write(99, 1)\n"
+        )
+        result = _cli([str(scratch), "--format", "json"], cwd=tmp_path)
+        assert result.returncode == 1
+        report = json.loads(result.stdout)
+        assert report["total"] == 1
+        finding = report["findings"][0]
+        assert finding["rule"] == "RJ001"
+        assert finding["file"] == str(scratch)
+        assert finding["line"] == 4
+
+    def test_overflowing_literal_yields_rj002(self, tmp_path):
+        scratch = tmp_path / "overflow.py"
+        scratch.write_text(
+            "from repro.hw import register_map as regmap\n"
+            "\n"
+            "def sabotage(bus):\n"
+            "    bus.write(regmap.REG_REPLAY_LENGTH, 1024)\n"
+        )
+        result = _cli([str(scratch), "--format", "json"], cwd=tmp_path)
+        assert result.returncode == 1
+        report = json.loads(result.stdout)
+        rules = {finding["rule"] for finding in report["findings"]}
+        assert "RJ002" in rules
+
+
+class TestCliBasics:
+    def test_list_rules(self):
+        result = _cli(["--list-rules"], cwd=REPO_ROOT)
+        assert result.returncode == 0
+        for code in ("RJ001", "RJ002", "RJ003", "RJ004", "RJ005"):
+            assert code in result.stdout
+
+    def test_missing_path_is_usage_error(self):
+        result = _cli(["no/such/path"], cwd=REPO_ROOT)
+        assert result.returncode == 2
+
+    def test_select_unknown_rule_is_usage_error(self):
+        result = _cli(["src", "--select", "RJ999"], cwd=REPO_ROOT)
+        assert result.returncode == 2
+
+    def test_text_format_reports_clean(self):
+        result = _cli(["src/repro/units.py"], cwd=REPO_ROOT)
+        assert result.returncode == 0
+        assert "clean" in result.stdout

@@ -1,0 +1,243 @@
+"""Per-rule fixtures: each RJ rule must fire on a violating snippet
+and stay silent on a clean one."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import analyze_source, get_rule
+
+
+def _run(rule_code: str, source: str, path: str) -> list:
+    findings = analyze_source(textwrap.dedent(source), path,
+                              rules=[get_rule(rule_code)])
+    return [finding for finding in findings if finding.rule == rule_code]
+
+
+class TestRJ001RawRegisterAddress:
+    def test_fires_on_raw_write_address(self):
+        found = _run("RJ001", """\
+            def configure(bus):
+                bus.write(19, 100)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+        assert found[0].line == 2
+        assert "19" in found[0].message
+
+    def test_fires_on_raw_read_and_attribute_receiver(self):
+        found = _run("RJ001", """\
+            def peek(self):
+                return self._bus.read(20)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_literal_arithmetic(self):
+        found = _run("RJ001", """\
+            def configure(bus):
+                bus.write(7 + 3, 0)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+
+    def test_clean_with_named_constant(self):
+        assert not _run("RJ001", """\
+            from repro.hw import register_map as regmap
+
+            def configure(bus, value):
+                bus.write(regmap.REG_JAM_DELAY, value)
+                for k in range(7):
+                    bus.write(regmap.REG_COEFF_I_BASE + k, 0)
+            """, "src/repro/apps/good.py")
+
+    def test_register_map_itself_is_exempt(self):
+        assert not _run("RJ001", """\
+            def selftest(bus):
+                bus.write(0, 0)
+            """, "src/repro/hw/register_map.py")
+
+    def test_non_bus_receivers_ignored(self):
+        assert not _run("RJ001", """\
+            def save(stream):
+                stream.write(42)
+            """, "src/repro/apps/good.py")
+
+
+class TestRJ002RegisterFieldOverflow:
+    def test_fires_on_overflowing_replay_length(self):
+        found = _run("RJ002", """\
+            from repro.hw.register_map import REG_REPLAY_LENGTH
+
+            def configure(bus):
+                bus.write(REG_REPLAY_LENGTH, 513)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+        assert "REG_REPLAY_LENGTH" in found[0].message
+
+    def test_fires_on_wide_trigger_config(self):
+        found = _run("RJ002", """\
+            from repro.hw import register_map as regmap
+
+            def configure(bus):
+                bus.write(regmap.REG_TRIGGER_CONFIG, 1 << 16)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_oversized_q88_threshold(self):
+        found = _run("RJ002", """\
+            from repro.hw import register_map as regmap
+
+            def configure(bus):
+                bus.write(regmap.REG_ENERGY_THRESHOLD_HIGH, 0x10000)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+
+    def test_clean_at_exact_field_maximum(self):
+        assert not _run("RJ002", """\
+            from repro.hw import register_map as regmap
+
+            def configure(bus):
+                bus.write(regmap.REG_REPLAY_LENGTH, 512)
+                bus.write(regmap.REG_TRIGGER_CONFIG, 0xFFFF)
+                bus.write(regmap.REG_JAM_UPTIME, 0xFFFFFFFF)
+            """, "src/repro/apps/good.py")
+
+    def test_non_literal_values_not_checked(self):
+        assert not _run("RJ002", """\
+            from repro.hw import register_map as regmap
+
+            def configure(bus, value):
+                bus.write(regmap.REG_REPLAY_LENGTH, value)
+            """, "src/repro/apps/good.py")
+
+
+class TestRJ003BitExactModules:
+    def test_fires_on_true_division(self):
+        found = _run("RJ003", """\
+            def metric(total, count):
+                return total / count
+            """, "src/repro/hw/cross_correlator.py")
+        assert len(found) == 1
+        assert "division" in found[0].message
+
+    def test_fires_on_float_literal_arithmetic(self):
+        found = _run("RJ003", """\
+            def scale(x):
+                return x * 0.5
+            """, "src/repro/hw/energy_differentiator.py")
+        assert len(found) == 1
+
+    def test_fires_on_float_call_and_comparison(self):
+        found = _run("RJ003", """\
+            def check(x):
+                if x > 1.5:
+                    return float(x)
+                return 0
+            """, "src/repro/hw/trigger.py")
+        assert len(found) == 2
+
+    def test_clean_integer_datapath(self):
+        assert not _run("RJ003", """\
+            def metric(re, im):
+                return re ** 2 + im ** 2
+
+            def shift(x):
+                return (x >> 2) + (x // 4)
+            """, "src/repro/hw/cross_correlator.py")
+
+    def test_other_modules_unconstrained(self):
+        assert not _run("RJ003", """\
+            def gain(db):
+                return 10.0 ** (db / 10.0)
+            """, "src/repro/dsp/measure.py")
+
+
+class TestRJ004TimingMagicNumbers:
+    def test_fires_on_inline_baseband_rate(self):
+        found = _run("RJ004", """\
+            def duration(samples):
+                return samples / 25e6
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+        assert "BASEBAND_RATE" in found[0].message
+
+    def test_fires_on_integer_spelling_and_clock(self):
+        found = _run("RJ004", """\
+            RATE = 25_000_000
+            CLOCK = 100_000_000
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 2
+
+    def test_fires_on_sample_period(self):
+        found = _run("RJ004", """\
+            TICK = 40e-9
+            """, "src/repro/apps/bad.py")
+        assert "SAMPLE_PERIOD" in found[0].message
+
+    def test_units_module_is_the_authority(self):
+        assert not _run("RJ004", """\
+            BASEBAND_RATE = 25_000_000
+            FPGA_CLOCK_HZ = 100_000_000
+            """, "src/repro/units.py")
+
+    def test_phy_params_modules_are_authorities(self):
+        assert not _run("RJ004", """\
+            WIFI_SAMPLE_RATE = 20_000_000
+            """, "src/repro/phy/wifi/params.py")
+
+    def test_unrelated_numbers_clean(self):
+        assert not _run("RJ004", """\
+            N_FFT = 64
+            BUDGET = 123456
+            """, "src/repro/apps/good.py")
+
+
+class TestRJ005Hygiene:
+    def test_fires_on_mutable_default(self):
+        found = _run("RJ005", """\
+            from __future__ import annotations
+
+            def collect(into=[]):
+                return into
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+        assert "mutable default" in found[0].message
+
+    def test_fires_on_bare_except(self):
+        found = _run("RJ005", """\
+            from __future__ import annotations
+
+            def run(fn):
+                try:
+                    fn()
+                except:
+                    pass
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+        assert "bare" in found[0].message
+
+    def test_fires_on_missing_future_import_in_src(self):
+        found = _run("RJ005", """\
+            import os
+
+            print(os.sep)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+        assert "__future__" in found[0].message
+        assert found[0].line == 1
+
+    def test_clean_module(self):
+        assert not _run("RJ005", """\
+            from __future__ import annotations
+
+            def collect(into=None):
+                if into is None:
+                    into = []
+                return into
+            """, "src/repro/apps/good.py")
+
+    def test_docstring_only_module_needs_no_future_import(self):
+        assert not _run("RJ005", '"""Just a docstring."""\n',
+                        "src/repro/apps/__init__.py")
+
+    def test_future_import_not_required_outside_src(self):
+        assert not _run("RJ005", "import os\nprint(os.sep)\n",
+                        "examples/demo.py")

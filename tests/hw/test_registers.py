@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import RegisterError
+from repro.hw import register_map as regmap
 from repro.hw.registers import (
     NUM_REGISTERS,
     UserRegisterBus,
@@ -103,3 +104,75 @@ class TestFieldPacking:
             values = [lo, hi, 0, lo // 2, hi // 2]
             words = pack_signed_fields(values, bits)
             assert unpack_signed_fields(words, bits, len(values)) == values
+
+
+class TestWritePolicy:
+    """The bus rejects out-of-range words; it never masks (documented
+    policy in UserRegisterBus.write)."""
+
+    def test_word_mask_edge_accepted(self):
+        bus = UserRegisterBus()
+        bus.write(0, 0xFFFF_FFFF)
+        assert bus.read(0) == 0xFFFF_FFFF
+
+    def test_one_past_word_mask_rejected_not_masked(self):
+        bus = UserRegisterBus()
+        bus.write(0, 5)
+        with pytest.raises(RegisterError):
+            bus.write(0, 0x1_0000_0000)
+        # The failed write must not have touched the register.
+        assert bus.read(0) == 5
+
+    def test_negative_rejected_not_wrapped(self):
+        bus = UserRegisterBus()
+        with pytest.raises(RegisterError):
+            bus.write(0, -1)
+        assert bus.read(0) == 0
+
+
+class TestJamUptimeClip:
+    """The register map's 'clipped to 2^32 - 1' contract is code."""
+
+    def test_in_range_passes_through(self):
+        assert regmap.clip_jam_uptime(1) == 1
+        assert regmap.clip_jam_uptime(12345) == 12345
+
+    def test_upper_edge_kept(self):
+        assert regmap.clip_jam_uptime(regmap.JAM_UPTIME_MAX) == \
+            regmap.JAM_UPTIME_MAX
+
+    def test_one_past_upper_edge_clipped(self):
+        assert regmap.clip_jam_uptime(regmap.JAM_UPTIME_MAX + 1) == \
+            regmap.JAM_UPTIME_MAX
+        assert regmap.clip_jam_uptime(1 << 40) == regmap.JAM_UPTIME_MAX
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            regmap.clip_jam_uptime(-1)
+
+
+class TestRegisterSpecTable:
+    """The declarative field-width table backing repro-lint RJ002."""
+
+    def test_covers_exactly_the_used_registers(self):
+        assert sorted(regmap.SPEC_BY_ADDRESS) == list(range(regmap.REGISTERS_USED))
+
+    def test_max_values_fit_widths(self):
+        for spec in regmap.REGISTER_SPECS:
+            assert 0 < spec.max_value < (1 << spec.width) + 1
+            assert spec.max_value <= 0xFFFF_FFFF
+
+    def test_replay_length_tighter_than_width(self):
+        spec = regmap.register_spec(regmap.REG_REPLAY_LENGTH)
+        assert spec is not None
+        assert spec.max_value == 512
+
+    def test_unassigned_address_has_no_spec(self):
+        assert regmap.register_spec(regmap.REGISTERS_USED) is None
+        assert regmap.register_spec(200) is None
+
+    def test_coeff_words_use_30_bits(self):
+        for k in range(regmap.COEFF_WORDS):
+            spec_i = regmap.register_spec(regmap.REG_COEFF_I_BASE + k)
+            spec_q = regmap.register_spec(regmap.REG_COEFF_Q_BASE + k)
+            assert spec_i.width == spec_q.width == 30

@@ -143,6 +143,23 @@ class TestUhdDriver:
         with pytest.raises(ConfigurationError):
             driver.set_jam_uptime(0)
 
+    def test_uptime_saturates_at_the_hardware_maximum(self, rig):
+        from repro.hw.tx_controller import MAX_UPTIME_SAMPLES
+
+        device, driver = rig
+        # Oversized requests clip (the register map's "clipped to
+        # 2^32 - 1 by the bus width" contract) instead of raising.
+        driver.set_jam_uptime(regmap.JAM_UPTIME_MAX + 12345)
+        assert device.core.tx.uptime_samples == MAX_UPTIME_SAMPLES
+        assert device.bus.read(regmap.REG_JAM_UPTIME) == MAX_UPTIME_SAMPLES
+
+    def test_uptime_at_exact_maximum(self, rig):
+        from repro.hw.tx_controller import MAX_UPTIME_SAMPLES
+
+        device, driver = rig
+        driver.set_jam_uptime(MAX_UPTIME_SAMPLES)
+        assert device.core.tx.uptime_samples == MAX_UPTIME_SAMPLES
+
     def test_trigger_stage_count_validation(self, rig):
         _device, driver = rig
         with pytest.raises(ConfigurationError):
