@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.engine import Rule
 from repro.analysis.rules.bitexact import BitExactRule
+from repro.analysis.rules.faults import BusConstructionRule
 from repro.analysis.rules.hygiene import HygieneRule
 from repro.analysis.rules.magic_numbers import MagicNumberRule
 from repro.analysis.rules.registers import RegisterAddressRule, RegisterWidthRule
@@ -20,6 +21,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BitExactRule(),
     MagicNumberRule(),
     HygieneRule(),
+    BusConstructionRule(),
 )
 
 _BY_CODE = {rule.code: rule for rule in ALL_RULES}

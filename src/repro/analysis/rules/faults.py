@@ -1,0 +1,61 @@
+"""RJ006: host code must not construct a raw register bus.
+
+The hardened control path (verified writes, shadow map, scrub) lives
+in :class:`repro.hw.uhd.UhdDriver`; fault campaigns go through
+:class:`repro.faults.bus.FaultyRegisterBus`.  Host code that builds a
+bare :class:`~repro.hw.registers.UserRegisterBus` and writes registers
+directly bypasses both — its writes are neither verified nor visible
+to the shadow map, so the robustness guarantees silently stop holding.
+
+Construction is therefore confined to the hardware model itself
+(``hw/``, where the device assembles its own bus) and the fault layer
+(``faults/``, which wraps it).  Everything else should take a device
+or driver, or pass a bus *in* rather than make one.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+#: Path fragments allowed to construct the raw bus.
+ALLOWED_PATH_PARTS: tuple[str, ...] = ("/hw/", "/faults/")
+
+_BUS_NAME = "UserRegisterBus"
+
+
+def _constructs_bus(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == _BUS_NAME
+    if isinstance(func, ast.Attribute):
+        return func.attr == _BUS_NAME
+    return False
+
+
+class BusConstructionRule(Rule):
+    """RJ006: raw ``UserRegisterBus()`` only inside hw/ and faults/."""
+
+    code = "RJ006"
+    name = "raw-bus-construction"
+    description = (
+        "UserRegisterBus may only be constructed under hw/ or faults/; "
+        "host code must go through the hardened UhdDriver (or accept a "
+        "bus/device from its caller)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_src:
+            return
+        if any(part in ctx.posix_path for part in ALLOWED_PATH_PARTS):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _constructs_bus(node):
+                yield self.finding(
+                    ctx, node,
+                    "direct UserRegisterBus construction outside hw/ and "
+                    "faults/; route register access through UhdDriver so "
+                    "writes are verified and shadow-mapped",
+                )

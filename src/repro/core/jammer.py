@@ -20,7 +20,9 @@ small latency equivalent to the latency of the UHD user setting bus").
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,11 +30,57 @@ from repro import units
 from repro.core.detection import DetectionConfig
 from repro.core.events import JammingEventBuilder
 from repro.core.presets import JammerPersonality
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StreamError
 from repro.hw.dsp_core import DetectionEvent, JamEvent
 from repro.hw.trigger import TriggerSource
 from repro.hw.uhd import UhdDriver
 from repro.hw.usrp import SbxFrontend, UsrpN210
+from repro.hw.watchdog import Watchdog, WatchdogTrip
+
+if TYPE_CHECKING:  # repro.faults imports repro.hw; avoid the cycle.
+    from repro.faults.stream import StreamFaultInjector
+
+
+class DegradationPolicy(enum.Enum):
+    """What :meth:`ReactiveJammer.run` does when a chunk fails.
+
+    FAIL_FAST re-raises the first streaming error (the historical
+    behaviour — correct for offline analysis, where a lost chunk means
+    a broken experiment).  SKIP_AND_LOG drops the failing chunk,
+    substitutes silence on the transmit side, keeps the absolute
+    timeline aligned, and records the failure in the
+    :class:`HealthReport` — what a deployed jammer must do, since an
+    RX overrun is not a reason to stop jamming.
+    """
+
+    FAIL_FAST = "fail-fast"
+    SKIP_AND_LOG = "skip-and-log"
+
+
+@dataclass
+class HealthReport:
+    """Structured account of everything that went wrong (and was survived).
+
+    Attached to :class:`JammingReport` by :meth:`ReactiveJammer.run`.
+    """
+
+    chunks_processed: int = 0
+    chunks_skipped: int = 0
+    samples_skipped: int = 0
+    stream_errors: list[str] = field(default_factory=list)
+    #: :class:`repro.hw.uhd.DriverHealth` counters at end of run.
+    driver: dict[str, int] = field(default_factory=dict)
+    #: Register addresses repaired by scrub passes during the run.
+    scrub_repairs: list[int] = field(default_factory=list)
+    watchdog_trips: list[WatchdogTrip] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run needed any recovery or intervention."""
+        return bool(self.chunks_skipped or self.scrub_repairs
+                    or self.watchdog_trips
+                    or self.driver.get("retries", 0)
+                    or self.driver.get("write_failures", 0))
 
 
 @dataclass
@@ -43,6 +91,7 @@ class JammingReport:
     detections: list[DetectionEvent] = field(default_factory=list)
     jams: list[JamEvent] = field(default_factory=list)
     sample_rate: float = units.BASEBAND_RATE
+    health: HealthReport = field(default_factory=HealthReport)
 
     @property
     def detection_times(self) -> list[float]:
@@ -68,9 +117,19 @@ class JammingReport:
 class ReactiveJammer:
     """The real-time protocol-aware reactive jammer."""
 
-    def __init__(self, device: UsrpN210 | None = None) -> None:
-        self.device = device if device is not None else UsrpN210()
-        self.driver = UhdDriver(self.device)
+    def __init__(self, device: UsrpN210 | None = None, *,
+                 watchdog: Watchdog | None = None,
+                 stream_faults: "StreamFaultInjector | None" = None,
+                 verify_writes: bool = True) -> None:
+        if device is not None and (watchdog is not None
+                                   or stream_faults is not None):
+            raise ConfigurationError(
+                "watchdog/stream_faults are wired at device construction; "
+                "pass them to UsrpN210 when supplying your own device"
+            )
+        self.device = device if device is not None else UsrpN210(
+            watchdog=watchdog, stream_faults=stream_faults)
+        self.driver = UhdDriver(self.device, verify_writes=verify_writes)
         self._configured = False
 
     @property
@@ -110,18 +169,62 @@ class ReactiveJammer:
         """Stop transmitting (detection keeps running)."""
         self.driver.set_control(jammer_enabled=False, continuous=False)
 
-    def run(self, rx_signal: np.ndarray, chunk_size: int = 1 << 16) -> JammingReport:
+    def run(self, rx_signal: np.ndarray, chunk_size: int = 1 << 16,
+            degradation: DegradationPolicy = DegradationPolicy.FAIL_FAST,
+            scrub_every_chunks: int = 0) -> JammingReport:
         """Feed a received waveform through the jammer.
 
         ``rx_signal`` is complex baseband at the jammer's 25 MSPS input
         rate (use :mod:`repro.channel.combining` to build it from
         transmitters at other rates).
+
+        ``degradation`` selects per-chunk error recovery: under
+        SKIP_AND_LOG a chunk whose processing raises
+        :class:`~repro.errors.StreamError` is dropped (silence is
+        transmitted for its span, the device timeline is advanced with
+        ``skip``) and the failure is logged in the report's
+        :class:`HealthReport`.  ``scrub_every_chunks > 0`` runs the
+        driver's shadow-map :meth:`~repro.hw.uhd.UhdDriver.scrub`
+        repair pass every that many chunks.
         """
         if not self._configured:
             raise ConfigurationError("configure() must be called before run()")
-        out = self.device.run(rx_signal, chunk_size=chunk_size)
-        return JammingReport(tx=out.tx, detections=out.detections,
-                             jams=out.jams)
+        if chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        if scrub_every_chunks < 0:
+            raise ConfigurationError("scrub_every_chunks must be >= 0")
+        rx_signal = np.asarray(rx_signal, dtype=np.complex128)
+        health = HealthReport()
+        tx_parts: list[np.ndarray] = []
+        detections: list[DetectionEvent] = []
+        jams: list[JamEvent] = []
+        for index, start in enumerate(range(0, rx_signal.size, chunk_size)):
+            chunk = rx_signal[start:start + chunk_size]
+            try:
+                out = self.device.process(chunk)
+            except StreamError as exc:
+                if degradation is DegradationPolicy.FAIL_FAST:
+                    raise
+                health.chunks_skipped += 1
+                health.samples_skipped += chunk.size
+                health.stream_errors.append(str(exc))
+                self.device.skip(chunk.size)
+                tx_parts.append(np.zeros(chunk.size, dtype=np.complex128))
+            else:
+                health.chunks_processed += 1
+                tx_parts.append(out.tx)
+                detections.extend(out.detections)
+                jams.extend(out.jams)
+            if scrub_every_chunks and (index + 1) % scrub_every_chunks == 0:
+                health.scrub_repairs.extend(self.driver.scrub())
+        health.driver = self.driver.health.snapshot()
+        watchdog = self.device.core.watchdog
+        if watchdog is not None:
+            health.watchdog_trips = list(watchdog.trips)
+        tx = np.concatenate(tx_parts) if tx_parts \
+            else np.zeros(0, dtype=np.complex128)
+        return JammingReport(tx=tx, detections=detections, jams=jams,
+                             health=health)
 
     def reset(self) -> None:
         """Reset the data path (configuration registers survive)."""

@@ -35,3 +35,13 @@ class SimulationError(ReproError):
 
 class HardwareError(ReproError):
     """The modelled hardware was driven outside its legal operating range."""
+
+
+class RegisterWriteError(HardwareError):
+    """A verified register write could not be confirmed after retries.
+
+    Raised by the hardened driver when readback keeps disagreeing with
+    the intended value (or the core keeps rejecting the word) after the
+    configured retry budget is exhausted — the control plane itself is
+    failing, not the caller.
+    """

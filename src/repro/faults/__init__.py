@@ -1,0 +1,57 @@
+"""Deterministic fault injection for the control and data planes.
+
+The real N210's control plane is UDP-borne ``set_user_register``
+datagrams and its data plane is a 25 MSPS UDP sample stream — both
+lossy in ways the clean simulation otherwise hides.  This package
+scripts those failure modes so the hardening in :mod:`repro.hw` and
+:mod:`repro.core` can be exercised deterministically:
+
+* :mod:`repro.faults.plan` — the seedable fault-plan DSL
+  (:class:`FaultPlan` and its spec/record types);
+* :mod:`repro.faults.bus` — :class:`FaultyRegisterBus`, a drop-in
+  register bus that drops/delays/duplicates/bit-flips writes;
+* :mod:`repro.faults.stream` — :class:`StreamFaultInjector`, the RX
+  antenna-port stage injecting overruns, DC spikes, gain steps, and
+  stuck-sample runs;
+* :mod:`repro.faults.chaos` — scenario/campaign runners measuring
+  detection probability, jam coverage, and duty cycle under faults.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import (
+    NO_FAULTS,
+    ControlFault,
+    ControlFaultKind,
+    ControlFaultSpec,
+    FaultPlan,
+    StreamFault,
+    StreamFaultKind,
+    StreamFaultSpec,
+)
+from repro.faults.bus import FaultyRegisterBus, InjectedFault
+from repro.faults.stream import StreamFaultInjector
+from repro.faults.chaos import (
+    ChaosResult,
+    ChaosScenario,
+    run_campaign,
+    run_scenario,
+)
+
+__all__ = [
+    "FaultPlan",
+    "ControlFaultSpec",
+    "StreamFaultSpec",
+    "ControlFaultKind",
+    "StreamFaultKind",
+    "ControlFault",
+    "StreamFault",
+    "NO_FAULTS",
+    "FaultyRegisterBus",
+    "InjectedFault",
+    "StreamFaultInjector",
+    "ChaosScenario",
+    "ChaosResult",
+    "run_scenario",
+    "run_campaign",
+]

@@ -1,0 +1,149 @@
+"""A register bus that misbehaves like the N210's UDP control path.
+
+:class:`FaultyRegisterBus` is a drop-in :class:`UserRegisterBus` whose
+``write`` path replays the control-plane schedule of a
+:class:`~repro.faults.plan.FaultPlan`: datagrams are dropped, land a
+few operations late, arrive twice, or arrive with a flipped bit.  The
+read path stays clean — host readback is how the hardened driver
+*detects* corruption, so faulting it would model a different (and much
+rarer) failure.
+
+Address and width validation still happen before any fault applies:
+the reject-never-mask contract of the underlying bus is a property of
+the host API, not of the wire, and a fault plan must not be able to
+smuggle an illegal word past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RegisterError
+from repro.faults.plan import ControlFault, ControlFaultKind, FaultPlan
+from repro.hw.registers import WORD_MASK, UserRegisterBus
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Audit record of one fault actually applied to the wire."""
+
+    op_index: int
+    address: int
+    kind: ControlFaultKind
+    detail: str
+
+
+class FaultyRegisterBus(UserRegisterBus):
+    """A :class:`UserRegisterBus` with scripted control-plane faults.
+
+    The bus consumes one decision from the plan's control schedule per
+    ``write`` call; decisions carrying an address filter that does not
+    match pass the write through clean.  Delayed writes are buffered
+    and delivered before a later bus operation, modelling shallow UDP
+    reordering.  Every injected fault is recorded in :attr:`fault_log`.
+
+    ``faults_enabled`` gates injection: campaigns typically configure
+    the device cleanly first (a verified boot), then arm the faults.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        super().__init__()
+        self.plan = plan
+        self.faults_enabled = True
+        self.fault_log: list[InjectedFault] = []
+        self._decisions = plan.control_decisions()
+        self._op_index = 0
+        #: Delayed writes waiting to land: (due_op, address, value).
+        self._pending: list[tuple[int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Wire model
+
+    def _advance(self) -> None:
+        """Count a bus operation and land any due delayed writes."""
+        self._op_index += 1
+        if self._pending:
+            due = [entry for entry in self._pending
+                   if entry[0] <= self._op_index]
+            if due:
+                self._pending = [entry for entry in self._pending
+                                 if entry[0] > self._op_index]
+                for _due_op, address, value in due:
+                    super().write(address, value)
+
+    def flush(self) -> None:
+        """Force all in-flight delayed writes to land now."""
+        pending, self._pending = self._pending, []
+        for _due_op, address, value in pending:
+            super().write(address, value)
+
+    @property
+    def pending_writes(self) -> int:
+        """Number of delayed writes still in flight."""
+        return len(self._pending)
+
+    def _decide(self, address: int) -> ControlFault | None:
+        decision = next(self._decisions)
+        if decision is None or not self.faults_enabled:
+            return None
+        spec = self.plan.control[decision.spec_index]
+        if spec.addresses is not None and address not in spec.addresses:
+            return None
+        return decision
+
+    # ------------------------------------------------------------------
+    # Bus API
+
+    def write(self, address: int, value: int) -> None:
+        """Write with scripted faults applied between host and core."""
+        self._check_address(address)
+        if not 0 <= value <= WORD_MASK:
+            raise RegisterError(
+                f"value {value:#x} does not fit the 32-bit data bus "
+                "(the bus rejects out-of-range words, it never masks)"
+            )
+        self._advance()
+        decision = self._decide(address)
+        if decision is None:
+            super().write(address, value)
+            return
+        if decision.kind is ControlFaultKind.DROP:
+            self._log(address, decision, f"write of {value:#x} dropped")
+            return
+        if decision.kind is ControlFaultKind.DELAY:
+            due = self._op_index + decision.delay_ops
+            self._pending.append((due, address, value))
+            self._log(address, decision,
+                      f"write of {value:#x} delayed {decision.delay_ops} ops")
+            return
+        if decision.kind is ControlFaultKind.DUPLICATE:
+            self._log(address, decision, f"write of {value:#x} duplicated")
+            super().write(address, value)
+            super().write(address, value)
+            return
+        corrupted = value ^ (1 << decision.bit)
+        self._log(address, decision,
+                  f"bit {decision.bit} flipped: {value:#x} -> {corrupted:#x}")
+        super().write(address, corrupted)
+
+    def read(self, address: int) -> int:
+        """Clean readback (delayed writes due by now land first)."""
+        self._advance()
+        return super().read(address)
+
+    def upset(self, address: int, value: int) -> None:
+        """Corrupt stored register contents directly (SEU model).
+
+        Unlike a faulted ``write`` this bypasses the wire entirely —
+        no watchers fire and no write is counted, exactly like a
+        radiation upset or a configuration-RAM glitch.  The hardened
+        driver's ``scrub()`` pass exists to find these.
+        """
+        self._check_address(address)
+        self._values[address] = int(value) & WORD_MASK
+
+    def _log(self, address: int, decision: ControlFault, detail: str) -> None:
+        self.fault_log.append(InjectedFault(
+            op_index=decision.op_index, address=address,
+            kind=decision.kind, detail=detail,
+        ))

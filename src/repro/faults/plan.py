@@ -1,0 +1,356 @@
+"""The fault-plan DSL: deterministic, seedable fault campaigns.
+
+The real jammer's control plane is a sequence of UDP-borne
+``set_user_register`` datagrams and its data plane is a 25 MSPS
+Ethernet sample stream — both of which drop, reorder, and corrupt in
+the field.  A :class:`FaultPlan` scripts those failure modes so
+experiments and tests can replay them exactly:
+
+* **control-plane faults** operate at register-write granularity
+  (drop, delay, duplicate, bit-flip — the UDP pathologies);
+* **stream faults** operate on the received sample timeline (overruns,
+  DC spikes, gain steps, stuck-sample runs — the RX-chain pathologies).
+
+Determinism contract: a plan is a frozen value object, and every
+schedule derived from it is a pure function of ``(plan, seed)``.
+Replaying the same plan yields a byte-identical schedule
+(:meth:`FaultPlan.schedule_digest`), which is what lets the chaos
+benchmarks assert exact numbers and lets a failing campaign be
+re-run under a debugger.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Bits in one register word (faults flip one of these per event).
+WORD_BITS = 32
+
+#: Default delayed-write skew, in bus operations (UDP reordering is
+#: shallow: a datagram lands a handful of operations late, not minutes).
+DEFAULT_MAX_DELAY_OPS = 4
+
+#: Stream substreams are decorrelated from control substreams by fixed
+#: domain tags mixed into the seed sequence.
+_CONTROL_DOMAIN = 1
+_STREAM_DOMAIN = 2
+
+
+class ControlFaultKind(enum.Enum):
+    """What can happen to one register write on the control path."""
+
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+    BITFLIP = "bitflip"
+
+
+class StreamFaultKind(enum.Enum):
+    """What can happen to a run of received samples on the data path."""
+
+    OVERRUN = "overrun"
+    DC_SPIKE = "dc-spike"
+    GAIN_STEP = "gain-step"
+    STUCK = "stuck"
+
+
+@dataclass(frozen=True)
+class ControlFaultSpec:
+    """One control-plane failure mode and its rate.
+
+    Attributes:
+        kind: The fault applied to a selected write.
+        rate: Per-write probability in [0, 1].
+        addresses: Optional register-address filter; when set, a
+            selected write whose address is not in the set passes
+            through clean (lets campaigns target e.g. the uptime
+            register only).
+        max_delay_ops: For DELAY faults, the worst-case skew in bus
+            operations (the delayed word lands before the N-th
+            subsequent bus access).
+    """
+
+    kind: ControlFaultKind
+    rate: float
+    addresses: frozenset[int] | None = None
+    max_delay_ops: int = DEFAULT_MAX_DELAY_OPS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"control fault rate {self.rate} outside [0, 1]"
+            )
+        if self.max_delay_ops < 1:
+            raise ConfigurationError("max_delay_ops must be >= 1")
+
+
+@dataclass(frozen=True)
+class StreamFaultSpec:
+    """One data-plane failure mode and its rate.
+
+    Attributes:
+        kind: The fault applied to each scheduled run of samples.
+        rate_per_million: Expected number of fault events per million
+            received samples (1e6 samples = 40 ms at 25 MSPS).
+        duration_samples: Length of each fault run.
+        magnitude: Kind-specific strength — the complex-plane offset
+            of a DC spike, or the linear gain factor of a gain step
+            (ignored for overruns and stuck runs).
+    """
+
+    kind: StreamFaultKind
+    rate_per_million: float
+    duration_samples: int = 64
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_million <= 0.0:
+            raise ConfigurationError(
+                f"stream fault rate {self.rate_per_million} must be positive"
+            )
+        if self.duration_samples < 1:
+            raise ConfigurationError("duration_samples must be >= 1")
+
+
+@dataclass(frozen=True)
+class ControlFault:
+    """One scheduled control-plane fault decision.
+
+    ``spec_index`` points back into ``plan.control`` so the bus can
+    apply the spec's address filter; ``bit`` and ``delay_ops`` carry
+    the kind-specific parameters drawn for this event.
+    """
+
+    op_index: int
+    kind: ControlFaultKind
+    spec_index: int
+    bit: int = 0
+    delay_ops: int = 0
+
+
+@dataclass(frozen=True)
+class StreamFault:
+    """One scheduled stream fault on the absolute sample timeline."""
+
+    start: int
+    duration: int
+    kind: StreamFaultKind
+    magnitude: float
+
+    @property
+    def end(self) -> int:
+        """First sample index past the fault run (end exclusive)."""
+        return self.start + self.duration
+
+
+def _freeze_addresses(addresses: Iterable[int] | None) -> frozenset[int] | None:
+    return None if addresses is None else frozenset(int(a) for a in addresses)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A scripted, replayable fault campaign.
+
+    Plans are immutable; the builder methods return extended copies so
+    campaigns read as a chain::
+
+        plan = (FaultPlan(seed=7)
+                .drop_writes(0.05)
+                .bitflip_writes(0.01)
+                .overruns(rate_per_million=20, duration_samples=128))
+    """
+
+    seed: int = 0
+    control: tuple[ControlFaultSpec, ...] = ()
+    stream: tuple[StreamFaultSpec, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Builder DSL
+
+    def with_control(self, spec: ControlFaultSpec) -> "FaultPlan":
+        """Append a control-plane fault spec."""
+        return replace(self, control=(*self.control, spec))
+
+    def with_stream(self, spec: StreamFaultSpec) -> "FaultPlan":
+        """Append a data-plane fault spec."""
+        return replace(self, stream=(*self.stream, spec))
+
+    def drop_writes(self, rate: float,
+                    addresses: Iterable[int] | None = None) -> "FaultPlan":
+        """Lose register writes outright (the UDP datagram never lands)."""
+        return self.with_control(ControlFaultSpec(
+            ControlFaultKind.DROP, rate, _freeze_addresses(addresses)))
+
+    def delay_writes(self, rate: float,
+                     max_delay_ops: int = DEFAULT_MAX_DELAY_OPS,
+                     addresses: Iterable[int] | None = None) -> "FaultPlan":
+        """Reorder register writes (the datagram lands a few ops late)."""
+        return self.with_control(ControlFaultSpec(
+            ControlFaultKind.DELAY, rate, _freeze_addresses(addresses),
+            max_delay_ops=max_delay_ops))
+
+    def duplicate_writes(self, rate: float,
+                         addresses: Iterable[int] | None = None) -> "FaultPlan":
+        """Deliver register writes twice (retransmit pathology)."""
+        return self.with_control(ControlFaultSpec(
+            ControlFaultKind.DUPLICATE, rate, _freeze_addresses(addresses)))
+
+    def bitflip_writes(self, rate: float,
+                       addresses: Iterable[int] | None = None) -> "FaultPlan":
+        """Corrupt one uniformly-drawn bit of the written word."""
+        return self.with_control(ControlFaultSpec(
+            ControlFaultKind.BITFLIP, rate, _freeze_addresses(addresses)))
+
+    def overruns(self, rate_per_million: float,
+                 duration_samples: int = 128) -> "FaultPlan":
+        """Inject RX overruns: runs of samples lost to the host."""
+        return self.with_stream(StreamFaultSpec(
+            StreamFaultKind.OVERRUN, rate_per_million, duration_samples))
+
+    def dc_spikes(self, rate_per_million: float, duration_samples: int = 64,
+                  magnitude: float = 0.1) -> "FaultPlan":
+        """Inject DC offset spikes (front-end re-lock glitches)."""
+        return self.with_stream(StreamFaultSpec(
+            StreamFaultKind.DC_SPIKE, rate_per_million, duration_samples,
+            magnitude))
+
+    def gain_steps(self, rate_per_million: float, duration_samples: int = 256,
+                   gain: float = 0.1) -> "FaultPlan":
+        """Inject abrupt gain steps (AGC glitches, attenuator chatter)."""
+        return self.with_stream(StreamFaultSpec(
+            StreamFaultKind.GAIN_STEP, rate_per_million, duration_samples,
+            gain))
+
+    def stuck_runs(self, rate_per_million: float,
+                   duration_samples: int = 64) -> "FaultPlan":
+        """Inject stuck-sample runs (a frozen ADC/FIFO word repeats)."""
+        return self.with_stream(StreamFaultSpec(
+            StreamFaultKind.STUCK, rate_per_million, duration_samples))
+
+    # ------------------------------------------------------------------
+    # Deterministic schedules
+
+    def control_decisions(self) -> Iterator[ControlFault | None]:
+        """Infinite per-write decision stream (one entry per bus write).
+
+        Each call restarts the stream from the plan seed, so two
+        consumers (a live bus and a schedule dump) see identical
+        decisions.  At most one fault applies per write; specs are
+        consulted in plan order.
+        """
+        rng = np.random.default_rng([int(self.seed), _CONTROL_DOMAIN])
+        op_index = 0
+        while True:
+            decision: ControlFault | None = None
+            for spec_index, spec in enumerate(self.control):
+                if rng.random() >= spec.rate:
+                    continue
+                bit = 0
+                delay_ops = 0
+                if spec.kind is ControlFaultKind.BITFLIP:
+                    bit = int(rng.integers(0, WORD_BITS))
+                elif spec.kind is ControlFaultKind.DELAY:
+                    delay_ops = int(rng.integers(1, spec.max_delay_ops + 1))
+                decision = ControlFault(op_index=op_index, kind=spec.kind,
+                                        spec_index=spec_index, bit=bit,
+                                        delay_ops=delay_ops)
+                break
+            yield decision
+            op_index += 1
+
+    def stream_events(self) -> Iterator[StreamFault]:
+        """Infinite stream-fault events, ordered by start sample.
+
+        Each spec gets an independent substream seeded from
+        ``(seed, domain, spec_index)``; events from all specs are
+        merged by start time.  Gaps between a spec's events are
+        exponential with mean ``1e6 / rate_per_million`` samples.
+        """
+        per_spec: list[Iterator[StreamFault]] = [
+            self._spec_events(index, spec)
+            for index, spec in enumerate(self.stream)
+        ]
+        heads: list[StreamFault | None] = [next(it) for it in per_spec]
+        while any(head is not None for head in heads):
+            index = min(
+                (i for i, head in enumerate(heads) if head is not None),
+                key=lambda i: (heads[i].start, i),
+            )
+            event = heads[index]
+            assert event is not None
+            heads[index] = next(per_spec[index])
+            yield event
+
+    def _spec_events(self, spec_index: int,
+                     spec: StreamFaultSpec) -> Iterator[StreamFault]:
+        rng = np.random.default_rng(
+            [int(self.seed), _STREAM_DOMAIN, spec_index])
+        mean_gap = 1e6 / spec.rate_per_million
+        clock = 0
+        while True:
+            gap = 1 + int(rng.exponential(mean_gap))
+            start = clock + gap
+            clock = start + spec.duration_samples
+            yield StreamFault(start=start, duration=spec.duration_samples,
+                              kind=spec.kind, magnitude=spec.magnitude)
+
+    def control_schedule(self, n_writes: int) -> list[ControlFault | None]:
+        """The first ``n_writes`` control decisions, as a list."""
+        decisions = self.control_decisions()
+        return [next(decisions) for _ in range(n_writes)]
+
+    def stream_schedule(self, n_samples: int) -> list[StreamFault]:
+        """All stream events starting before sample ``n_samples``."""
+        events: list[StreamFault] = []
+        if not self.stream:
+            return events
+        for event in self.stream_events():
+            if event.start >= n_samples:
+                break
+            events.append(event)
+        return events
+
+    def schedule_digest(self, n_writes: int = 256,
+                        n_samples: int = 1_000_000) -> bytes:
+        """Canonical byte encoding of the plan's fault schedule.
+
+        Two plans with equal specs and seed produce identical digests;
+        this is the replayability contract the property tests pin down.
+        """
+        control = ";".join(
+            "-" if decision is None else
+            f"{decision.op_index}:{decision.kind.value}"
+            f":{decision.spec_index}:{decision.bit}:{decision.delay_ops}"
+            for decision in self.control_schedule(n_writes)
+        )
+        stream = ";".join(
+            f"{event.start}:{event.duration}:{event.kind.value}"
+            f":{event.magnitude!r}"
+            for event in self.stream_schedule(n_samples)
+        )
+        return f"control[{control}]|stream[{stream}]".encode("ascii")
+
+
+# Re-exported convenience: an empty plan injects nothing and is the
+# identity element for the builder chain.
+NO_FAULTS = FaultPlan()
+
+
+__all__ = [
+    "ControlFault",
+    "ControlFaultKind",
+    "ControlFaultSpec",
+    "DEFAULT_MAX_DELAY_OPS",
+    "FaultPlan",
+    "NO_FAULTS",
+    "StreamFault",
+    "StreamFaultKind",
+    "StreamFaultSpec",
+    "WORD_BITS",
+]

@@ -1,0 +1,130 @@
+"""RX stream-fault stage: the 25 MSPS data path misbehaving.
+
+:class:`StreamFaultInjector` sits between the antenna port and the DDC
+and replays the stream schedule of a :class:`~repro.faults.plan.FaultPlan`
+onto the received baseband:
+
+* **overruns** — runs of samples the host never saw, delivered as
+  zeros (the UHD "O" condition; the timeline stays aligned, the
+  information is gone);
+* **DC spikes** — a constant complex offset for the run (front-end
+  re-lock and antenna-switch glitches);
+* **gain steps** — the run scaled by a constant factor (AGC chatter,
+  attenuator relay bounce);
+* **stuck runs** — the first sample of the run repeated (a frozen
+  ADC/FIFO word).
+
+The injector carries an absolute sample clock, so the realized fault
+pattern is independent of how the caller chunks the stream — the same
+chunk-size-invariance contract the DSP core itself honors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.faults.plan import FaultPlan, StreamFault, StreamFaultKind
+
+
+class StreamFaultInjector:
+    """Applies a plan's stream faults to received chunks in order.
+
+    ``raise_on_overrun=True`` upgrades overruns from silent sample
+    loss to a :class:`~repro.errors.StreamError` raised before the
+    chunk is delivered — the libuhd behaviour of a stream call that
+    dies on a severe overflow.  The surrounding recovery path
+    (``ReactiveJammer.run`` with the skip-and-log policy) is what is
+    being exercised then.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 raise_on_overrun: bool = False) -> None:
+        self.plan = plan
+        self.raise_on_overrun = raise_on_overrun
+        self.fault_log: list[StreamFault] = []
+        self._events = plan.stream_events() if plan.stream else iter(())
+        self._next_event: StreamFault | None = None
+        self._active: list[StreamFault] = []
+        self._stuck_values: dict[int, complex] = {}
+        self._clock = 0
+
+    @property
+    def clock(self) -> int:
+        """Absolute index of the next sample to arrive."""
+        return self._clock
+
+    def _pull_events(self, end: int) -> None:
+        """Move every event starting before ``end`` into the active set."""
+        while True:
+            if self._next_event is None:
+                self._next_event = next(self._events, None)
+            if self._next_event is None or self._next_event.start >= end:
+                return
+            self._active.append(self._next_event)
+            self.fault_log.append(self._next_event)
+            self._next_event = None
+
+    def _retire(self, end: int) -> None:
+        still: list[StreamFault] = []
+        for event in self._active:
+            if event.end > end:
+                still.append(event)
+            else:
+                self._stuck_values.pop(event.start, None)
+        self._active = still
+
+    def process(self, chunk: np.ndarray) -> np.ndarray:
+        """Return ``chunk`` with every overlapping fault applied."""
+        chunk = np.asarray(chunk, dtype=np.complex128)
+        if chunk.ndim != 1:
+            raise StreamError("StreamFaultInjector expects a 1-D chunk")
+        n = chunk.size
+        if n == 0:
+            return chunk
+        start, end = self._clock, self._clock + n
+        self._pull_events(end)
+        if self.raise_on_overrun:
+            for event in self._active:
+                if (event.kind is StreamFaultKind.OVERRUN
+                        and event.start < end and event.end > start):
+                    raise StreamError(
+                        f"RX overrun: {event.duration} samples lost at "
+                        f"sample {event.start}"
+                    )
+        out = chunk.copy()
+        for event in self._active:
+            lo = max(event.start, start)
+            hi = min(event.end, end)
+            if hi > lo:
+                self._apply(event, out, lo - start, hi - start)
+        self._retire(end)
+        self._clock = end
+        return out
+
+    def skip(self, n: int) -> None:
+        """Advance the fault timeline without delivering samples.
+
+        Used by the recovery path when a chunk is dropped: the faults
+        that would have hit it are consumed so the schedule stays
+        aligned with the absolute sample clock.
+        """
+        if n < 0:
+            raise StreamError("cannot skip a negative number of samples")
+        end = self._clock + n
+        self._pull_events(end)
+        self._retire(end)
+        self._clock = end
+
+    def _apply(self, event: StreamFault, out: np.ndarray,
+               lo: int, hi: int) -> None:
+        if event.kind is StreamFaultKind.OVERRUN:
+            out[lo:hi] = 0.0
+        elif event.kind is StreamFaultKind.DC_SPIKE:
+            out[lo:hi] += event.magnitude
+        elif event.kind is StreamFaultKind.GAIN_STEP:
+            out[lo:hi] *= event.magnitude
+        else:  # STUCK: the word at the run's first sample repeats.
+            held = self._stuck_values.setdefault(
+                event.start, complex(out[lo]))
+            out[lo:hi] = held

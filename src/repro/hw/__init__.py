@@ -23,7 +23,11 @@ core block-for-block:
   models (quantization, gain, pipeline latency).
 * :mod:`repro.hw.usrp` — the USRP N210 + SBX device model.
 * :mod:`repro.hw.uhd` — a UHD-like host driver exposing named setters
-  that translate to register writes, as gr-uhd does.
+  that translate to register writes, as gr-uhd does — hardened with
+  verified writes and a shadow-map ``scrub()`` repair pass.
+* :mod:`repro.hw.watchdog` — the in-fabric watchdog (jam duty-cycle
+  guard, trigger-FSM re-arm timeout, safe state on illegal register
+  contents).
 
 Timing is tracked in FPGA clock cycles (100 MHz) and baseband samples
 (25 MSPS); every block declares its pipeline latency so the Fig. 5
@@ -39,7 +43,8 @@ from repro.hw.trigger import TriggerMode, TriggerSource, TriggerStateMachine
 from repro.hw.tx_controller import JamWaveform, TransmitController
 from repro.hw.dsp_core import CustomDspCore, DetectionEvent, JamEvent
 from repro.hw.usrp import SbxFrontend, UsrpN210
-from repro.hw.uhd import UhdDriver
+from repro.hw.uhd import DriverHealth, UhdDriver
+from repro.hw.watchdog import Watchdog, WatchdogConfig, WatchdogTrip
 from repro.hw.antenna import AntennaConfig, AntennaPort
 from repro.hw.impairments import TYPICAL_N210, FrontEndImpairments
 from repro.hw.vita_time import VitaTimestamp, VitaTimeSource
@@ -60,6 +65,10 @@ __all__ = [
     "SbxFrontend",
     "UsrpN210",
     "UhdDriver",
+    "DriverHealth",
+    "Watchdog",
+    "WatchdogConfig",
+    "WatchdogTrip",
     "AntennaConfig",
     "AntennaPort",
     "FrontEndImpairments",

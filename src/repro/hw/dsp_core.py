@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dsp.fixed_point import quantize_iq16
-from repro.errors import RegisterError, StreamError
+from repro.errors import ConfigurationError, RegisterError, StreamError
 from repro.hw import register_map as regmap
+from repro.hw.watchdog import Watchdog
 from repro.hw.cross_correlator import CrossCorrelator
 from repro.hw.energy_differentiator import EnergyDifferentiator
 from repro.hw.registers import UserRegisterBus, unpack_signed_fields
@@ -66,8 +67,12 @@ class CoreOutput:
 class CustomDspCore:
     """The paper's custom DSP core with its register-bus control plane."""
 
-    def __init__(self, bus: UserRegisterBus | None = None) -> None:
+    def __init__(self, bus: UserRegisterBus | None = None,
+                 watchdog: Watchdog | None = None) -> None:
         self.bus = bus if bus is not None else UserRegisterBus()
+        #: Optional in-fabric watchdog (duty guard, re-arm timeout,
+        #: safe state).  ``None`` reproduces the unguarded core.
+        self.watchdog = watchdog
         self.correlator = CrossCorrelator()
         self.energy = EnergyDifferentiator()
         self.fsm = TriggerStateMachine([TriggerSource.ENERGY_HIGH])
@@ -98,13 +103,38 @@ class CustomDspCore:
                        self._set_energy_high)
         self.bus.watch(regmap.REG_ENERGY_THRESHOLD_LOW,
                        self._set_energy_low)
-        self.bus.watch(regmap.REG_TRIGGER_CONFIG, self._set_trigger_config)
-        self.bus.watch(regmap.REG_TRIGGER_WINDOW, self._set_trigger_window)
-        self.bus.watch(regmap.REG_JAM_DELAY, self._set_jam_delay)
-        self.bus.watch(regmap.REG_JAM_UPTIME, self._set_jam_uptime)
-        self.bus.watch(regmap.REG_JAM_WAVEFORM, self._set_jam_waveform)
-        self.bus.watch(regmap.REG_CONTROL_FLAGS, self._set_control_flags)
-        self.bus.watch(regmap.REG_REPLAY_LENGTH, self._set_replay_length)
+        for address, handler in (
+            (regmap.REG_TRIGGER_CONFIG, self._set_trigger_config),
+            (regmap.REG_TRIGGER_WINDOW, self._set_trigger_window),
+            (regmap.REG_JAM_DELAY, self._set_jam_delay),
+            (regmap.REG_JAM_UPTIME, self._set_jam_uptime),
+            (regmap.REG_JAM_WAVEFORM, self._set_jam_waveform),
+            (regmap.REG_CONTROL_FLAGS, self._set_control_flags),
+            (regmap.REG_REPLAY_LENGTH, self._set_replay_length),
+        ):
+            self.bus.watch(address, self._guarded(address, handler))
+
+    def _guarded(self, address, handler):
+        """Route a register decode through the watchdog's safe state.
+
+        Without a watchdog (or with ``safe_state_on_illegal`` off) an
+        undecodable register word raises straight into the writer, as
+        before.  With one, the register is flagged illegal and the
+        core keeps running with transmission suppressed until a legal
+        word lands on the same address.
+        """
+        def wrapped(value: int) -> None:
+            try:
+                handler(value)
+            except ConfigurationError as exc:
+                wd = self.watchdog
+                if wd is not None and wd.config.safe_state_on_illegal:
+                    wd.flag_illegal(address, self._clock, str(exc))
+                    return
+                raise
+            if self.watchdog is not None:
+                self.watchdog.clear_illegal(address)
+        return wrapped
 
     def _reload_coefficients(self) -> None:
         words_i = [self.bus.read(regmap.REG_COEFF_I_BASE + k)
@@ -201,6 +231,13 @@ class CustomDspCore:
         """Whether the continuous-jamming flag is set."""
         return self._continuous_since is not None
 
+    @property
+    def _tx_allowed(self) -> bool:
+        """Jamming enabled and the watchdog not holding safe state."""
+        if not self._jammer_enabled:
+            return False
+        return self.watchdog is None or not self.watchdog.safe_state
+
     def reset(self) -> None:
         """Hardware reset: clears all block state but keeps registers."""
         self.correlator.reset()
@@ -215,6 +252,8 @@ class CustomDspCore:
         self._continuous_since = None if self._continuous_since is None else 0
         self.detection_counts = {source: 0 for source in TriggerSource}
         self.jam_count = 0
+        if self.watchdog is not None:
+            self.watchdog.reset()
 
     # ------------------------------------------------------------------
     # Data path
@@ -236,6 +275,9 @@ class CustomDspCore:
             return CoreOutput(tx=np.zeros(0, dtype=np.complex128))
         quantized = quantize_iq16(rx_chunk)
 
+        if self.watchdog is not None:
+            self.watchdog.check_rearm(self.fsm, chunk_start)
+
         xcorr_trig = self.correlator.process(quantized)
         ehigh_trig, elow_trig = self.energy.process(quantized)
 
@@ -247,10 +289,12 @@ class CustomDspCore:
         )
 
         new_intervals: list[JamInterval] = []
-        if self._jammer_enabled and jam_times:
+        if self._tx_allowed and jam_times:
             new_intervals = self._schedule_with_capture(
                 jam_times, quantized, chunk_start
             )
+            if self.watchdog is not None:
+                new_intervals = self._admit_intervals(new_intervals)
         else:
             self.tx.observe_rx(quantized)
         self.jam_count += len(new_intervals)
@@ -263,6 +307,24 @@ class CustomDspCore:
         self._clock += n
         self._retire_intervals()
         return CoreOutput(tx=tx_chunk, detections=detections, jams=jams)
+
+    def skip(self, n: int) -> None:
+        """Advance the sample clock over ``n`` samples that were lost.
+
+        The recovery path uses this when a chunk cannot be processed:
+        the absolute timeline stays aligned (later events keep correct
+        timestamps) while the lost span produces no detections and no
+        transmit samples.  Edge trackers are cleared — the trigger
+        state on the far side of a gap is unknown, and re-detecting an
+        edge is safer than missing one.
+        """
+        if n < 0:
+            raise StreamError("cannot skip a negative number of samples")
+        self._clock += n
+        self._last_xcorr = False
+        self._last_ehigh = False
+        self._last_elow = False
+        self._retire_intervals()
 
     def _collect_detections(self, chunk_start: int, xcorr: np.ndarray,
                             ehigh: np.ndarray, elow: np.ndarray
@@ -282,6 +344,21 @@ class CustomDspCore:
             )
         events.sort(key=lambda event: (event.time, int(event.source)))
         return events
+
+    def _admit_intervals(self, intervals: list[JamInterval]
+                         ) -> list[JamInterval]:
+        """Run scheduled bursts past the watchdog's duty guard.
+
+        A vetoed burst is cancelled in the transmit controller too, so
+        the pipeline does not stay busy for a burst that never airs.
+        """
+        admitted: list[JamInterval] = []
+        for interval in intervals:
+            if self.watchdog.admit_interval(interval.start, interval.end):
+                admitted.append(interval)
+            else:
+                self.tx.cancel_interval(interval)
+        return admitted
 
     def _schedule_with_capture(self, jam_times: list[int],
                                quantized: np.ndarray,
@@ -307,11 +384,18 @@ class CustomDspCore:
 
     def _synthesize_tx(self, chunk_start: int, n: int) -> np.ndarray:
         tx_chunk = np.zeros(n, dtype=np.complex128)
-        if self._continuous_since is not None and self._jammer_enabled:
+        if self.watchdog is not None and self.watchdog.safe_state:
+            return tx_chunk  # safe state: nothing leaves the DUC
+        if self._continuous_since is not None and self._tx_allowed:
+            allowed = n
+            if self.watchdog is not None:
+                allowed = self.watchdog.continuous_allowance(chunk_start, n)
+            if allowed == 0:
+                return tx_chunk
             burst = JamInterval(
                 trigger_time=self._continuous_since,
                 start=self._continuous_since,
-                end=chunk_start + n,
+                end=chunk_start + allowed,
                 waveform=JamWaveform.WGN,
             )
             offset, wave = self.tx.synthesize(burst, chunk_start, n)

@@ -79,6 +79,8 @@ TRIGGER_MODE_BIT = 1 << 15
 # Waveform-select fields (register 21).
 WAVEFORM_SELECT_MASK = 0x3
 WGN_SEED_SHIFT = 2
+#: The WGN seed occupies bits 2..31 of the waveform register.
+WGN_SEED_MASK = (1 << (32 - WGN_SEED_SHIFT)) - 1
 
 #: Highest value the 32-bit JAM_UPTIME register can carry.  The
 #: docstring contract above ("clipped to 2^32 - 1 by the bus width")

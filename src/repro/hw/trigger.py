@@ -134,6 +134,20 @@ class TriggerStateMachine:
             )
         self._window = int(value)
 
+    @property
+    def armed_since(self) -> int | None:
+        """Sample time of the first matched stage, or ``None`` if idle.
+
+        A partially-advanced machine is "armed": it has consumed at
+        least one stage event and is waiting for the rest of the
+        sequence.  The watchdog's re-arm timeout uses this to reset a
+        machine that has been armed implausibly long (e.g. because a
+        corrupted window register made the expiry check unreachable).
+        """
+        if self._state.stage_index == 0:
+            return None
+        return self._state.first_event_time
+
     def reset(self) -> None:
         """Return the machine to idle, discarding partial progress."""
         self._state = _FsmState()

@@ -259,3 +259,14 @@ class TransmitController:
     def release_interval(self, interval: JamInterval) -> None:
         """Drop the replay snapshot of a finished burst."""
         self._interval_sources.pop(interval.start, None)
+
+    def cancel_interval(self, interval: JamInterval) -> None:
+        """Abort a just-scheduled burst before any sample is emitted.
+
+        Used by the watchdog's duty-cycle guard: a vetoed burst must
+        also free the transmit pipeline, otherwise the controller would
+        stay busy for a burst that never airs.
+        """
+        self._interval_sources.pop(interval.start, None)
+        if self._busy_until == interval.end:
+            self._busy_until = interval.trigger_time

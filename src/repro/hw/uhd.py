@@ -5,28 +5,173 @@ custom DSP core through UHD's ``set_user_register`` API.  This module
 provides the equivalent named setters: each call translates a friendly
 parameter into the packed register writes the hardware expects, so the
 rest of the framework never touches raw addresses.
+
+The driver is *hardened* against the N210's UDP-borne control path
+(see :mod:`repro.faults`): by default every register write is verified
+by readback and re-sent with exponential backoff until it sticks, the
+driver keeps a host-side **shadow map** of every value it has written,
+and :meth:`UhdDriver.scrub` compares the shadow against the device and
+repairs any register that has drifted (dropped datagrams, stale
+reordered writes, SEUs).  Backoff is *virtual* — the model accumulates
+the would-be wait in :class:`DriverHealth` instead of sleeping, so
+deterministic tests stay fast.
 """
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
+
 import numpy as np
 
 from repro import units
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RegisterError, RegisterWriteError
 from repro.hw import register_map as regmap
 from repro.hw.cross_correlator import quantize_coefficients
-from repro.hw.registers import UserRegisterBus, pack_signed_fields
+from repro.hw.registers import WORD_MASK, UserRegisterBus, pack_signed_fields
 from repro.hw.trigger import TriggerMode, TriggerSource, TriggerStateMachine
-from repro.hw.tx_controller import JamWaveform, MAX_UPTIME_SAMPLES
+from repro.hw.tx_controller import (
+    MAX_REPLAY_LENGTH,
+    MAX_UPTIME_SAMPLES,
+    JamWaveform,
+)
 from repro.hw.usrp import UsrpN210
+
+#: Verified-write retry budget: the original send plus this many
+#: re-sends before the driver gives up with :class:`RegisterWriteError`.
+DEFAULT_MAX_RETRIES = 8
+
+
+@dataclass
+class DriverHealth:
+    """Control-plane health counters kept by the hardened driver.
+
+    Attributes:
+        writes: Verified-write transactions attempted.
+        retries: Individual re-sends after a failed verification.
+        recovered_writes: Transactions that needed at least one retry
+            but eventually verified.
+        write_failures: Transactions abandoned after the retry budget
+            (each raised :class:`~repro.errors.RegisterWriteError`).
+        scrub_passes: Completed :meth:`UhdDriver.scrub` sweeps.
+        scrub_repairs: Registers found drifted and rewritten by scrub.
+        backoff_ops: Accumulated virtual exponential backoff, in bus
+            operations (1, 2, 4, ... per successive retry).
+    """
+
+    writes: int = 0
+    retries: int = 0
+    recovered_writes: int = 0
+    write_failures: int = 0
+    scrub_passes: int = 0
+    scrub_repairs: int = 0
+    backoff_ops: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters as a plain dict (for reports and logs)."""
+        return asdict(self)
 
 
 class UhdDriver:
-    """Host-side control of one USRP running the custom core."""
+    """Host-side control of one USRP running the custom core.
 
-    def __init__(self, device: UsrpN210) -> None:
+    ``verify_writes=True`` (the default) turns every register write
+    into a write/readback/compare transaction with up to
+    ``max_retries`` re-sends; ``verify_writes=False`` restores the
+    fire-and-forget behaviour of plain ``set_user_register`` (useful
+    as the *unhardened* arm of fault-injection experiments).
+    """
+
+    def __init__(self, device: UsrpN210, verify_writes: bool = True,
+                 max_retries: int = DEFAULT_MAX_RETRIES) -> None:
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
         self.device = device
+        self.verify_writes = verify_writes
+        self.max_retries = max_retries
+        self.health = DriverHealth()
         self._bus: UserRegisterBus = device.bus
+        self._shadow: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Hardened write path
+
+    def _write(self, address: int, value: int) -> None:
+        """Write one register, verified and shadowed.
+
+        The value is validated host-side first so caller bugs surface
+        immediately (reject, never mask); only wire-level corruption
+        enters the retry loop.  A :class:`ConfigurationError` raised by
+        the core while decoding the landed word is treated the same as
+        a readback mismatch: the word that arrived is not the word
+        that was sent.
+        """
+        value = int(value)
+        if not 0 <= value <= WORD_MASK:
+            raise RegisterError(
+                f"value {value:#x} does not fit the 32-bit data bus "
+                "(the driver rejects out-of-range words, it never masks)"
+            )
+        self._shadow[address] = value
+        if not self.verify_writes:
+            self._bus.write(address, value)
+            return
+        self.health.writes += 1
+        backoff = 1
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.health.retries += 1
+                self.health.backoff_ops += backoff
+                backoff *= 2
+            try:
+                self._bus.write(address, value)
+                landed = self._bus.read(address)
+            except ConfigurationError:
+                # The core rejected what arrived — corruption on the
+                # wire (or a stale reordered write landing mid-readback),
+                # since the driver only sends decodable words.
+                continue
+            if landed == value:
+                if attempt:
+                    self.health.recovered_writes += 1
+                return
+        self.health.write_failures += 1
+        raise RegisterWriteError(
+            f"register {address} write of {value:#x} could not be "
+            f"verified after {self.max_retries + 1} attempts"
+        )
+
+    def scrub(self) -> list[int]:
+        """Sweep the shadow map and repair any drifted register.
+
+        Reads back every register the driver has ever written and
+        rewrites (verified) those whose device contents disagree with
+        the shadow — the detect-and-repair pass that catches dropped
+        datagrams, stale reordered writes landing late, and SEU-style
+        upsets that never crossed the wire at all.  Returns the
+        repaired addresses in ascending order.
+
+        A repair re-fires the core's register watcher, so in-flight
+        soft state derived from that register (e.g. partial trigger-FSM
+        progress under ``REG_TRIGGER_CONFIG``) is rebuilt, exactly as
+        a host rewrite would on real hardware.
+        """
+        repaired: list[int] = []
+        for address in sorted(self._shadow):
+            value = self._shadow[address]
+            try:
+                drifted = self._bus.read(address) != value
+            except ConfigurationError:
+                drifted = True  # a stale write landed mid-read; repair
+            if drifted:
+                self._write(address, value)
+                repaired.append(address)
+        self.health.scrub_passes += 1
+        self.health.scrub_repairs += len(repaired)
+        return repaired
+
+    def shadow_registers(self) -> dict[int, int]:
+        """The host's intended register file (copy), address -> value."""
+        return dict(self._shadow)
 
     # ------------------------------------------------------------------
     # Detection configuration
@@ -43,9 +188,9 @@ class UhdDriver:
                 f"expected {regmap.CORRELATOR_LENGTH} coefficients per bank"
             )
         for offset, word in enumerate(words_i):
-            self._bus.write(regmap.REG_COEFF_I_BASE + offset, word)
+            self._write(regmap.REG_COEFF_I_BASE + offset, word)
         for offset, word in enumerate(words_q):
-            self._bus.write(regmap.REG_COEFF_Q_BASE + offset, word)
+            self._write(regmap.REG_COEFF_Q_BASE + offset, word)
 
     def set_correlator_template(self, template: np.ndarray) -> None:
         """Quantize a complex preamble template and load it.
@@ -58,19 +203,24 @@ class UhdDriver:
 
     def set_xcorr_threshold(self, threshold: int) -> None:
         """Set the correlation detection threshold."""
-        self._bus.write(regmap.REG_XCORR_THRESHOLD, int(threshold))
+        self._write(regmap.REG_XCORR_THRESHOLD, int(threshold))
 
     def set_energy_thresholds(self, high_db: float, low_db: float) -> None:
         """Set energy rise/fall thresholds (3..30 dB)."""
-        self._bus.write(regmap.REG_ENERGY_THRESHOLD_HIGH,
-                        regmap.encode_energy_threshold_db(high_db))
-        self._bus.write(regmap.REG_ENERGY_THRESHOLD_LOW,
-                        regmap.encode_energy_threshold_db(low_db))
+        self._write(regmap.REG_ENERGY_THRESHOLD_HIGH,
+                    regmap.encode_energy_threshold_db(high_db))
+        self._write(regmap.REG_ENERGY_THRESHOLD_LOW,
+                    regmap.encode_energy_threshold_db(low_db))
 
     def set_trigger_stages(self, sources: list[TriggerSource],
                            window_samples: int = 0,
                            mode: TriggerMode = TriggerMode.SEQUENCE) -> None:
-        """Program the three-stage trigger state machine."""
+        """Program the three-stage trigger state machine.
+
+        The window register is written unconditionally: reprogramming
+        with ``window_samples=0`` must clear a previously-set window
+        rather than silently leaving the stale value in the hardware.
+        """
         if not 1 <= len(sources) <= TriggerStateMachine.MAX_STAGES:
             raise ConfigurationError(
                 "the trigger FSM supports 1 to 3 stages"
@@ -85,16 +235,15 @@ class UhdDriver:
             raise ConfigurationError(
                 "multi-stage sequential triggering needs a positive window"
             )
-        self._bus.write(regmap.REG_TRIGGER_CONFIG, word)
-        if window_samples:
-            self._bus.write(regmap.REG_TRIGGER_WINDOW, int(window_samples))
+        self._write(regmap.REG_TRIGGER_CONFIG, word)
+        self._write(regmap.REG_TRIGGER_WINDOW, int(window_samples))
 
     # ------------------------------------------------------------------
     # Jamming configuration
 
     def set_jam_delay(self, samples: int) -> None:
         """Delay between trigger and burst start, in samples."""
-        self._bus.write(regmap.REG_JAM_DELAY, int(samples))
+        self._write(regmap.REG_JAM_DELAY, int(samples))
 
     def set_jam_delay_seconds(self, seconds: float) -> None:
         """Delay between trigger and burst start, in seconds."""
@@ -116,21 +265,38 @@ class UhdDriver:
             )
         clipped = min(regmap.clip_jam_uptime(int(samples)),
                       MAX_UPTIME_SAMPLES)
-        self._bus.write(regmap.REG_JAM_UPTIME, clipped)
+        self._write(regmap.REG_JAM_UPTIME, clipped)
 
     def set_jam_uptime_seconds(self, seconds: float) -> None:
         """Jam burst duration in seconds (40 ns .. ~40 s)."""
         self.set_jam_uptime(units.seconds_to_samples(seconds))
 
     def set_jam_waveform(self, waveform: JamWaveform, wgn_seed: int = 0x5EED) -> None:
-        """Select the jamming waveform preset (and WGN seed)."""
+        """Select the jamming waveform preset (and WGN seed).
+
+        The seed must fit its 30-bit register field; an oversized seed
+        is rejected rather than silently masked, matching the bus-wide
+        "reject, never mask" policy.
+        """
+        wgn_seed = int(wgn_seed)
+        if not 0 <= wgn_seed <= regmap.WGN_SEED_MASK:
+            raise ConfigurationError(
+                f"wgn_seed {wgn_seed:#x} does not fit the 30-bit seed field "
+                f"(0..{regmap.WGN_SEED_MASK:#x})"
+            )
         word = int(JamWaveform(waveform)) & regmap.WAVEFORM_SELECT_MASK
-        word |= (int(wgn_seed) & 0x3FFF_FFFF) << regmap.WGN_SEED_SHIFT
-        self._bus.write(regmap.REG_JAM_WAVEFORM, word)
+        word |= wgn_seed << regmap.WGN_SEED_SHIFT
+        self._write(regmap.REG_JAM_WAVEFORM, word)
 
     def set_replay_length(self, samples: int) -> None:
         """Depth of the replay capture buffer (1..512 samples)."""
-        self._bus.write(regmap.REG_REPLAY_LENGTH, int(samples))
+        samples = int(samples)
+        if not 1 <= samples <= MAX_REPLAY_LENGTH:
+            raise ConfigurationError(
+                f"replay length {samples} outside the hardware's "
+                f"[1, {MAX_REPLAY_LENGTH}]-sample capture buffer"
+            )
+        self._write(regmap.REG_REPLAY_LENGTH, samples)
 
     def set_control(self, jammer_enabled: bool = True,
                     continuous: bool = False, antenna_bits: int = 0) -> None:
@@ -143,7 +309,7 @@ class UhdDriver:
         if continuous:
             word |= regmap.FLAG_CONTINUOUS
         word |= antenna_bits << regmap.ANTENNA_SHIFT
-        self._bus.write(regmap.REG_CONTROL_FLAGS, word)
+        self._write(regmap.REG_CONTROL_FLAGS, word)
 
     # ------------------------------------------------------------------
     # Feedback path

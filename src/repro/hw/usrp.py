@@ -11,6 +11,7 @@ transmit chunk for the same span of the timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,10 @@ from repro.hw.dsp_core import CoreOutput, CustomDspCore
 from repro.hw.duc import DigitalUpConverter
 from repro.hw.registers import UserRegisterBus
 from repro.hw.vita_time import VitaTimestamp, VitaTimeSource
+from repro.hw.watchdog import Watchdog
+
+if TYPE_CHECKING:  # repro.faults imports repro.hw; avoid the cycle.
+    from repro.faults.stream import StreamFaultInjector
 
 #: SBX tuning range (Hz).  The paper quotes 400 MHz - 4 GHz; the board
 #: datasheet extends to 4.4 GHz.
@@ -87,14 +92,18 @@ class UsrpN210:
 
     def __init__(self, frontend: SbxFrontend | None = None,
                  bus: UserRegisterBus | None = None,
-                 vita_time: VitaTimeSource | None = None) -> None:
+                 vita_time: VitaTimeSource | None = None,
+                 watchdog: Watchdog | None = None,
+                 stream_faults: "StreamFaultInjector | None" = None) -> None:
         self.frontend = frontend if frontend is not None else SbxFrontend()
         self.bus = bus if bus is not None else UserRegisterBus()
-        self.core = CustomDspCore(bus=self.bus)
+        self.core = CustomDspCore(bus=self.bus, watchdog=watchdog)
         self.ddc = DigitalDownConverter(rx_gain_db=0.0)
         self.duc = DigitalUpConverter(tx_gain_db=0.0)
         self.vita_time = vita_time if vita_time is not None \
             else VitaTimeSource()
+        #: Optional antenna-port fault stage (see :mod:`repro.faults`).
+        self.stream_faults = stream_faults
 
     def timestamp_of(self, sample_index: int) -> "VitaTimestamp":
         """Absolute VITA time of an event's sample index (Fig. 1)."""
@@ -117,10 +126,22 @@ class UsrpN210:
         the antenna-port transmit waveform for the same sample span.
         """
         rx_chunk = np.asarray(rx_chunk, dtype=np.complex128)
+        if self.stream_faults is not None:
+            rx_chunk = self.stream_faults.process(rx_chunk)
         baseband = self.ddc.process(rx_chunk)
         output = self.core.process(baseband)
         output.tx = self.duc.process(output.tx)
         return output
+
+    def skip(self, n: int) -> None:
+        """Advance the device timeline over ``n`` lost antenna samples.
+
+        Keeps the DSP core's sample clock and the fault injector's
+        schedule aligned when the recovery path drops a chunk.
+        """
+        if self.stream_faults is not None:
+            self.stream_faults.skip(n)
+        self.core.skip(n)
 
     def run(self, rx_signal: np.ndarray, chunk_size: int = 1 << 16) -> CoreOutput:
         """Process a complete signal in chunks and merge the outputs.

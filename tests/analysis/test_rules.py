@@ -241,3 +241,61 @@ class TestRJ005Hygiene:
     def test_future_import_not_required_outside_src(self):
         assert not _run("RJ005", "import os\nprint(os.sep)\n",
                         "examples/demo.py")
+
+
+class TestRJ006RawBusConstruction:
+    def test_fires_on_construction_outside_hw(self):
+        found = _run("RJ006", """\
+            from __future__ import annotations
+
+            from repro.hw.registers import UserRegisterBus
+
+            def boot():
+                bus = UserRegisterBus()
+                return bus
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+        assert "UhdDriver" in found[0].message
+
+    def test_fires_on_attribute_construction(self):
+        found = _run("RJ006", """\
+            from __future__ import annotations
+
+            import repro.hw.registers as registers
+
+            def boot():
+                return registers.UserRegisterBus()
+            """, "src/repro/core/bad.py")
+        assert len(found) == 1
+
+    def test_hw_modules_are_exempt(self):
+        assert not _run("RJ006", """\
+            from __future__ import annotations
+
+            def boot():
+                return UserRegisterBus()
+            """, "src/repro/hw/usrp.py")
+
+    def test_faults_modules_are_exempt(self):
+        assert not _run("RJ006", """\
+            from __future__ import annotations
+
+            def boot():
+                return UserRegisterBus()
+            """, "src/repro/faults/bus.py")
+
+    def test_tests_and_tools_outside_src_are_exempt(self):
+        assert not _run("RJ006", """\
+            def boot():
+                return UserRegisterBus()
+            """, "tests/hw/test_registers.py")
+
+    def test_subclass_wrappers_do_not_fire(self):
+        assert not _run("RJ006", """\
+            from __future__ import annotations
+
+            from repro.faults.bus import FaultyRegisterBus
+
+            def boot(plan):
+                return FaultyRegisterBus(plan)
+            """, "src/repro/apps/good.py")

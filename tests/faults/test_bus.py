@@ -1,0 +1,108 @@
+"""FaultyRegisterBus: scripted control-plane faults on the wire."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegisterError
+from repro.faults import FaultPlan, FaultyRegisterBus, NO_FAULTS
+from repro.faults.plan import ControlFaultKind
+
+ADDR = 20
+OTHER = 21
+
+
+def test_no_faults_is_a_plain_bus():
+    bus = FaultyRegisterBus(NO_FAULTS)
+    bus.write(ADDR, 0x1234)
+    assert bus.read(ADDR) == 0x1234
+    assert bus.fault_log == []
+
+
+def test_drop_all_writes():
+    bus = FaultyRegisterBus(FaultPlan(seed=1).drop_writes(1.0))
+    bus.write(ADDR, 42)
+    assert bus.read(ADDR) == 0
+    assert [f.kind for f in bus.fault_log] == [ControlFaultKind.DROP]
+
+
+def test_bitflip_corrupts_exactly_one_bit():
+    bus = FaultyRegisterBus(FaultPlan(seed=2).bitflip_writes(1.0))
+    bus.write(ADDR, 0)
+    landed = bus.read(ADDR)
+    assert landed != 0
+    assert bin(landed).count("1") == 1
+
+
+def test_duplicate_writes_twice():
+    bus = FaultyRegisterBus(FaultPlan(seed=3).duplicate_writes(1.0))
+    seen = []
+    bus.watch(ADDR, seen.append)
+    bus.write(ADDR, 7)
+    assert seen == [7, 7]
+    assert bus.read(ADDR) == 7
+
+
+def test_delayed_write_lands_after_more_traffic():
+    bus = FaultyRegisterBus(FaultPlan(seed=4).delay_writes(1.0, max_delay_ops=2))
+    bus.faults_enabled = False
+    bus.write(ADDR, 1)
+    bus.faults_enabled = True
+    bus.write(ADDR, 2)          # delayed 1..2 ops
+    assert bus.pending_writes == 1
+    bus.faults_enabled = False
+    # Each bus op (read included) advances the wire clock.
+    for _ in range(3):
+        bus.read(OTHER)
+    assert bus.pending_writes == 0
+    assert bus.read(ADDR) == 2
+
+
+def test_flush_lands_all_pending_writes():
+    bus = FaultyRegisterBus(FaultPlan(seed=4).delay_writes(1.0, max_delay_ops=4))
+    bus.write(ADDR, 9)
+    assert bus.pending_writes == 1
+    bus.flush()
+    assert bus.pending_writes == 0
+    assert bus.read(ADDR) == 9
+
+
+def test_address_filter_spares_other_registers():
+    plan = FaultPlan(seed=5).drop_writes(1.0, addresses={OTHER})
+    bus = FaultyRegisterBus(plan)
+    bus.write(ADDR, 3)
+    bus.write(OTHER, 4)
+    assert bus.read(ADDR) == 3
+    assert bus.read(OTHER) == 0
+    assert len(bus.fault_log) == 1
+
+
+def test_faults_enabled_gate():
+    bus = FaultyRegisterBus(FaultPlan(seed=6).drop_writes(1.0))
+    bus.faults_enabled = False
+    bus.write(ADDR, 11)
+    assert bus.read(ADDR) == 11
+    assert bus.fault_log == []
+    bus.faults_enabled = True
+    bus.write(ADDR, 12)
+    assert bus.read(ADDR) == 11
+
+
+def test_validation_happens_before_faults():
+    """A fault plan cannot smuggle an illegal word past the bus contract."""
+    bus = FaultyRegisterBus(FaultPlan(seed=7).drop_writes(1.0))
+    with pytest.raises(RegisterError):
+        bus.write(ADDR, 1 << 32)
+    with pytest.raises(RegisterError):
+        bus.write(300, 1)
+    assert bus.fault_log == []
+
+
+def test_upset_bypasses_watchers():
+    bus = FaultyRegisterBus(NO_FAULTS)
+    seen = []
+    bus.watch(ADDR, seen.append)
+    bus.write(ADDR, 5)
+    bus.upset(ADDR, 0xDEAD)
+    assert seen == [5]
+    assert bus.read(ADDR) == 0xDEAD

@@ -1,0 +1,139 @@
+"""Per-chunk recovery in ReactiveJammer.run: degradation policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.detection import DetectionConfig
+from repro.core.events import JammingEventBuilder
+from repro.core.jammer import DegradationPolicy, HealthReport, ReactiveJammer
+from repro.core.presets import reactive_jammer
+from repro.errors import ConfigurationError, StreamError
+from repro.faults import FaultPlan, FaultyRegisterBus, NO_FAULTS, StreamFaultInjector
+from repro.hw import register_map as regmap
+from repro.hw.usrp import UsrpN210
+from repro.hw.watchdog import Watchdog
+
+CHUNK = 1024
+
+
+def _overrun_plan():
+    # ~10 overruns in 50k samples, deterministic.
+    return FaultPlan(seed=21).overruns(200, duration_samples=96)
+
+
+def _configure(jammer, template):
+    jammer.configure(
+        detection=DetectionConfig(template=template, xcorr_threshold=30_000),
+        events=JammingEventBuilder().on_correlation(),
+        personality=reactive_jammer(uptime_seconds=1e-5),
+    )
+
+
+@pytest.fixture
+def template(rng):
+    return np.exp(1j * rng.uniform(0, 2 * np.pi, 64))
+
+
+def _signal(template, rng, n=50_000, burst_at=40_000):
+    signal = (rng.normal(0, 1e-3, n) + 1j * rng.normal(0, 1e-3, n))
+    signal[burst_at:burst_at + template.size] += template
+    return signal.astype(np.complex128)
+
+
+def test_fail_fast_reraises(template, rng):
+    injector = StreamFaultInjector(_overrun_plan(), raise_on_overrun=True)
+    jammer = ReactiveJammer(stream_faults=injector)
+    _configure(jammer, template)
+    with pytest.raises(StreamError, match="overrun"):
+        jammer.run(_signal(template, rng), chunk_size=CHUNK)
+
+
+def test_skip_and_log_survives_and_accounts(template, rng):
+    injector = StreamFaultInjector(_overrun_plan(), raise_on_overrun=True)
+    jammer = ReactiveJammer(stream_faults=injector)
+    _configure(jammer, template)
+    signal = _signal(template, rng, n=50 * CHUNK)
+    report = jammer.run(signal, chunk_size=CHUNK,
+                        degradation=DegradationPolicy.SKIP_AND_LOG)
+    health = report.health
+    assert health.chunks_skipped > 0
+    assert health.samples_skipped == health.chunks_skipped * CHUNK
+    assert len(health.stream_errors) == health.chunks_skipped
+    assert all("overrun" in msg for msg in health.stream_errors)
+    assert health.degraded
+    # The transmit waveform covers the full input span: skipped chunks
+    # contribute silence, not a shortened timeline.
+    assert report.tx.size == signal.size
+    total = health.chunks_processed + health.chunks_skipped
+    assert total == -(-signal.size // CHUNK)
+
+
+def test_skipped_chunks_keep_timeline_aligned(template, rng):
+    """A detection after a skipped chunk lands at its true sample time."""
+    injector = StreamFaultInjector(_overrun_plan(), raise_on_overrun=True)
+    jammer = ReactiveJammer(stream_faults=injector)
+    _configure(jammer, template)
+    burst_at = 40_000
+    signal = _signal(template, rng, burst_at=burst_at)
+    report = jammer.run(signal, chunk_size=CHUNK,
+                        degradation=DegradationPolicy.SKIP_AND_LOG)
+    assert report.health.chunks_skipped > 0
+    assert report.detections
+    assert any(burst_at <= d.time < burst_at + template.size + 128
+               for d in report.detections)
+
+
+def test_scrub_during_run_repairs_upsets(template, rng):
+    bus = FaultyRegisterBus(NO_FAULTS)
+    jammer = ReactiveJammer(UsrpN210(bus=bus))
+    _configure(jammer, template)
+    bus.upset(regmap.REG_XCORR_THRESHOLD, 0xFFFF_FFFF)
+    report = jammer.run(_signal(template, rng), chunk_size=CHUNK,
+                        scrub_every_chunks=1)
+    assert regmap.REG_XCORR_THRESHOLD in report.health.scrub_repairs
+    assert report.health.degraded
+    # The repaired threshold was back in place for the burst at 40k.
+    assert report.detections
+
+
+def test_clean_run_is_not_degraded(template, rng):
+    jammer = ReactiveJammer()
+    _configure(jammer, template)
+    report = jammer.run(_signal(template, rng), chunk_size=CHUNK)
+    assert report.health.chunks_processed > 0
+    assert report.health.chunks_skipped == 0
+    assert not report.health.degraded
+    assert report.health.driver["writes"] > 0
+
+
+def test_watchdog_trips_surface_in_health(template, rng):
+    jammer = ReactiveJammer(watchdog=Watchdog())
+    _configure(jammer, template)
+    jammer.device.core.watchdog.flag_illegal(21, time=0, detail="planted")
+    report = jammer.run(_signal(template, rng, n=4096, burst_at=1024),
+                        chunk_size=CHUNK)
+    assert report.health.watchdog_trips
+    assert report.health.degraded
+
+
+def test_device_conflicts_with_wiring_kwargs():
+    with pytest.raises(ConfigurationError):
+        ReactiveJammer(UsrpN210(), watchdog=Watchdog())
+    with pytest.raises(ConfigurationError):
+        ReactiveJammer(UsrpN210(),
+                       stream_faults=StreamFaultInjector(NO_FAULTS))
+
+
+def test_run_argument_validation(template, rng):
+    jammer = ReactiveJammer()
+    _configure(jammer, template)
+    with pytest.raises(ConfigurationError):
+        jammer.run(np.zeros(8, dtype=complex), chunk_size=0)
+    with pytest.raises(ConfigurationError):
+        jammer.run(np.zeros(8, dtype=complex), scrub_every_chunks=-1)
+
+
+def test_health_report_defaults():
+    assert not HealthReport().degraded

@@ -1,0 +1,112 @@
+"""The hardened UhdDriver: verified writes, retry budget, scrub."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, RegisterError, RegisterWriteError
+from repro.faults import FaultPlan, FaultyRegisterBus, NO_FAULTS
+from repro.hw import register_map as regmap
+from repro.hw.uhd import DEFAULT_MAX_RETRIES, UhdDriver
+from repro.hw.usrp import UsrpN210
+
+
+def _driver(plan, **kwargs):
+    bus = FaultyRegisterBus(plan)
+    device = UsrpN210(bus=bus)
+    return UhdDriver(device, **kwargs), bus
+
+
+def test_verified_write_recovers_from_drops():
+    driver, bus = _driver(FaultPlan(seed=1).drop_writes(0.5))
+    for _ in range(20):
+        driver.set_xcorr_threshold(123_456)
+    assert bus.read(regmap.REG_XCORR_THRESHOLD) == 123_456
+    h = driver.health
+    assert h.writes == 20
+    assert h.retries > 0
+    assert h.recovered_writes > 0
+    assert h.write_failures == 0
+    assert h.backoff_ops >= h.retries
+
+
+def test_verified_write_recovers_from_bitflips():
+    driver, bus = _driver(FaultPlan(seed=2).bitflip_writes(0.5))
+    for _ in range(20):
+        driver.set_jam_delay(777)
+    assert bus.read(regmap.REG_JAM_DELAY) == 777
+    assert driver.health.recovered_writes > 0
+    assert driver.health.write_failures == 0
+
+
+def test_exhausted_retry_budget_raises():
+    driver, _ = _driver(FaultPlan(seed=3).drop_writes(1.0), max_retries=3)
+    with pytest.raises(RegisterWriteError):
+        driver.set_jam_delay(1)
+    assert driver.health.write_failures == 1
+    assert driver.health.retries == 3
+
+
+def test_unverified_driver_is_fire_and_forget():
+    driver, bus = _driver(FaultPlan(seed=4).drop_writes(1.0),
+                          verify_writes=False)
+    driver.set_jam_delay(42)
+    assert bus.read(regmap.REG_JAM_DELAY) == 0
+    assert driver.health.writes == 0
+    assert driver.health.retries == 0
+    # The shadow still records intent, so a later scrub can repair.
+    assert driver.shadow_registers()[regmap.REG_JAM_DELAY] == 42
+
+
+def test_host_side_validation_bypasses_retry_loop():
+    driver, _ = _driver(NO_FAULTS)
+    with pytest.raises(RegisterError):
+        driver._write(regmap.REG_JAM_DELAY, 1 << 32)
+    assert driver.health.writes == 0
+
+
+def test_scrub_repairs_upsets():
+    driver, bus = _driver(NO_FAULTS)
+    driver.set_xcorr_threshold(1000)
+    driver.set_jam_delay(50)
+    driver.set_jam_uptime(2500)
+    bus.upset(regmap.REG_XCORR_THRESHOLD, 0xBAD)
+    bus.upset(regmap.REG_JAM_UPTIME, 0)
+    repaired = driver.scrub()
+    assert repaired == [regmap.REG_XCORR_THRESHOLD, regmap.REG_JAM_UPTIME]
+    assert bus.read(regmap.REG_XCORR_THRESHOLD) == 1000
+    assert bus.read(regmap.REG_JAM_UPTIME) == 2500
+    assert driver.health.scrub_passes == 1
+    assert driver.health.scrub_repairs == 2
+
+
+def test_scrub_is_idempotent_when_clean():
+    driver, _ = _driver(NO_FAULTS)
+    driver.set_jam_delay(10)
+    assert driver.scrub() == []
+    assert driver.health.scrub_repairs == 0
+
+
+def test_shadow_tracks_latest_intent():
+    driver, _ = _driver(NO_FAULTS)
+    driver.set_jam_delay(1)
+    driver.set_jam_delay(2)
+    shadow = driver.shadow_registers()
+    assert shadow[regmap.REG_JAM_DELAY] == 2
+    # The copy is detached from driver state.
+    shadow[regmap.REG_JAM_DELAY] = 99
+    assert driver.shadow_registers()[regmap.REG_JAM_DELAY] == 2
+
+
+def test_negative_retry_budget_rejected():
+    with pytest.raises(ConfigurationError):
+        _driver(NO_FAULTS, max_retries=-1)
+
+
+def test_default_retry_budget_survives_heavy_drops():
+    """At 50% drops, 9 attempts make a failure a ~0.2% event per write."""
+    driver, _ = _driver(FaultPlan(seed=6).drop_writes(0.5))
+    assert DEFAULT_MAX_RETRIES == 8
+    for i in range(50):
+        driver.set_jam_delay(i + 1)
+    assert driver.health.write_failures == 0

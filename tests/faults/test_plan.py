@@ -1,0 +1,115 @@
+"""The fault-plan DSL: validation, immutability, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    NO_FAULTS,
+    ControlFaultKind,
+    ControlFaultSpec,
+    FaultPlan,
+    StreamFaultKind,
+    StreamFaultSpec,
+    WORD_BITS,
+)
+
+
+class TestSpecValidation:
+    def test_control_rate_must_be_probability(self):
+        with pytest.raises(ConfigurationError):
+            ControlFaultSpec(ControlFaultKind.DROP, rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ControlFaultSpec(ControlFaultKind.DROP, rate=-0.1)
+
+    def test_delay_needs_positive_skew(self):
+        with pytest.raises(ConfigurationError):
+            ControlFaultSpec(ControlFaultKind.DELAY, rate=0.5, max_delay_ops=0)
+
+    def test_stream_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            StreamFaultSpec(StreamFaultKind.OVERRUN, rate_per_million=0.0)
+
+    def test_stream_duration_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            StreamFaultSpec(StreamFaultKind.OVERRUN, rate_per_million=10,
+                            duration_samples=0)
+
+
+class TestBuilder:
+    def test_builders_return_new_plans(self):
+        base = FaultPlan(seed=1)
+        extended = base.drop_writes(0.1).overruns(20)
+        assert base.control == ()
+        assert base.stream == ()
+        assert len(extended.control) == 1
+        assert len(extended.stream) == 1
+        assert extended.seed == 1
+
+    def test_address_filters_are_frozen(self):
+        plan = FaultPlan().bitflip_writes(0.5, addresses=[20, 22])
+        assert plan.control[0].addresses == frozenset({20, 22})
+
+    def test_no_faults_is_empty(self):
+        assert NO_FAULTS.control == ()
+        assert NO_FAULTS.stream == ()
+        assert NO_FAULTS.control_schedule(16) == [None] * 16
+        assert NO_FAULTS.stream_schedule(1_000_000) == []
+
+
+class TestDeterminism:
+    def test_same_plan_same_digest(self):
+        def build():
+            return (FaultPlan(seed=77)
+                    .drop_writes(0.2)
+                    .bitflip_writes(0.1, addresses=[20])
+                    .overruns(50)
+                    .dc_spikes(25, magnitude=0.3))
+        assert build().schedule_digest() == build().schedule_digest()
+
+    def test_different_seed_different_digest(self):
+        a = FaultPlan(seed=1).drop_writes(0.3).overruns(100)
+        b = FaultPlan(seed=2).drop_writes(0.3).overruns(100)
+        assert a.schedule_digest() != b.schedule_digest()
+
+    def test_decision_stream_restarts_identically(self):
+        plan = FaultPlan(seed=5).drop_writes(0.5).duplicate_writes(0.2)
+        first = plan.control_schedule(64)
+        second = plan.control_schedule(64)
+        assert first == second
+
+    def test_rate_extremes(self):
+        all_faults = FaultPlan(seed=3).drop_writes(1.0)
+        assert all(d is not None for d in all_faults.control_schedule(32))
+        no_faults = FaultPlan(seed=3).drop_writes(0.0)
+        assert all(d is None for d in no_faults.control_schedule(32))
+
+
+class TestSchedules:
+    def test_bitflip_draws_valid_bits(self):
+        plan = FaultPlan(seed=9).bitflip_writes(1.0)
+        for decision in plan.control_schedule(128):
+            assert 0 <= decision.bit < WORD_BITS
+
+    def test_delay_draws_bounded_skew(self):
+        plan = FaultPlan(seed=9).delay_writes(1.0, max_delay_ops=3)
+        for decision in plan.control_schedule(128):
+            assert 1 <= decision.delay_ops <= 3
+
+    def test_stream_events_ordered_and_bounded(self):
+        plan = FaultPlan(seed=4).overruns(100).stuck_runs(50)
+        events = plan.stream_schedule(500_000)
+        assert events, "expected events in 0.5M samples at 150/M total"
+        starts = [e.start for e in events]
+        assert starts == sorted(starts)
+        assert all(e.start < 500_000 for e in events)
+        assert all(e.end == e.start + e.duration for e in events)
+
+    def test_per_spec_substreams_are_independent(self):
+        lone = FaultPlan(seed=8).overruns(100)
+        paired = FaultPlan(seed=8).overruns(100).dc_spikes(100)
+        lone_overruns = [e for e in lone.stream_schedule(200_000)]
+        paired_overruns = [e for e in paired.stream_schedule(200_000)
+                           if e.kind is StreamFaultKind.OVERRUN]
+        assert lone_overruns == paired_overruns

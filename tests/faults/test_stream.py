@@ -1,0 +1,105 @@
+"""StreamFaultInjector: chunk-invariant RX data-path faults."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.faults import FaultPlan, NO_FAULTS, StreamFaultInjector
+from repro.faults.plan import StreamFaultKind
+
+
+def _ramp(n: int, start: int = 0) -> np.ndarray:
+    return (np.arange(start, start + n) + 1j).astype(np.complex128)
+
+
+def test_no_faults_passes_through():
+    inj = StreamFaultInjector(NO_FAULTS)
+    chunk = _ramp(256)
+    out = inj.process(chunk)
+    np.testing.assert_array_equal(out, chunk)
+    assert inj.clock == 256
+
+
+def test_overrun_zeros_the_run():
+    plan = FaultPlan(seed=1).overruns(5000, duration_samples=32)
+    inj = StreamFaultInjector(plan)
+    out = inj.process(_ramp(4096))
+    zero_runs = np.count_nonzero(out == 0)
+    assert zero_runs >= 32
+    assert inj.fault_log
+    assert all(f.kind is StreamFaultKind.OVERRUN for f in inj.fault_log)
+
+
+def test_dc_spike_adds_offset():
+    plan = FaultPlan(seed=2).dc_spikes(5000, duration_samples=16, magnitude=0.5)
+    inj = StreamFaultInjector(plan)
+    chunk = np.zeros(4096, dtype=np.complex128)
+    out = inj.process(chunk)
+    spiked = out[out != 0]
+    assert spiked.size >= 16
+    np.testing.assert_allclose(spiked, 0.5)
+
+
+def test_gain_step_scales_the_run():
+    plan = FaultPlan(seed=3).gain_steps(5000, duration_samples=16, gain=0.25)
+    inj = StreamFaultInjector(plan)
+    chunk = np.ones(4096, dtype=np.complex128)
+    out = inj.process(chunk)
+    stepped = out[out != 1.0]
+    assert stepped.size >= 16
+    np.testing.assert_allclose(stepped, 0.25)
+
+
+def test_stuck_run_repeats_first_sample_across_chunks():
+    plan = FaultPlan(seed=4).stuck_runs(5000, duration_samples=64)
+    inj = StreamFaultInjector(plan)
+    # Feed one long ramp in small chunks; every stuck run must hold the
+    # value of its first sample even when the run spans a chunk seam.
+    signal = _ramp(8192)
+    out = np.concatenate([inj.process(signal[i:i + 128])
+                          for i in range(0, 8192, 128)])
+    for event in inj.fault_log:
+        lo, hi = event.start, min(event.end, 8192)
+        np.testing.assert_array_equal(out[lo:hi], signal[lo])
+
+
+def test_chunk_size_invariance():
+    plan = (FaultPlan(seed=5).overruns(800, duration_samples=48)
+            .dc_spikes(800, duration_samples=24, magnitude=0.3)
+            .gain_steps(800, duration_samples=24, gain=0.5)
+            .stuck_runs(800, duration_samples=48))
+    signal = _ramp(20_000)
+    whole = StreamFaultInjector(plan).process(signal)
+    inj = StreamFaultInjector(plan)
+    chunked = np.concatenate([inj.process(signal[i:i + 333])
+                              for i in range(0, 20_000, 333)])
+    np.testing.assert_array_equal(whole, chunked)
+
+
+def test_skip_keeps_schedule_aligned():
+    plan = FaultPlan(seed=5).overruns(800, duration_samples=48)
+    signal = _ramp(20_000)
+    reference = StreamFaultInjector(plan).process(signal)
+    inj = StreamFaultInjector(plan)
+    inj.skip(10_000)
+    assert inj.clock == 10_000
+    out = inj.process(signal[10_000:])
+    np.testing.assert_array_equal(out, reference[10_000:])
+
+
+def test_raise_on_overrun():
+    plan = FaultPlan(seed=6).overruns(5000, duration_samples=32)
+    inj = StreamFaultInjector(plan, raise_on_overrun=True)
+    with pytest.raises(StreamError, match="overrun"):
+        for i in range(0, 65_536, 1024):
+            inj.process(_ramp(1024, start=i))
+
+
+def test_rejects_bad_input():
+    inj = StreamFaultInjector(NO_FAULTS)
+    with pytest.raises(StreamError):
+        inj.process(np.zeros((2, 2), dtype=np.complex128))
+    with pytest.raises(StreamError):
+        inj.skip(-1)

@@ -213,3 +213,38 @@ class TestUhdDriver:
         out3 = device.run(rx)
         assert len(out3.jams) == 1
         assert out3.jams[0].end - out3.jams[0].start == 250
+
+
+class TestControlPlaneRegressions:
+    """Register-programming bugs fixed alongside the hardening work."""
+
+    def test_reprogram_to_single_stage_clears_stale_window(self, rig):
+        device, driver = rig
+        driver.set_trigger_stages(
+            [TriggerSource.ENERGY_HIGH, TriggerSource.XCORR],
+            window_samples=500)
+        assert device.bus.read(regmap.REG_TRIGGER_WINDOW) == 500
+        # Dropping back to one stage with the default window=0 must
+        # clear the hardware register, not leave 500 behind.
+        driver.set_trigger_stages([TriggerSource.XCORR])
+        assert device.bus.read(regmap.REG_TRIGGER_WINDOW) == 0
+        assert device.core.fsm.window_samples == 0
+
+    def test_replay_length_bounds_rejected(self, rig):
+        _device, driver = rig
+        with pytest.raises(ConfigurationError):
+            driver.set_replay_length(0)
+        with pytest.raises(ConfigurationError):
+            driver.set_replay_length(513)
+        driver.set_replay_length(512)  # the exact maximum is legal
+
+    def test_oversized_wgn_seed_rejected_not_masked(self, rig):
+        device, driver = rig
+        with pytest.raises(ConfigurationError):
+            driver.set_jam_waveform(JamWaveform.WGN, wgn_seed=1 << 30)
+        # The register was not touched by the rejected call.
+        before = device.bus.read(regmap.REG_JAM_WAVEFORM)
+        driver.set_jam_waveform(JamWaveform.WGN, wgn_seed=(1 << 30) - 1)
+        after = device.bus.read(regmap.REG_JAM_WAVEFORM)
+        assert after >> regmap.WGN_SEED_SHIFT == (1 << 30) - 1
+        assert before != after
