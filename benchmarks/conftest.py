@@ -1,0 +1,31 @@
+"""Benchmark-suite fixtures.
+
+``telemetry_record`` collects per-test perf records; at session end
+everything collected is written to ``BENCH_telemetry.json`` at the
+repository root, where the CI perf-smoke job uploads it as an
+artifact.  The file is only written when at least one telemetry
+benchmark ran, so chaos-only invocations leave no stray output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+#: Where the perf record lands (repository root).
+BENCH_TELEMETRY_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_telemetry.json"
+
+
+@pytest.fixture(scope="session")
+def telemetry_record():
+    """A dict the telemetry benchmarks drop their results into."""
+    record: dict[str, object] = {}
+    yield record
+    if record:
+        BENCH_TELEMETRY_PATH.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

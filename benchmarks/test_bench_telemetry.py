@@ -1,0 +1,132 @@
+"""Telemetry perf benchmarks (CI perf-smoke job).
+
+Two guarantees are enforced here rather than in tier-1:
+
+* **closed-loop Fig. 5** — a fully traced jammer run over a WiFi
+  short-preamble capture must pass the latency-budget checker, and
+  its trace/metrics digest is recorded to ``BENCH_telemetry.json``;
+* **disabled-telemetry overhead** — running with
+  ``Telemetry(enabled=False)`` must stay within 2% of running with no
+  telemetry at all (the null-tracer probe points must be free).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.channel.combining import Transmission, mix_at_port
+from repro.core.coeffs import wifi_short_preamble_template
+from repro.core.detection import DetectionConfig
+from repro.core.events import JammingEventBuilder
+from repro.core.jammer import ReactiveJammer
+from repro.core.presets import reactive_jammer
+from repro.telemetry import Telemetry
+
+#: Injected WiFi frame starts (samples at 25 MSPS).
+FRAME_STARTS = [2500, 15000, 27500]
+
+#: Allowed slowdown of the disabled-telemetry path vs no telemetry.
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _wifi_capture() -> np.ndarray:
+    from repro.phy.wifi.frame import WifiFrameConfig, build_ppdu
+    from repro.phy.wifi.params import WIFI_SAMPLE_RATE
+
+    rng = np.random.default_rng(99)
+    noise = 1e-4
+    power = units.db_to_linear(15.0) * noise
+    psdu = rng.integers(0, 256, 100, dtype=np.uint8).tobytes()
+    frames = [Transmission(build_ppdu(psdu, WifiFrameConfig()),
+                           WIFI_SAMPLE_RATE, start / units.BASEBAND_RATE,
+                           power)
+              for start in FRAME_STARTS]
+    return mix_at_port(frames, units.BASEBAND_RATE, 1.6e-3,
+                       noise_power=noise, rng=rng)
+
+
+def _configured_jammer(telemetry: Telemetry | None) -> ReactiveJammer:
+    jammer = ReactiveJammer(telemetry=telemetry)
+    jammer.configure(
+        detection=DetectionConfig(template=wifi_short_preamble_template(),
+                                  xcorr_threshold=20000),
+        events=JammingEventBuilder().on_correlation(),
+        personality=reactive_jammer(1e-5),
+    )
+    return jammer
+
+
+@pytest.mark.perf
+def test_bench_telemetry_fig5(benchmark, telemetry_record):
+    rx = _wifi_capture()
+
+    def _run():
+        telemetry = Telemetry()
+        report = _configured_jammer(telemetry).run(rx, chunk_size=8192)
+        return telemetry, report
+
+    telemetry, report = benchmark.pedantic(_run, rounds=3, iterations=1)
+    budget = telemetry.budget_report(signal_starts=FRAME_STARTS)
+
+    print("\nTelemetry — traced Fig. 5 closed loop")
+    print(budget.summary())
+    assert budget.ok, budget.summary()
+    assert len(report.jams) == len(FRAME_STARTS)
+
+    snapshot = telemetry.metrics.snapshot()
+    telemetry_record["fig5"] = {
+        "events_retained": len(telemetry.events()),
+        "budget_checks": [
+            {"name": check.name, "measured_ns": check.measured_ns,
+             "budget_ns": check.budget_ns, "ok": check.ok}
+            for check in budget.checks
+        ],
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "host_histograms": {
+            name: {"count": hist["count"], "mean_ns": hist["mean"]}
+            for name, hist in snapshot["histograms"].items()
+            if name.startswith("host.")
+        },
+    }
+
+
+@pytest.mark.perf
+def test_bench_telemetry_disabled_overhead(telemetry_record):
+    rx = _wifi_capture()
+    baseline = _configured_jammer(None)
+    disabled = _configured_jammer(Telemetry.disabled())
+    # Warm both paths (numpy buffers, code paths) before timing.
+    baseline.run(rx, chunk_size=8192)
+    disabled.run(rx, chunk_size=8192)
+
+    baseline_ns: list[int] = []
+    disabled_ns: list[int] = []
+    for _ in range(7):  # interleaved so drift hits both paths equally
+        start = time.perf_counter_ns()
+        baseline.run(rx, chunk_size=8192)
+        baseline_ns.append(time.perf_counter_ns() - start)
+        start = time.perf_counter_ns()
+        disabled.run(rx, chunk_size=8192)
+        disabled_ns.append(time.perf_counter_ns() - start)
+
+    best_baseline = min(baseline_ns)
+    best_disabled = min(disabled_ns)
+    overhead = best_disabled / best_baseline - 1.0
+    print(f"\nTelemetry — disabled-path overhead: {overhead * 100:+.2f}% "
+          f"(baseline {best_baseline / 1e6:.2f} ms, "
+          f"disabled {best_disabled / 1e6:.2f} ms)")
+    telemetry_record["disabled_overhead"] = {
+        "baseline_ns": best_baseline,
+        "disabled_ns": best_disabled,
+        "overhead_fraction": overhead,
+        "limit_fraction": MAX_DISABLED_OVERHEAD,
+    }
+    assert overhead <= MAX_DISABLED_OVERHEAD, (
+        f"disabled telemetry costs {overhead * 100:.2f}% "
+        f"(limit {MAX_DISABLED_OVERHEAD * 100:.0f}%)"
+    )

@@ -14,6 +14,7 @@ from repro.analysis.rules.faults import BusConstructionRule
 from repro.analysis.rules.hygiene import HygieneRule
 from repro.analysis.rules.magic_numbers import MagicNumberRule
 from repro.analysis.rules.registers import RegisterAddressRule, RegisterWidthRule
+from repro.analysis.rules.walltime import WallClockRule
 
 ALL_RULES: tuple[Rule, ...] = (
     RegisterAddressRule(),
@@ -22,6 +23,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MagicNumberRule(),
     HygieneRule(),
     BusConstructionRule(),
+    WallClockRule(),
 )
 
 _BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -21,6 +21,7 @@ small latency equivalent to the latency of the UHD user setting bus").
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -33,9 +34,12 @@ from repro.core.presets import JammerPersonality
 from repro.errors import ConfigurationError, StreamError
 from repro.hw.dsp_core import DetectionEvent, JamEvent
 from repro.hw.trigger import TriggerSource
+from repro.hw.tx_controller import JamWaveform
 from repro.hw.uhd import UhdDriver
 from repro.hw.usrp import SbxFrontend, UsrpN210
 from repro.hw.watchdog import Watchdog, WatchdogTrip
+from repro.telemetry.session import Telemetry
+from repro.telemetry.tracer import CAT_RUN
 
 if TYPE_CHECKING:  # repro.faults imports repro.hw; avoid the cycle.
     from repro.faults.stream import StreamFaultInjector
@@ -73,6 +77,8 @@ class HealthReport:
     #: Register addresses repaired by scrub passes during the run.
     scrub_repairs: list[int] = field(default_factory=list)
     watchdog_trips: list[WatchdogTrip] = field(default_factory=list)
+    #: Telemetry metrics snapshot (empty without a telemetry bundle).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -81,6 +87,50 @@ class HealthReport:
                     or self.watchdog_trips
                     or self.driver.get("retries", 0)
                     or self.driver.get("write_failures", 0))
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible dict of the report."""
+        return {
+            "chunks_processed": self.chunks_processed,
+            "chunks_skipped": self.chunks_skipped,
+            "samples_skipped": self.samples_skipped,
+            "stream_errors": list(self.stream_errors),
+            "driver": dict(self.driver),
+            "scrub_repairs": list(self.scrub_repairs),
+            "watchdog_trips": [
+                {"time": t.time, "reason": t.reason, "detail": t.detail}
+                for t in self.watchdog_trips
+            ],
+            "metrics": self.metrics,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HealthReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            chunks_processed=data.get("chunks_processed", 0),
+            chunks_skipped=data.get("chunks_skipped", 0),
+            samples_skipped=data.get("samples_skipped", 0),
+            stream_errors=list(data.get("stream_errors", [])),
+            driver=dict(data.get("driver", {})),
+            scrub_repairs=list(data.get("scrub_repairs", [])),
+            watchdog_trips=[
+                WatchdogTrip(time=t["time"], reason=t["reason"],
+                             detail=t["detail"])
+                for t in data.get("watchdog_trips", [])
+            ],
+            metrics=dict(data.get("metrics", {})),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The report serialized as JSON."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "HealthReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
 
 
 @dataclass
@@ -113,6 +163,65 @@ class JammingReport:
         """Total transmitted jamming time in seconds."""
         return sum(end - start for start, end in self.jam_spans_seconds)
 
+    def to_dict(self, include_tx: bool = False) -> dict:
+        """A JSON-compatible dict of the report.
+
+        The transmit waveform is omitted by default (it dominates the
+        payload size); ``include_tx`` serializes it as parallel
+        ``tx_re``/``tx_im`` lists.
+        """
+        data: dict = {
+            "sample_rate": self.sample_rate,
+            "detections": [
+                {"time": d.time, "source": d.source.name}
+                for d in self.detections
+            ],
+            "jams": [
+                {"trigger_time": j.trigger_time, "start": j.start,
+                 "end": j.end, "waveform": j.waveform.name}
+                for j in self.jams
+            ],
+            "health": self.health.to_dict(),
+        }
+        if include_tx:
+            data["tx_re"] = self.tx.real.tolist()
+            data["tx_im"] = self.tx.imag.tolist()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JammingReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        if "tx_re" in data:
+            tx = (np.asarray(data["tx_re"], dtype=np.float64)
+                  + 1j * np.asarray(data["tx_im"], dtype=np.float64))
+        else:
+            tx = np.zeros(0, dtype=np.complex128)
+        return cls(
+            tx=tx,
+            detections=[
+                DetectionEvent(time=d["time"],
+                               source=TriggerSource[d["source"]])
+                for d in data.get("detections", [])
+            ],
+            jams=[
+                JamEvent(trigger_time=j["trigger_time"], start=j["start"],
+                         end=j["end"], waveform=JamWaveform[j["waveform"]])
+                for j in data.get("jams", [])
+            ],
+            sample_rate=data.get("sample_rate", units.BASEBAND_RATE),
+            health=HealthReport.from_dict(data.get("health", {})),
+        )
+
+    def to_json(self, include_tx: bool = False,
+                indent: int | None = None) -> str:
+        """The report serialized as JSON."""
+        return json.dumps(self.to_dict(include_tx=include_tx), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JammingReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
 
 class ReactiveJammer:
     """The real-time protocol-aware reactive jammer."""
@@ -120,7 +229,8 @@ class ReactiveJammer:
     def __init__(self, device: UsrpN210 | None = None, *,
                  watchdog: Watchdog | None = None,
                  stream_faults: "StreamFaultInjector | None" = None,
-                 verify_writes: bool = True) -> None:
+                 verify_writes: bool = True,
+                 telemetry: Telemetry | None = None) -> None:
         if device is not None and (watchdog is not None
                                    or stream_faults is not None):
             raise ConfigurationError(
@@ -130,6 +240,11 @@ class ReactiveJammer:
         self.device = device if device is not None else UsrpN210(
             watchdog=watchdog, stream_faults=stream_faults)
         self.driver = UhdDriver(self.device, verify_writes=verify_writes)
+        #: Opt-in observability bundle (``None`` leaves every probe
+        #: point at its null default).
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.attach(self.device, self.driver)
         self._configured = False
 
     @property
@@ -194,12 +309,16 @@ class ReactiveJammer:
         if scrub_every_chunks < 0:
             raise ConfigurationError("scrub_every_chunks must be >= 0")
         rx_signal = np.asarray(rx_signal, dtype=np.complex128)
+        tel = self.telemetry if (self.telemetry is not None
+                                 and self.telemetry.enabled) else None
+        run_start_ns = tel.timebase.host_now_ns() if tel is not None else 0
         health = HealthReport()
         tx_parts: list[np.ndarray] = []
         detections: list[DetectionEvent] = []
         jams: list[JamEvent] = []
         for index, start in enumerate(range(0, rx_signal.size, chunk_size)):
             chunk = rx_signal[start:start + chunk_size]
+            chunk_clock = self.device.core.clock if tel is not None else 0
             try:
                 out = self.device.process(chunk)
             except StreamError as exc:
@@ -210,21 +329,61 @@ class ReactiveJammer:
                 health.stream_errors.append(str(exc))
                 self.device.skip(chunk.size)
                 tx_parts.append(np.zeros(chunk.size, dtype=np.complex128))
+                if tel is not None:
+                    tel.tracer.instant("run.chunk_skipped", CAT_RUN,
+                                       chunk_clock, index=index,
+                                       error=str(exc))
             else:
                 health.chunks_processed += 1
                 tx_parts.append(out.tx)
                 detections.extend(out.detections)
                 jams.extend(out.jams)
+                if tel is not None:
+                    tel.tracer.span("run.chunk", CAT_RUN, chunk_clock,
+                                    self.device.core.clock, index=index,
+                                    detections=len(out.detections),
+                                    jams=len(out.jams))
             if scrub_every_chunks and (index + 1) % scrub_every_chunks == 0:
                 health.scrub_repairs.extend(self.driver.scrub())
         health.driver = self.driver.health.snapshot()
         watchdog = self.device.core.watchdog
         if watchdog is not None:
             health.watchdog_trips = list(watchdog.trips)
+        if tel is not None:
+            self._record_run_metrics(tel, health, detections, jams,
+                                     rx_signal.size, run_start_ns)
+            health.metrics = tel.metrics.snapshot()
         tx = np.concatenate(tx_parts) if tx_parts \
             else np.zeros(0, dtype=np.complex128)
         return JammingReport(tx=tx, detections=detections, jams=jams,
                              health=health)
+
+    def _record_run_metrics(self, tel: Telemetry, health: HealthReport,
+                            detections: list[DetectionEvent],
+                            jams: list[JamEvent], total_samples: int,
+                            run_start_ns: int) -> None:
+        """Fold one run's outcomes into the metrics registry."""
+        elapsed_ns = tel.timebase.host_now_ns() - run_start_ns
+        metrics = tel.metrics
+        metrics.counter("run.chunks").inc(health.chunks_processed)
+        metrics.counter("run.chunks_skipped").inc(health.chunks_skipped)
+        metrics.counter("run.samples").inc(total_samples)
+        metrics.counter("run.detections").inc(len(detections))
+        metrics.counter("run.jams").inc(len(jams))
+        metrics.counter("driver.write_retries").inc(
+            health.driver.get("retries", 0))
+        jam_samples = sum(j.end - j.start for j in jams)
+        if total_samples:
+            metrics.gauge("run.jam_duty_cycle").set(
+                jam_samples / total_samples)
+        if elapsed_ns > 0:
+            # samples/ns is numerically Gsamples/s; x1000 -> Msamples/s.
+            metrics.gauge("run.throughput_msps").set(
+                total_samples * 1e3 / elapsed_ns)
+        response = metrics.histogram("latency.response_ns")
+        for jam in jams:
+            response.observe(
+                tel.timebase.sample_to_ns(jam.start - jam.trigger_time))
 
     def reset(self) -> None:
         """Reset the data path (configuration registers survive)."""

@@ -18,12 +18,17 @@ sample-by-sample reference implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.dsp.fixed_point import quantize_iq16
 from repro.errors import ConfigurationError, RegisterError, StreamError
 from repro.hw import register_map as regmap
+from repro.telemetry.tracer import CAT_DETECTOR, CAT_TX, NULL_TRACER, Tracer
+
+if TYPE_CHECKING:
+    from repro.telemetry.profiler import HostProfiler
 from repro.hw.watchdog import Watchdog
 from repro.hw.cross_correlator import CrossCorrelator
 from repro.hw.energy_differentiator import EnergyDifferentiator
@@ -77,6 +82,10 @@ class CustomDspCore:
         self.energy = EnergyDifferentiator()
         self.fsm = TriggerStateMachine([TriggerSource.ENERGY_HIGH])
         self.tx = TransmitController()
+        #: Telemetry probes; the null tracer / no profiler by default
+        #: (see :mod:`repro.telemetry` — opt-in observability).
+        self._tracer: Tracer = NULL_TRACER
+        self.profiler: "HostProfiler | None" = None
         self._clock = 0  # absolute index of the next sample to process
         self._last_xcorr = False
         self._last_ehigh = False
@@ -176,6 +185,7 @@ class CustomDspCore:
             window = 1
         self.fsm = TriggerStateMachine(stages or [TriggerSource.ENERGY_HIGH],
                                        window_samples=window, mode=mode)
+        self.fsm.tracer = self._tracer
 
     def _set_trigger_window(self, value: int) -> None:
         self.fsm.window_samples = value
@@ -210,6 +220,18 @@ class CustomDspCore:
 
     # ------------------------------------------------------------------
     # Status (the "host feedback / synchro flags" path in Fig. 1)
+
+    @property
+    def tracer(self) -> Tracer:
+        """The attached trace sink (the null tracer by default)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        # The FSM is rebuilt on trigger-config writes, so the tracer
+        # rides along through this setter and `_set_trigger_config`.
+        self._tracer = tracer
+        self.fsm.tracer = tracer
 
     @property
     def clock(self) -> int:
@@ -278,8 +300,15 @@ class CustomDspCore:
         if self.watchdog is not None:
             self.watchdog.check_rearm(self.fsm, chunk_start)
 
-        xcorr_trig = self.correlator.process(quantized)
-        ehigh_trig, elow_trig = self.energy.process(quantized)
+        profiler = self.profiler
+        if profiler is None:
+            xcorr_trig = self.correlator.process(quantized)
+            ehigh_trig, elow_trig = self.energy.process(quantized)
+        else:
+            with profiler.profile("xcorr"):
+                xcorr_trig = self.correlator.process(quantized)
+            with profiler.profile("energy"):
+                ehigh_trig, elow_trig = self.energy.process(quantized)
 
         detections = self._collect_detections(
             chunk_start, xcorr_trig, ehigh_trig, elow_trig
@@ -304,6 +333,13 @@ class CustomDspCore:
         jams = [JamEvent(trigger_time=iv.trigger_time, start=iv.start,
                          end=iv.end, waveform=iv.waveform)
                 for iv in new_intervals]
+        if self._tracer.enabled:
+            for interval in new_intervals:
+                self._tracer.span(
+                    "jam", CAT_TX, interval.start, interval.end,
+                    trigger_sample=interval.trigger_time,
+                    waveform=interval.waveform.name,
+                )
         self._clock += n
         self._retire_intervals()
         return CoreOutput(tx=tx_chunk, detections=detections, jams=jams)
@@ -343,6 +379,12 @@ class CustomDspCore:
                 for e in edges
             )
         events.sort(key=lambda event: (event.time, int(event.source)))
+        if self._tracer.enabled:
+            for event in events:
+                self._tracer.instant(
+                    f"detect.{event.source.name.lower()}", CAT_DETECTOR,
+                    event.time,
+                )
         return events
 
     def _admit_intervals(self, intervals: list[JamInterval]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry.tracer import CAT_FSM, NULL_TRACER, Tracer
 
 
 class TriggerSource(enum.IntEnum):
@@ -107,6 +108,8 @@ class TriggerStateMachine:
         self._mode = TriggerMode(mode)
         self.window_samples = window_samples
         self._state = _FsmState()
+        #: Telemetry probe for state transitions (null by default).
+        self.tracer: Tracer = NULL_TRACER
 
     @property
     def stages(self) -> list[StageConfig]:
@@ -161,14 +164,23 @@ class TriggerStateMachine:
         the jam trigger.
         """
         jam_times: list[int] = []
+        tracer = self.tracer if self.tracer.enabled else None
         if self._mode is TriggerMode.ANY:
             wanted = {stage.source for stage in self._stages}
-            return [time for time, source in events if source in wanted]
+            fired = [time for time, source in events if source in wanted]
+            if tracer is not None:
+                for time in fired:
+                    tracer.instant("fsm.fire", CAT_FSM, time, mode="ANY")
+            return fired
         for time, source in events:
             state = self._state
             # Expire a partially-matched window.
             if (state.stage_index > 0
                     and time - state.first_event_time > self._window):
+                if tracer is not None:
+                    tracer.instant("fsm.expire", CAT_FSM, time,
+                                   armed_since=state.first_event_time,
+                                   stage=state.stage_index)
                 self.reset()
                 state = self._state
             expected = self._stages[state.stage_index].source
@@ -179,6 +191,14 @@ class TriggerStateMachine:
             state.history.append(time)
             state.stage_index += 1
             if state.stage_index == len(self._stages):
+                if tracer is not None:
+                    tracer.instant("fsm.fire", CAT_FSM, time,
+                                   mode="SEQUENCE", stages=len(self._stages))
                 jam_times.append(time)
                 self.reset()
+            elif tracer is not None:
+                name = "fsm.arm" if state.stage_index == 1 else "fsm.advance"
+                tracer.instant(name, CAT_FSM, time,
+                               stage=state.stage_index,
+                               source=source.name)
         return jam_times

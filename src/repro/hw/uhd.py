@@ -35,6 +35,7 @@ from repro.hw.tx_controller import (
     JamWaveform,
 )
 from repro.hw.usrp import UsrpN210
+from repro.telemetry.tracer import CAT_DRIVER, NULL_TRACER, Tracer
 
 #: Verified-write retry budget: the original send plus this many
 #: re-sends before the driver gives up with :class:`RegisterWriteError`.
@@ -91,6 +92,9 @@ class UhdDriver:
         self.health = DriverHealth()
         self._bus: UserRegisterBus = device.bus
         self._shadow: dict[int, int] = {}
+        #: Telemetry probe: register-write transactions land in the
+        #: trace, stamped with the core's sample clock.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Hardened write path
@@ -114,6 +118,9 @@ class UhdDriver:
         self._shadow[address] = value
         if not self.verify_writes:
             self._bus.write(address, value)
+            self.tracer.instant("register.write", CAT_DRIVER,
+                                self.device.core.clock,
+                                address=address, value=value, attempts=1)
             return
         self.health.writes += 1
         backoff = 1
@@ -133,8 +140,16 @@ class UhdDriver:
             if landed == value:
                 if attempt:
                     self.health.recovered_writes += 1
+                self.tracer.instant("register.write", CAT_DRIVER,
+                                    self.device.core.clock,
+                                    address=address, value=value,
+                                    attempts=attempt + 1)
                 return
         self.health.write_failures += 1
+        self.tracer.instant("register.write_failed", CAT_DRIVER,
+                            self.device.core.clock,
+                            address=address, value=value,
+                            attempts=self.max_retries + 1)
         raise RegisterWriteError(
             f"register {address} write of {value:#x} could not be "
             f"verified after {self.max_retries + 1} attempts"

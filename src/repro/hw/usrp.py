@@ -25,6 +25,7 @@ from repro.hw.watchdog import Watchdog
 
 if TYPE_CHECKING:  # repro.faults imports repro.hw; avoid the cycle.
     from repro.faults.stream import StreamFaultInjector
+    from repro.telemetry.profiler import HostProfiler
 
 #: SBX tuning range (Hz).  The paper quotes 400 MHz - 4 GHz; the board
 #: datasheet extends to 4.4 GHz.
@@ -104,6 +105,8 @@ class UsrpN210:
             else VitaTimeSource()
         #: Optional antenna-port fault stage (see :mod:`repro.faults`).
         self.stream_faults = stream_faults
+        #: Telemetry probe: host profiling scopes around DDC/DUC.
+        self.profiler: "HostProfiler | None" = None
 
     def timestamp_of(self, sample_index: int) -> "VitaTimestamp":
         """Absolute VITA time of an event's sample index (Fig. 1)."""
@@ -128,9 +131,16 @@ class UsrpN210:
         rx_chunk = np.asarray(rx_chunk, dtype=np.complex128)
         if self.stream_faults is not None:
             rx_chunk = self.stream_faults.process(rx_chunk)
-        baseband = self.ddc.process(rx_chunk)
+        if self.profiler is None:
+            baseband = self.ddc.process(rx_chunk)
+            output = self.core.process(baseband)
+            output.tx = self.duc.process(output.tx)
+            return output
+        with self.profiler.profile("ddc"):
+            baseband = self.ddc.process(rx_chunk)
         output = self.core.process(baseband)
-        output.tx = self.duc.process(output.tx)
+        with self.profiler.profile("duc"):
+            output.tx = self.duc.process(output.tx)
         return output
 
     def skip(self, n: int) -> None:

@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.telemetry.tracer import CAT_WATCHDOG, NULL_TRACER, Tracer
 
 #: Default duty-cycle accounting window: 10 ms of baseband (250k
 #: samples at 25 MSPS) — long against any burst, short against an
@@ -96,6 +97,13 @@ class Watchdog:
         self.trips: list[WatchdogTrip] = []
         self._spans: deque[tuple[int, int]] = deque()
         self._illegal: dict[int, str] = {}
+        #: Telemetry probe: every trip also lands in the trace.
+        self.tracer: Tracer = NULL_TRACER
+
+    def _record_trip(self, trip: WatchdogTrip) -> None:
+        self.trips.append(trip)
+        self.tracer.instant(f"watchdog.{trip.reason}", CAT_WATCHDOG,
+                            trip.time, detail=trip.detail)
 
     # ------------------------------------------------------------------
     # Duty-cycle guard
@@ -133,7 +141,7 @@ class Watchdog:
         budget = self.config.max_duty_cycle * window
         projected = self._busy_samples(start) + min(end - start, window)
         if projected > budget:
-            self.trips.append(WatchdogTrip(
+            self._record_trip(WatchdogTrip(
                 time=start, reason=TRIP_DUTY_CYCLE,
                 detail=f"burst [{start}, {end}) vetoed: projected duty "
                        f"{projected / window:.3f} exceeds "
@@ -161,7 +169,7 @@ class Watchdog:
         if allowed:
             self._record(chunk_start, chunk_start + allowed)
         if allowed < n:
-            self.trips.append(WatchdogTrip(
+            self._record_trip(WatchdogTrip(
                 time=chunk_start, reason=TRIP_DUTY_CYCLE,
                 detail=f"continuous transmission throttled to {allowed} of "
                        f"{n} samples by the duty budget",
@@ -178,7 +186,7 @@ class Watchdog:
     def flag_illegal(self, address: int, time: int, detail: str) -> None:
         """Mark a register as holding undecodable contents."""
         if address not in self._illegal:
-            self.trips.append(WatchdogTrip(
+            self._record_trip(WatchdogTrip(
                 time=time, reason=TRIP_ILLEGAL_REGISTER,
                 detail=f"register {address} holds illegal contents: {detail}",
             ))
@@ -210,7 +218,7 @@ class Watchdog:
         if armed_since is None or now - armed_since <= timeout:
             return False
         fsm.reset()
-        self.trips.append(WatchdogTrip(
+        self._record_trip(WatchdogTrip(
             time=now, reason=TRIP_REARM_TIMEOUT,
             detail=f"trigger FSM armed since sample {armed_since} "
                    f"re-armed after {now - armed_since} samples",

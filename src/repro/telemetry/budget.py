@@ -1,0 +1,179 @@
+"""The Fig. 5 latency-budget checker.
+
+:func:`repro.core.timeline.timeline_for` derives the paper's §3.1
+budget (energy detection <= 1.28 µs including window fill,
+cross-correlation = 2.56 µs, trigger-to-RF = 80 ns) from the hardware
+model's own constants.  :class:`LatencyBudget` closes the loop: it
+takes a *measured* trace — the events the instrumented data path
+actually emitted — and checks every realized latency against that
+budget, flagging violations instead of trusting the constants.
+
+Two latency families are checked:
+
+* **detection latency** — signal start to detector firing, per
+  detection source, requires the caller to say where its injected
+  signals start (``signal_starts``);
+* **response latency** — detector firing to first transmitted jam
+  sample, read entirely off the trace (jam spans carry their trigger
+  time), budgeted at T_init plus the configured jam delay.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro import units
+from repro.core.timeline import JammingTimeline, timeline_for
+from repro.telemetry.timebase import NS_PER_S
+from repro.telemetry.tracer import (
+    CAT_DETECTOR,
+    CAT_TX,
+    InstantEvent,
+    SpanEvent,
+)
+
+#: Default slack: one baseband sample, the data path's time resolution.
+DEFAULT_TOLERANCE_NS = units.SAMPLE_PERIOD * NS_PER_S
+
+#: Detector-event names checked against their budget component.
+_DETECTION_BUDGETS = {
+    "detect.xcorr": "t_xcorr_det",
+    "detect.energy_high": "t_en_det",
+}
+
+
+@dataclass(frozen=True)
+class BudgetCheck:
+    """One measured latency against one budget component."""
+
+    name: str
+    measured_ns: float
+    budget_ns: float
+    ok: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """Everything the checker verified for one trace."""
+
+    checks: tuple[BudgetCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed (and at least one ran)."""
+        return bool(self.checks) and all(check.ok for check in self.checks)
+
+    @property
+    def violations(self) -> list[BudgetCheck]:
+        """The failed checks."""
+        return [check for check in self.checks if not check.ok]
+
+    def summary(self) -> str:
+        """Console-friendly pass/fail table."""
+        if not self.checks:
+            return "latency budget: no measurable events in the trace"
+        lines = [f"latency budget: {len(self.checks)} checks, "
+                 f"{len(self.violations)} violations"]
+        for check in self.checks:
+            verdict = "ok  " if check.ok else "FAIL"
+            lines.append(
+                f"  [{verdict}] {check.name:<24}"
+                f"measured {check.measured_ns:>10.1f} ns   "
+                f"budget {check.budget_ns:>10.1f} ns"
+                + (f"   ({check.detail})" if check.detail else "")
+            )
+        return "\n".join(lines)
+
+
+class LatencyBudget:
+    """Compares measured trace latencies against the analytic budget."""
+
+    def __init__(self, timeline: JammingTimeline | None = None,
+                 tolerance_ns: float = DEFAULT_TOLERANCE_NS) -> None:
+        self.timeline = timeline if timeline is not None else timeline_for()
+        self.tolerance_ns = float(tolerance_ns)
+
+    def _budget_ns(self, component: str) -> float:
+        return getattr(self.timeline, component) * NS_PER_S
+
+    def verify(self, events: Iterable[InstantEvent | SpanEvent],
+               signal_starts: Sequence[int] | None = None) -> BudgetReport:
+        """Check every measurable latency in ``events``.
+
+        ``signal_starts`` lists the absolute sample indices where
+        injected signals begin; with it, detection latencies are
+        checked per signal (an undetected signal is a violation).
+        Response (trigger-to-RF) latencies are always checked.
+        """
+        events = list(events)
+        checks: list[BudgetCheck] = []
+        checks.extend(self._check_responses(events))
+        if signal_starts is not None:
+            checks.extend(self._check_detections(events, signal_starts))
+        return BudgetReport(checks=tuple(checks))
+
+    # ------------------------------------------------------------------
+
+    def _check_responses(self, events: list) -> list[BudgetCheck]:
+        budget_ns = (self.timeline.t_init + self.timeline.t_delay) * NS_PER_S
+        checks: list[BudgetCheck] = []
+        for event in events:
+            if not (isinstance(event, SpanEvent) and event.category == CAT_TX):
+                continue
+            trigger_sample = event.args.get("trigger_sample")
+            if trigger_sample is None:
+                continue
+            trigger_ns = units.samples_to_seconds(trigger_sample) * NS_PER_S
+            measured_ns = event.start_ns - trigger_ns
+            checks.append(BudgetCheck(
+                name="T_resp(trigger->RF)",
+                measured_ns=measured_ns,
+                budget_ns=budget_ns,
+                ok=abs(measured_ns - budget_ns) <= self.tolerance_ns,
+                detail=f"trigger sample {trigger_sample}",
+            ))
+        return checks
+
+    def _check_detections(self, events: list,
+                          signal_starts: Sequence[int]) -> list[BudgetCheck]:
+        starts = sorted(int(s) for s in signal_starts)
+        detections: dict[str, list[int]] = {name: []
+                                            for name in _DETECTION_BUDGETS}
+        for event in events:
+            if (isinstance(event, InstantEvent)
+                    and event.category == CAT_DETECTOR
+                    and event.name in detections):
+                detections[event.name].append(event.sample)
+        checks: list[BudgetCheck] = []
+        for name, samples in detections.items():
+            if not samples:
+                continue  # this detector was not part of the run
+            budget_ns = self._budget_ns(_DETECTION_BUDGETS[name])
+            for index, start in enumerate(starts):
+                horizon = starts[index + 1] if index + 1 < len(starts) \
+                    else None
+                first = next(
+                    (s for s in samples
+                     if s >= start and (horizon is None or s < horizon)),
+                    None,
+                )
+                if first is None:
+                    checks.append(BudgetCheck(
+                        name=name, measured_ns=float("inf"),
+                        budget_ns=budget_ns, ok=False,
+                        detail=f"signal at sample {start} never detected",
+                    ))
+                    continue
+                # +1: a detection *at* sample n means n+1 samples have
+                # been consumed since the signal's first sample.
+                measured_ns = units.samples_to_seconds(
+                    first - start + 1) * NS_PER_S
+                checks.append(BudgetCheck(
+                    name=name, measured_ns=measured_ns,
+                    budget_ns=budget_ns,
+                    ok=measured_ns <= budget_ns + self.tolerance_ns,
+                    detail=f"signal at sample {start}",
+                ))
+        return checks

@@ -1,0 +1,192 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A deliberately small metrics model: three instrument types behind one
+:class:`MetricsRegistry`, no labels, no background threads.  The
+registry snapshot is a plain nested dict so it drops straight into
+:meth:`repro.core.jammer.HealthReport.to_dict` and the benchmark
+perf records.
+
+Histograms use *fixed* bucket bounds chosen at creation: observation
+is O(#buckets) with no allocation, which is what a per-chunk hot path
+can afford.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default latency buckets in nanoseconds: covers 40 ns (one sample)
+#: through 10 ms, roughly half-decade spaced.
+DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = (
+    40.0, 80.0, 160.0, 320.0, 640.0, 1_280.0, 2_560.0, 5_120.0,
+    10_240.0, 102_400.0, 1_024_000.0, 10_240_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError("counters only move forward")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (duty cycle, throughput)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max accumulators.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; an
+    implicit overflow bucket catches everything beyond the last edge.
+    """
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bound")
+        ordered = list(bounds)
+        if ordered != sorted(ordered):
+            raise ConfigurationError("histogram bounds must be ascending")
+        self.name = name
+        self.bounds = tuple(float(b) for b in ordered)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bucket edge).
+
+        Returns the upper edge of the bucket containing the ``q``
+        quantile, or ``max`` for observations in the overflow bucket —
+        coarse by construction, but allocation-free and monotone.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> dict:
+        """The histogram state as a plain dict."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in one telemetry session."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_NS
+                  ) -> Histogram:
+        """The histogram called ``name``, created on first use.
+
+        Re-requesting an existing histogram with different bounds is a
+        configuration bug and raises rather than silently re-bucketing.
+        """
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, bounds)
+        elif metric.bounds != tuple(float(b) for b in bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} already exists with different bounds"
+            )
+        return metric
+
+    def snapshot(self) -> dict:
+        """Every metric as one nested plain dict."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def summary(self) -> str:
+        """A console-friendly text rendering of the registry."""
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"{name:<32}{counter.value:>14}")
+        for name, gauge in sorted(self._gauges.items()):
+            lines.append(f"{name:<32}{gauge.value:>14.4f}")
+        for name, hist in sorted(self._histograms.items()):
+            if hist.count:
+                lines.append(
+                    f"{name:<32}{hist.count:>8} obs  "
+                    f"mean {hist.mean:,.0f}  min {hist.min:,.0f}  "
+                    f"max {hist.max:,.0f}  p90 {hist.quantile(0.9):,.0f}"
+                )
+            else:
+                lines.append(f"{name:<32}{0:>8} obs")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

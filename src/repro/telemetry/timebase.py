@@ -1,0 +1,92 @@
+"""The dual-domain timebase: sample clock <-> nanoseconds <-> host time.
+
+The data path is indexed in baseband samples (25 MSPS, 40 ns each);
+the FPGA fabric runs at 100 MHz (10 ns per cycle); the host observes
+wall time.  Every trace event must be meaningful in all three domains,
+so the :class:`Timebase` converts between them and stamps events with
+both a sample index and nanoseconds on the sample clock.
+
+Host wall time is kept strictly separate from the sample domain: the
+sample clock is the simulation's own timeline (deterministic, exactly
+reproducible), while host time measures how long the *model* takes to
+run.  Mixing them is the bug class lint rule RJ007 exists to catch.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ConfigurationError
+
+#: Nanoseconds per second, spelled once.
+NS_PER_S = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class Stamp:
+    """One instant in both domains: sample index and nanoseconds."""
+
+    sample: int
+    ns: float
+
+    @property
+    def seconds(self) -> float:
+        """The nanosecond component as seconds."""
+        return self.ns / NS_PER_S
+
+
+class Timebase:
+    """Converts between sample indices, FPGA clocks, and nanoseconds.
+
+    Attributes:
+        sample_rate: Baseband sample rate (samples/s).
+        fpga_clock_hz: FPGA fabric clock (Hz).
+        wall_clock_ns: Callable returning host wall time in integer
+            nanoseconds; injectable so tests stay deterministic.
+    """
+
+    def __init__(self, sample_rate: float = units.BASEBAND_RATE,
+                 fpga_clock_hz: float = units.FPGA_CLOCK_HZ,
+                 wall_clock_ns: Callable[[], int] | None = None) -> None:
+        if sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        if fpga_clock_hz <= 0:
+            raise ConfigurationError("fpga_clock_hz must be positive")
+        self.sample_rate = float(sample_rate)
+        self.fpga_clock_hz = float(fpga_clock_hz)
+        self.wall_clock_ns = wall_clock_ns if wall_clock_ns is not None \
+            else time.perf_counter_ns
+
+    # ------------------------------------------------------------------
+    # Sample domain
+
+    def sample_to_ns(self, sample_index: int | float) -> float:
+        """Nanoseconds on the sample clock since sample 0."""
+        return sample_index * (NS_PER_S / self.sample_rate)
+
+    def ns_to_sample(self, ns: float) -> int:
+        """Nearest sample index for a sample-clock time in ns."""
+        return int(round(ns * self.sample_rate / NS_PER_S))
+
+    def samples_to_clocks(self, n_samples: int) -> int:
+        """FPGA clock cycles spanned by ``n_samples`` samples."""
+        return int(round(n_samples * self.fpga_clock_hz / self.sample_rate))
+
+    def clocks_to_ns(self, n_clocks: int | float) -> float:
+        """Nanoseconds spanned by ``n_clocks`` FPGA clock cycles."""
+        return n_clocks * (NS_PER_S / self.fpga_clock_hz)
+
+    def stamp(self, sample_index: int) -> Stamp:
+        """A dual-domain timestamp for one sample index."""
+        return Stamp(sample=int(sample_index),
+                     ns=self.sample_to_ns(sample_index))
+
+    # ------------------------------------------------------------------
+    # Host domain
+
+    def host_now_ns(self) -> int:
+        """Host wall time in nanoseconds (monotonic, arbitrary epoch)."""
+        return self.wall_clock_ns()

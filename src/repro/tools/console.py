@@ -42,6 +42,7 @@ from repro.hw.trigger import TriggerMode, TriggerSource
 from repro.hw.tx_controller import JamWaveform
 from repro.hw.uhd import UhdDriver
 from repro.hw.usrp import UsrpN210
+from repro.telemetry import Telemetry
 
 _TEMPLATES: dict[str, Callable[[], np.ndarray]] = {
     "wifi-short": wifi_short_preamble_template,
@@ -77,6 +78,8 @@ commands:
   tune <hz>             txgain <db>   rxgain <db>     RF front end
   impairments <off|typical|dirty>                     analog front-end dirt
   status                current configuration + counters
+  stats                 telemetry trace + metrics digest
+  trace <file>          export the trace as Chrome trace-event JSON
   timeline              the Fig. 5 latency budget
   registers             register writes so far
   save <file>           snapshot the configuration to a JSON profile
@@ -89,9 +92,12 @@ commands:
 class JammerConsole:
     """A scriptable front panel over one USRP + custom core."""
 
-    def __init__(self, device: UsrpN210 | None = None) -> None:
+    def __init__(self, device: UsrpN210 | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         self.device = device if device is not None else UsrpN210()
         self.driver = UhdDriver(self.device)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry.attach(self.device, self.driver)
         self._template_name: str | None = None
         self._trigger_desc = "(not programmed)"
         self.done = False
@@ -265,6 +271,18 @@ class JammerConsole:
             f"jam bursts    : {self.driver.jam_count()}",
         ]
         return "\n".join(lines)
+
+    def _cmd_stats(self, _args: list[str]) -> str:
+        if not self.telemetry.enabled:
+            return "telemetry is disabled"
+        return self.telemetry.summary()
+
+    def _cmd_trace(self, args: list[str]) -> str:
+        if not self.telemetry.enabled:
+            return "error: telemetry is disabled"
+        path = self.telemetry.write_chrome_trace(args[0])
+        count = len(self.telemetry.events())
+        return f"trace written to {path} ({count} events)"
 
     def _cmd_timeline(self, _args: list[str]) -> str:
         budget = timeline_for(energy=self.device.core.energy,

@@ -299,3 +299,91 @@ class TestRJ006RawBusConstruction:
             def boot(plan):
                 return FaultyRegisterBus(plan)
             """, "src/repro/apps/good.py")
+
+
+class TestRJ007WallClockInModel:
+    def test_fires_on_time_time_in_hw(self):
+        found = _run("RJ007", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """, "src/repro/hw/bad.py")
+        assert len(found) == 1
+        assert "time.time" in found[0].message
+
+    def test_fires_on_perf_counter_in_dsp(self):
+        found = _run("RJ007", """\
+            import time
+
+            def tick():
+                return time.perf_counter_ns()
+            """, "src/repro/dsp/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_from_imported_alias(self):
+        found = _run("RJ007", """\
+            from time import perf_counter as pc
+
+            def tick():
+                return pc()
+            """, "src/repro/phy/bad.py")
+        assert len(found) == 1
+        assert "time.perf_counter" in found[0].message
+
+    def test_fires_on_datetime_now(self):
+        found = _run("RJ007", """\
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """, "src/repro/hw/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_datetime_module_attribute(self):
+        found = _run("RJ007", """\
+            import datetime
+
+            def stamp():
+                return datetime.utcnow()
+            """, "src/repro/hw/bad.py")
+        assert len(found) == 1
+
+    def test_telemetry_module_is_exempt(self):
+        assert not _run("RJ007", """\
+            import time
+
+            def now_ns():
+                return time.perf_counter_ns()
+            """, "src/repro/telemetry/timebase.py")
+
+    def test_tests_are_exempt(self):
+        assert not _run("RJ007", """\
+            import time
+
+            def now():
+                return time.time()
+            """, "tests/hw/test_clock.py")
+
+    def test_sample_clock_arithmetic_is_clean(self):
+        assert not _run("RJ007", """\
+            def stamp(core):
+                return core.clock * 40
+            """, "src/repro/hw/good.py")
+
+    def test_unrelated_time_attribute_is_clean(self):
+        assert not _run("RJ007", """\
+            import time
+
+            def nap():
+                time.sleep(0.01)
+            """, "src/repro/hw/good.py")
+
+    def test_non_time_name_collision_is_clean(self):
+        assert not _run("RJ007", """\
+            def monotonic(values):
+                return all(b >= a for a, b in zip(values, values[1:]))
+
+            def check(values):
+                return monotonic(values)
+            """, "src/repro/hw/good.py")

@@ -161,3 +161,47 @@ class TestImpairments:
 
     def test_unknown_profile(self, console):
         assert "error" in console.execute("impairments filthy")
+
+
+class TestTelemetryCommands:
+    def _run_demo(self, console):
+        console.execute("template wifi-short")
+        console.execute("threshold 20000")
+        console.execute("trigger xcorr")
+        console.execute("uptime 1e-5")
+        console.execute("demo wifi")
+
+    def test_stats_after_demo(self, console):
+        self._run_demo(console)
+        text = console.execute("stats")
+        assert "error" not in text
+        assert "detect.xcorr" in text
+
+    def test_stats_disabled_bundle(self):
+        from repro.telemetry import Telemetry
+
+        console = JammerConsole(telemetry=Telemetry.disabled())
+        assert console.execute("stats") == "telemetry is disabled"
+
+    def test_trace_writes_chrome_json(self, console, tmp_path):
+        import json
+
+        self._run_demo(console)
+        out = tmp_path / "demo.trace.json"
+        reply = console.execute(f"trace {out}")
+        assert "trace written" in reply
+        data = json.loads(out.read_text())
+        assert data["traceEvents"]
+        names = {e.get("name") for e in data["traceEvents"]}
+        assert "detect.xcorr" in names
+
+    def test_trace_disabled_bundle(self, tmp_path):
+        from repro.telemetry import Telemetry
+
+        console = JammerConsole(telemetry=Telemetry.disabled())
+        assert "error" in console.execute(f"trace {tmp_path / 'x.json'}")
+
+    def test_help_lists_telemetry_commands(self, console):
+        text = console.execute("help")
+        assert "stats" in text
+        assert "trace" in text

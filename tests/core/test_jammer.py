@@ -119,3 +119,65 @@ class TestRunning:
         report = configured.run(awgn(5000, 1e-6, rng))
         assert not report.jams
         assert isinstance(report, JammingReport)
+
+
+class TestReportSerialization:
+    def _report(self) -> JammingReport:
+        from repro.core.jammer import HealthReport
+        from repro.hw.dsp_core import DetectionEvent
+        from repro.hw.tx_controller import JamWaveform
+        from repro.hw.watchdog import WatchdogTrip
+
+        return JammingReport(
+            tx=np.array([1 + 2j, -0.5j]),
+            detections=[DetectionEvent(time=2563,
+                                       source=TriggerSource.XCORR)],
+            jams=[JamEvent(trigger_time=2563, start=2565, end=5065,
+                           waveform=JamWaveform.WGN)],
+            health=HealthReport(
+                chunks_processed=7,
+                stream_errors=["overflow at chunk 3"],
+                driver={"retries": 2},
+                scrub_repairs=[19],
+                watchdog_trips=[WatchdogTrip(time=100, reason="duty-cycle",
+                                             detail="vetoed")],
+                metrics={"counters": {"run.jams": 1}},
+            ),
+        )
+
+    def test_round_trip_without_tx(self):
+        report = self._report()
+        rebuilt = JammingReport.from_json(report.to_json())
+        assert rebuilt.detections == report.detections
+        assert rebuilt.jams == report.jams
+        assert rebuilt.sample_rate == report.sample_rate
+        assert rebuilt.health == report.health
+        assert rebuilt.tx.size == 0  # tx omitted by default
+
+    def test_round_trip_with_tx(self):
+        report = self._report()
+        rebuilt = JammingReport.from_json(report.to_json(include_tx=True))
+        np.testing.assert_allclose(rebuilt.tx, report.tx)
+
+    def test_json_is_valid_and_self_describing(self):
+        import json
+
+        data = json.loads(self._report().to_json(indent=2))
+        assert data["detections"][0]["source"] == "XCORR"
+        assert data["jams"][0]["waveform"] == "WGN"
+        assert data["health"]["degraded"] is True
+
+    def test_health_round_trip_standalone(self):
+        from repro.core.jammer import HealthReport
+
+        health = self._report().health
+        rebuilt = HealthReport.from_json(health.to_json())
+        assert rebuilt == health
+        assert rebuilt.degraded
+
+    def test_empty_report_round_trips(self):
+        report = JammingReport(tx=np.zeros(0, dtype=np.complex128))
+        rebuilt = JammingReport.from_json(report.to_json())
+        assert rebuilt.detections == []
+        assert rebuilt.jams == []
+        assert not rebuilt.health.degraded

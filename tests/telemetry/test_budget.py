@@ -1,0 +1,106 @@
+"""Tests for the Fig. 5 latency-budget checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timeline import timeline_for
+from repro.telemetry.budget import BudgetReport, LatencyBudget
+from repro.telemetry.tracer import CAT_DETECTOR, CAT_TX, RingTracer
+
+
+def _init_samples() -> int:
+    # T_init in samples (80 ns at 40 ns/sample = 2 samples).
+    return round(timeline_for().t_init * 25e6)
+
+
+class TestResponseChecks:
+    def test_on_budget_response_passes(self):
+        tracer = RingTracer()
+        trigger = 2563
+        tracer.span("jam", CAT_TX, trigger + _init_samples(),
+                    trigger + _init_samples() + 2500,
+                    trigger_sample=trigger)
+        report = LatencyBudget().verify(tracer.events())
+        assert report.ok
+        (check,) = report.checks
+        assert check.name == "T_resp(trigger->RF)"
+        assert check.measured_ns == pytest.approx(80.0)
+
+    def test_late_response_fails(self):
+        tracer = RingTracer()
+        trigger = 1000
+        tracer.span("jam", CAT_TX, trigger + 50, trigger + 2550,
+                    trigger_sample=trigger)
+        report = LatencyBudget().verify(tracer.events())
+        assert not report.ok
+        assert report.violations
+
+    def test_spans_without_trigger_are_skipped(self):
+        tracer = RingTracer()
+        tracer.span("jam", CAT_TX, 100, 200)
+        report = LatencyBudget().verify(tracer.events())
+        assert report.checks == ()
+
+
+class TestDetectionChecks:
+    def test_detection_within_budget(self):
+        tracer = RingTracer()
+        # 64-tap correlator fires 64 samples into the signal: exactly
+        # the 2.56 us budget.
+        tracer.instant("detect.xcorr", CAT_DETECTOR, 2500 + 63)
+        report = LatencyBudget().verify(tracer.events(),
+                                        signal_starts=[2500])
+        assert report.ok
+        (check,) = report.checks
+        assert check.measured_ns == pytest.approx(2560.0)
+
+    def test_late_detection_fails(self):
+        tracer = RingTracer()
+        tracer.instant("detect.xcorr", CAT_DETECTOR, 2500 + 200)
+        report = LatencyBudget().verify(tracer.events(),
+                                        signal_starts=[2500])
+        assert not report.ok
+
+    def test_missed_signal_is_a_violation(self):
+        tracer = RingTracer()
+        tracer.instant("detect.xcorr", CAT_DETECTOR, 2563)
+        report = LatencyBudget().verify(tracer.events(),
+                                        signal_starts=[2500, 50_000])
+        assert not report.ok
+        missed = [c for c in report.violations
+                  if c.measured_ns == float("inf")]
+        assert len(missed) == 1
+        assert "50000" in missed[0].detail
+
+    def test_detections_attributed_to_nearest_signal(self):
+        tracer = RingTracer()
+        tracer.instant("detect.xcorr", CAT_DETECTOR, 2563)
+        tracer.instant("detect.xcorr", CAT_DETECTOR, 50_063)
+        report = LatencyBudget().verify(tracer.events(),
+                                        signal_starts=[2500, 50_000])
+        assert report.ok
+        assert len(report.checks) == 2
+
+    def test_absent_detector_not_checked(self):
+        # An energy-only run should not fail the xcorr budget.
+        tracer = RingTracer()
+        tracer.instant("detect.energy_high", CAT_DETECTOR, 2510)
+        report = LatencyBudget().verify(tracer.events(),
+                                        signal_starts=[2500])
+        assert report.ok
+        assert all(c.name == "detect.energy_high" for c in report.checks)
+
+
+class TestReport:
+    def test_empty_report_is_not_ok(self):
+        report = BudgetReport(checks=())
+        assert not report.ok
+        assert "no measurable events" in report.summary()
+
+    def test_summary_flags_violations(self):
+        tracer = RingTracer()
+        tracer.instant("detect.xcorr", CAT_DETECTOR, 9000)
+        report = LatencyBudget().verify(tracer.events(),
+                                        signal_starts=[2500])
+        assert "FAIL" in report.summary()

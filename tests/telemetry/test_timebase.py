@@ -1,0 +1,62 @@
+"""Tests for the dual-domain timebase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.telemetry.timebase import NS_PER_S, Stamp, Timebase
+
+
+class TestSampleDomain:
+    def test_one_sample_is_40ns(self):
+        tb = Timebase()
+        assert tb.sample_to_ns(1) == pytest.approx(40.0)
+
+    def test_round_trip(self):
+        tb = Timebase()
+        for sample in (0, 1, 32, 64, 2500, 10**9):
+            assert tb.ns_to_sample(tb.sample_to_ns(sample)) == sample
+
+    def test_stamp_carries_both_domains(self):
+        stamp = Timebase().stamp(2500)
+        assert stamp == Stamp(sample=2500, ns=100_000.0)
+        assert stamp.seconds == pytest.approx(100e-6)
+
+    def test_matches_units_helpers(self):
+        tb = Timebase()
+        assert tb.sample_to_ns(64) == pytest.approx(
+            units.samples_to_seconds(64) * NS_PER_S)
+
+
+class TestFpgaDomain:
+    def test_clocks_per_sample(self):
+        tb = Timebase()
+        assert tb.samples_to_clocks(1) == units.CLOCKS_PER_SAMPLE
+        assert tb.samples_to_clocks(64) == 64 * units.CLOCKS_PER_SAMPLE
+
+    def test_one_clock_is_10ns(self):
+        assert Timebase().clocks_to_ns(1) == pytest.approx(10.0)
+
+
+class TestHostDomain:
+    def test_injectable_wall_clock(self):
+        ticks = iter([100, 250])
+        tb = Timebase(wall_clock_ns=lambda: next(ticks))
+        assert tb.host_now_ns() == 100
+        assert tb.host_now_ns() == 250
+
+    def test_default_wall_clock_is_monotonic(self):
+        tb = Timebase()
+        first = tb.host_now_ns()
+        second = tb.host_now_ns()
+        assert second >= first
+
+
+class TestValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigurationError):
+            Timebase(sample_rate=0)
+        with pytest.raises(ConfigurationError):
+            Timebase(fpga_clock_hz=-1)

@@ -1,0 +1,80 @@
+"""Tests for the ring tracer and the null tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.tracer import (
+    CAT_DETECTOR,
+    CAT_HOST,
+    CAT_TX,
+    NULL_TRACER,
+    InstantEvent,
+    RingTracer,
+    SpanEvent,
+)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.instant("x", CAT_DETECTOR, 0)
+        NULL_TRACER.span("x", CAT_TX, 0, 10)
+        NULL_TRACER.host_span("x", CAT_HOST, 0, 10)
+        assert NULL_TRACER.events() == []
+
+
+class TestRingTracer:
+    def test_instant_stamped_in_both_domains(self):
+        tracer = RingTracer()
+        tracer.instant("detect.xcorr", CAT_DETECTOR, 2500, threshold=30000)
+        (event,) = tracer.events()
+        assert isinstance(event, InstantEvent)
+        assert event.sample == 2500
+        assert event.ns == pytest.approx(100_000.0)
+        assert event.args == {"threshold": 30000}
+        assert not event.host
+
+    def test_span_duration(self):
+        tracer = RingTracer()
+        tracer.span("jam", CAT_TX, 1000, 3500)
+        (event,) = tracer.events()
+        assert isinstance(event, SpanEvent)
+        assert event.duration_ns == pytest.approx(2500 * 40.0)
+
+    def test_host_span_has_no_sample_meaning(self):
+        tracer = RingTracer()
+        tracer.host_span("xcorr", CAT_HOST, 100, 700)
+        (event,) = tracer.events()
+        assert event.host
+        assert event.start_sample == -1
+        assert event.duration_ns == pytest.approx(600.0)
+
+    def test_ring_bound_drops_oldest(self):
+        tracer = RingTracer(capacity=4)
+        for sample in range(10):
+            tracer.instant("e", CAT_DETECTOR, sample)
+        events = tracer.events()
+        assert len(events) == 4
+        assert [e.sample for e in events] == [6, 7, 8, 9]
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+
+    def test_iter_category(self):
+        tracer = RingTracer()
+        tracer.instant("a", CAT_DETECTOR, 1)
+        tracer.span("b", CAT_TX, 2, 3)
+        tracer.instant("c", CAT_DETECTOR, 4)
+        assert [e.name for e in tracer.iter_category(CAT_DETECTOR)] \
+            == ["a", "c"]
+
+    def test_clear(self):
+        tracer = RingTracer()
+        tracer.instant("a", CAT_DETECTOR, 1)
+        tracer.clear()
+        assert tracer.events() == []
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RingTracer(capacity=0)
