@@ -1,10 +1,11 @@
 """Benchmark-suite fixtures.
 
-``telemetry_record`` collects per-test perf records; at session end
-everything collected is written to ``BENCH_telemetry.json`` at the
-repository root, where the CI perf-smoke job uploads it as an
-artifact.  The file is only written when at least one telemetry
-benchmark ran, so chaos-only invocations leave no stray output.
+``telemetry_record`` and ``runtime_record`` collect per-test perf
+records; at session end everything collected is written to
+``BENCH_telemetry.json`` / ``BENCH_runtime.json`` at the repository
+root, where the CI perf-smoke job uploads them as artifacts.  Each
+file is only written when at least one contributing benchmark ran, so
+partial invocations leave no stray output.
 """
 
 from __future__ import annotations
@@ -14,18 +15,29 @@ from pathlib import Path
 
 import pytest
 
-#: Where the perf record lands (repository root).
-BENCH_TELEMETRY_PATH = Path(__file__).resolve().parent.parent \
-    / "BENCH_telemetry.json"
+#: Where the perf records land (repository root).
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_TELEMETRY_PATH = _REPO_ROOT / "BENCH_telemetry.json"
+BENCH_RUNTIME_PATH = _REPO_ROOT / "BENCH_runtime.json"
+
+
+def _record_fixture(path: Path):
+    record: dict[str, object] = {}
+    yield record
+    if record:
+        path.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
 
 @pytest.fixture(scope="session")
 def telemetry_record():
     """A dict the telemetry benchmarks drop their results into."""
-    record: dict[str, object] = {}
-    yield record
-    if record:
-        BENCH_TELEMETRY_PATH.write_text(
-            json.dumps(record, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+    yield from _record_fixture(BENCH_TELEMETRY_PATH)
+
+
+@pytest.fixture(scope="session")
+def runtime_record():
+    """A dict the runtime benchmarks drop their results into."""
+    yield from _record_fixture(BENCH_RUNTIME_PATH)

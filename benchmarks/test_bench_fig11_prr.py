@@ -7,6 +7,8 @@ PRR cliffs: continuous ~33 dB, reactive 0.1 ms ~16 dB, reactive
 
 from __future__ import annotations
 
+import os
+
 from benchmarks.paper_reference import (
     FIG10_CONTINUOUS_ZERO_SIR,
     FIG10_REACTIVE_001MS_ZERO_SIR,
@@ -17,10 +19,14 @@ from repro.experiments.wifi_jamming import WifiJammingTestbed
 SIRS_DB = [45.0, 35.0, 30.0, 25.0, 20.0, 16.0, 12.0, 8.0, 4.0, 2.0, 0.0]
 DURATION_S = 0.25
 
+#: SweepRunner pool size (each grid point seeds itself, so the sweep
+#: result is byte-identical for any worker count).
+_WORKERS = max(1, min(4, len(os.sched_getaffinity(0))))
+
 
 def _run():
     bed = WifiJammingTestbed(duration_s=DURATION_S)
-    return bed.sweep(sir_values_db=SIRS_DB)
+    return bed.sweep(sir_values_db=SIRS_DB, workers=_WORKERS)
 
 
 def test_bench_fig11_packet_reception_ratio(benchmark):

@@ -8,16 +8,21 @@ jammer's strongest WiFi detection mode: the paper reports >90 % at
 
 from __future__ import annotations
 
+import os
+
 from benchmarks.paper_reference import FIG7_3DB, FIG7_MINUS3DB
 from repro.experiments.detection import short_preamble_curve
 
 SNRS_DB = [-9.0, -6.0, -3.0, 0.0, 3.0, 6.0, 9.0]
 N_FRAMES = 400
 
+#: SweepRunner pool size (results are worker-count-independent).
+_WORKERS = max(1, min(4, len(os.sched_getaffinity(0))))
+
 
 def _run():
     return short_preamble_curve(SNRS_DB, n_frames=N_FRAMES,
-                                fa_per_second=0.059)
+                                fa_per_second=0.059, workers=_WORKERS)
 
 
 def test_bench_fig7_short_preamble(benchmark):

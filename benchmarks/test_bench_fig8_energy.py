@@ -8,6 +8,8 @@ clean detection per frame once safely above it.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.detection import energy_detector_curve
@@ -15,10 +17,13 @@ from repro.experiments.detection import energy_detector_curve
 SNRS_DB = [-6.0, -3.0, 0.0, 3.0, 6.0, 8.0, 9.0, 10.0, 11.0, 13.0, 16.0]
 N_FRAMES = 300
 
+#: SweepRunner pool size (results are worker-count-independent).
+_WORKERS = max(1, min(4, len(os.sched_getaffinity(0))))
+
 
 def _run():
     return energy_detector_curve(SNRS_DB, n_frames=N_FRAMES,
-                                 threshold_db=10.0)
+                                 threshold_db=10.0, workers=_WORKERS)
 
 
 def test_bench_fig8_energy_differentiator(benchmark):

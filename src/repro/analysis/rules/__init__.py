@@ -13,6 +13,7 @@ from repro.analysis.rules.bitexact import BitExactRule
 from repro.analysis.rules.faults import BusConstructionRule
 from repro.analysis.rules.hygiene import HygieneRule
 from repro.analysis.rules.magic_numbers import MagicNumberRule
+from repro.analysis.rules.pools import PoolConstructionRule
 from repro.analysis.rules.registers import RegisterAddressRule, RegisterWidthRule
 from repro.analysis.rules.walltime import WallClockRule
 
@@ -24,6 +25,7 @@ ALL_RULES: tuple[Rule, ...] = (
     HygieneRule(),
     BusConstructionRule(),
     WallClockRule(),
+    PoolConstructionRule(),
 )
 
 _BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -28,6 +28,7 @@ from repro.phy.wifi.preamble import (
 )
 from repro.phy.wimax.params import WIMAX_SAMPLE_RATE
 from repro.phy.wimax.preamble import preamble_symbol
+from repro.runtime.cache import cached_artifact
 
 
 def _window64(samples: np.ndarray, offset: int = 0) -> np.ndarray:
@@ -38,6 +39,7 @@ def _window64(samples: np.ndarray, offset: int = 0) -> np.ndarray:
     return samples[offset:offset + CORRELATOR_LENGTH].copy()
 
 
+@cached_artifact
 def wifi_long_preamble_template(resampled: bool = True) -> np.ndarray:
     """The 64-coefficient template for the WiFi long training symbol.
 
@@ -60,6 +62,7 @@ def wifi_long_preamble_template(resampled: bool = True) -> np.ndarray:
     return _window64(at_25)
 
 
+@cached_artifact
 def wifi_short_preamble_template(resampled: bool = True) -> np.ndarray:
     """The 64-coefficient template for the WiFi short training field.
 
@@ -78,6 +81,7 @@ def wifi_short_preamble_template(resampled: bool = True) -> np.ndarray:
     return _window64(at_25)
 
 
+@cached_artifact
 def wimax_preamble_template(cell_id: int = 1, segment: int = 0,
                             resampled: bool = True) -> np.ndarray:
     """64 samples of the 802.16e downlink preamble.
@@ -98,6 +102,7 @@ def wimax_preamble_template(cell_id: int = 1, segment: int = 0,
     return _window64(at_25, offset=cp_at_25)
 
 
+@cached_artifact
 def dsss_preamble_template() -> np.ndarray:
     """64 samples of the 802.11b long DSSS preamble, at 25 MSPS.
 
@@ -112,6 +117,7 @@ def dsss_preamble_template() -> np.ndarray:
     return _window64(at_25)
 
 
+@cached_artifact
 def zigbee_preamble_template() -> np.ndarray:
     """64 samples of the 802.15.4 preamble, at 25 MSPS.
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -43,6 +44,11 @@ from repro.hw.trigger import rising_edges
 from repro.phy.wifi.frame import WifiFrameConfig, build_ppdu
 from repro.phy.wifi.params import WIFI_SAMPLE_RATE, WifiRate
 from repro.phy.wifi.preamble import long_preamble, long_training_symbol, short_preamble
+from repro.runtime.cache import cached_artifact
+from repro.runtime.sweep import sweep as run_sweep
+
+if TYPE_CHECKING:
+    from repro.telemetry.session import Telemetry
 
 #: The paper's frame pacing: 130 frames per second, 10,000 frames.
 PAPER_FRAME_RATE = 130
@@ -51,6 +57,15 @@ PAPER_FRAME_COUNT = 10_000
 #: Gap of noise-only samples inserted before each frame (warm-up for
 #: the streaming blocks and separation between detection windows).
 GUARD_SAMPLES = 512
+
+#: Frames folded into one sweep trial.  Each trial is one schedulable
+#: unit of the :mod:`repro.runtime.sweep` grid, so this sets the
+#: load-balancing granularity of a parallel curve run.
+FRAMES_PER_TRIAL = 50
+
+#: Seed-sequence spice decorrelating the frame-synthesis generator
+#: from the per-trial noise generators that share the same user seed.
+_FRAME_SEED_KEY = 0xF4A3
 
 
 @dataclass(frozen=True)
@@ -137,53 +152,154 @@ def _impaired_arrivals(base_frame_20: np.ndarray,
     return arrivals
 
 
+@cached_artifact
+def _frame_arrivals(frame_kind: str, seed: int) -> tuple[np.ndarray, ...]:
+    """The four quarter-sample arrivals of one deterministic test frame.
+
+    Memoized by ``(frame_kind, seed)``: every trial of a sweep — and
+    every worker process — shares one synthesized frame instead of
+    rebuilding the PPDU and running the 20->100->25 MSPS resampling
+    chain per trial.  The frame generator is decorrelated from the
+    per-trial noise generators by :data:`_FRAME_SEED_KEY`.
+    """
+    rng = np.random.default_rng([seed, _FRAME_SEED_KEY])
+    return tuple(_impaired_arrivals(_frame_waveforms(frame_kind, rng)))
+
+
+@dataclass(frozen=True, eq=False)
+class _CurveTrialSpec:
+    """Picklable description of one detection-curve trial batch."""
+
+    frame_kind: str
+    snr_db: float
+    n_frames: int
+    frame_seed: int
+    #: Correlator trials carry the quantized banks and threshold;
+    #: energy trials carry the rise threshold instead.
+    coeffs_i: np.ndarray | None = None
+    coeffs_q: np.ndarray | None = None
+    threshold: int = 0
+    energy_threshold_db: float | None = None
+
+
+def _count_frames(spec: _CurveTrialSpec, detector_process,
+                  rng: np.random.Generator, warmup: int = 0
+                  ) -> tuple[int, int]:
+    """Shared frame loop: (frames detected, total in-frame triggers)."""
+    arrivals = _frame_arrivals(spec.frame_kind, spec.frame_seed)
+    scale = np.sqrt(units.db_to_linear(spec.snr_db))
+    if warmup:
+        detector_process(awgn(warmup, 1.0, rng))
+    detected = 0
+    detections_total = 0
+    last = False
+    for _ in range(spec.n_frames):
+        frame_25 = arrivals[rng.integers(0, len(arrivals))]
+        if spec.energy_threshold_db is None:
+            # The sign-slicing correlator has 90-degree phase
+            # resolution, so each frame gets a random carrier phase.
+            factor = scale * np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+        else:
+            factor = scale
+        block = awgn(GUARD_SAMPLES + frame_25.size, 1.0, rng)
+        block[GUARD_SAMPLES:] += frame_25 * factor
+        trig = detector_process(block)
+        edges = rising_edges(trig, last)
+        last = bool(trig[-1])
+        in_frame = edges[edges >= GUARD_SAMPLES]
+        detections_total += in_frame.size
+        if in_frame.size:
+            detected += 1
+    return detected, detections_total
+
+
+def _xcorr_trial(spec: _CurveTrialSpec, rng: np.random.Generator
+                 ) -> tuple[int, int]:
+    """One correlator trial batch (a SweepRunner task)."""
+    correlator = CrossCorrelator(spec.coeffs_i, spec.coeffs_q,
+                                 threshold=spec.threshold)
+    return _count_frames(spec, correlator.process, rng)
+
+
+def _energy_trial(spec: _CurveTrialSpec, rng: np.random.Generator
+                  ) -> tuple[int, int]:
+    """One energy-differentiator trial batch (a SweepRunner task)."""
+    detector = EnergyDifferentiator(
+        threshold_high_db=spec.energy_threshold_db,
+        threshold_low_db=spec.energy_threshold_db)
+
+    def process(block: np.ndarray) -> np.ndarray:
+        trig_high, _trig_low = detector.process(block)
+        return trig_high
+
+    # Warm the detector so the cold-start rise is consumed.
+    return _count_frames(spec, process, rng, warmup=4 * detector.delay)
+
+
+def _trial_batches(n_frames: int) -> list[int]:
+    """Split a point's frame budget into per-trial batch sizes."""
+    full, rest = divmod(n_frames, FRAMES_PER_TRIAL)
+    return [FRAMES_PER_TRIAL] * full + ([rest] if rest else [])
+
+
+def _merge_points(snrs_db: list[float], specs: list[_CurveTrialSpec],
+                  outcomes: list[list[tuple[int, int]]]
+                  ) -> list[DetectionPoint]:
+    """Fold per-trial (detected, triggers) counts back into curve points."""
+    detected = {snr: 0 for snr in snrs_db}
+    triggers = {snr: 0 for snr in snrs_db}
+    frames = {snr: 0 for snr in snrs_db}
+    for spec, (result,) in zip(specs, outcomes):
+        detected[spec.snr_db] += result[0]
+        triggers[spec.snr_db] += result[1]
+        frames[spec.snr_db] += spec.n_frames
+    return [
+        DetectionPoint(
+            snr_db=snr,
+            detection_probability=detected[snr] / frames[snr],
+            mean_detections_per_frame=triggers[snr] / frames[snr],
+            n_frames=frames[snr],
+        )
+        for snr in snrs_db
+    ]
+
+
 def _detection_curve(template: np.ndarray, frame_kind: str,
                      snrs_db: list[float], n_frames: int,
-                     fa_per_second: float, seed: int) -> list[DetectionPoint]:
+                     fa_per_second: float, seed: int,
+                     workers: int = 1,
+                     telemetry: "Telemetry | None" = None
+                     ) -> list[DetectionPoint]:
     """Shared sweep engine for the correlator characterizations.
 
-    Each frame arrives with a random carrier phase (the sign-slicing
-    correlator has 90-degree phase resolution, so phase matters) and a
-    random fractional timing offset against the receiver sample grid.
+    The (SNR x trial-batch) grid runs through
+    :func:`repro.runtime.sweep.sweep`: every trial draws its noise and
+    impairments from ``default_rng(seed + trial_index)``, so the curve
+    is byte-identical for any ``workers`` count.
     """
     coeffs_i, coeffs_q = quantize_coefficients(template)
     threshold = threshold_for_false_alarm_rate(coeffs_i, coeffs_q,
                                                fa_per_second)
-    rng = np.random.default_rng(seed)
-    base_frame = _frame_waveforms(frame_kind, rng)
-    arrivals = _impaired_arrivals(base_frame)
-    points: list[DetectionPoint] = []
-    for snr_db in snrs_db:
-        correlator = CrossCorrelator(coeffs_i, coeffs_q, threshold=threshold)
-        scale = np.sqrt(units.db_to_linear(snr_db))
-        detected = 0
-        detections_total = 0
-        last = False
-        for _ in range(n_frames):
-            frame_25 = arrivals[rng.integers(0, len(arrivals))]
-            phase = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
-            block = awgn(GUARD_SAMPLES + frame_25.size, 1.0, rng)
-            block[GUARD_SAMPLES:] += frame_25 * (scale * phase)
-            trig = correlator.process(block)
-            edges = rising_edges(trig, last)
-            last = bool(trig[-1])
-            in_frame = edges[edges >= GUARD_SAMPLES]
-            detections_total += in_frame.size
-            if in_frame.size:
-                detected += 1
-        points.append(DetectionPoint(
-            snr_db=snr_db,
-            detection_probability=detected / n_frames,
-            mean_detections_per_frame=detections_total / n_frames,
-            n_frames=n_frames,
-        ))
-    return points
+    specs = [
+        _CurveTrialSpec(frame_kind=frame_kind, snr_db=snr_db,
+                        n_frames=batch, frame_seed=seed,
+                        coeffs_i=coeffs_i, coeffs_q=coeffs_q,
+                        threshold=threshold)
+        for snr_db in snrs_db
+        for batch in _trial_batches(n_frames)
+    ]
+    outcomes = run_sweep(_xcorr_trial, specs, workers=workers,
+                         seed_root=seed, telemetry=telemetry)
+    return _merge_points(snrs_db, specs, outcomes)
 
 
 def long_preamble_curve(snrs_db: list[float], n_frames: int = 500,
                         fa_per_second: float = 0.083,
                         full_frames: bool = True,
-                        seed: int = 20140818) -> list[DetectionPoint]:
+                        seed: int = 20140818,
+                        workers: int = 1,
+                        telemetry: "Telemetry | None" = None
+                        ) -> list[DetectionPoint]:
     """Fig. 6: long-preamble detection vs SNR.
 
     ``full_frames=False`` sends pseudo-frames carrying a single long
@@ -191,72 +307,66 @@ def long_preamble_curve(snrs_db: list[float], n_frames: int = 500,
     """
     kind = "full" if full_frames else "single_long"
     return _detection_curve(wifi_long_preamble_template(), kind, snrs_db,
-                            n_frames, fa_per_second, seed)
+                            n_frames, fa_per_second, seed,
+                            workers=workers, telemetry=telemetry)
 
 
 def short_preamble_curve(snrs_db: list[float], n_frames: int = 500,
                          fa_per_second: float = 0.059,
-                         seed: int = 20140819) -> list[DetectionPoint]:
+                         seed: int = 20140819,
+                         workers: int = 1,
+                         telemetry: "Telemetry | None" = None
+                         ) -> list[DetectionPoint]:
     """Fig. 7: short-preamble detection of full WiFi frames vs SNR."""
     return _detection_curve(wifi_short_preamble_template(), "full", snrs_db,
-                            n_frames, fa_per_second, seed)
+                            n_frames, fa_per_second, seed,
+                            workers=workers, telemetry=telemetry)
 
 
 def roc_curve(template: np.ndarray, snr_db: float,
               fa_rates_per_s: list[float], n_frames: int = 300,
               frame_kind: str = "single_long",
-              seed: int = 20140821) -> list[tuple[float, float]]:
+              seed: int = 20140821,
+              workers: int = 1,
+              telemetry: "Telemetry | None" = None
+              ) -> list[tuple[float, float]]:
     """Receiver operating characteristic at a fixed SNR.
 
     Sweeps the false-alarm operating point (the paper evaluates two:
     0.083 and 0.52 triggers/s) and returns ``(fa_per_s, Pd)`` pairs.
     The trade is monotone: admitting more false alarms buys detection.
+    Every operating point replays the same seeded trials, so only the
+    threshold varies between the returned pairs.
     """
     points = []
     for fa in fa_rates_per_s:
         curve = _detection_curve(template, frame_kind, [snr_db], n_frames,
-                                 fa, seed)
+                                 fa, seed, workers=workers,
+                                 telemetry=telemetry)
         points.append((fa, curve[0].detection_probability))
     return points
 
 
 def energy_detector_curve(snrs_db: list[float], n_frames: int = 500,
                           threshold_db: float = 10.0,
-                          seed: int = 20140820) -> list[DetectionPoint]:
+                          seed: int = 20140820,
+                          workers: int = 1,
+                          telemetry: "Telemetry | None" = None
+                          ) -> list[DetectionPoint]:
     """Fig. 8: energy differentiator on full WiFi frames vs SNR.
 
     Reports both detection probability and the mean detections per
     frame — the paper highlights the multiple-detection regime between
-    -3 and 8 dB SNR.
+    -3 and 8 dB SNR.  Runs on the same sweep grid as the correlator
+    curves, so the result is independent of ``workers``.
     """
-    rng = np.random.default_rng(seed)
-    frame = _frame_waveforms("full", rng)
-    arrivals = _impaired_arrivals(frame)
-    points: list[DetectionPoint] = []
-    for snr_db in snrs_db:
-        detector = EnergyDifferentiator(threshold_high_db=threshold_db,
-                                        threshold_low_db=threshold_db)
-        scale = np.sqrt(units.db_to_linear(snr_db))
-        detected = 0
-        detections_total = 0
-        last = False
-        # Warm the detector so the cold-start rise is consumed.
-        detector.process(awgn(4 * detector.delay, 1.0, rng))
-        for _ in range(n_frames):
-            frame_25 = arrivals[rng.integers(0, len(arrivals))]
-            block = awgn(GUARD_SAMPLES + frame_25.size, 1.0, rng)
-            block[GUARD_SAMPLES:] += frame_25 * scale
-            trig_high, _trig_low = detector.process(block)
-            edges = rising_edges(trig_high, last)
-            last = bool(trig_high[-1])
-            in_frame = edges[edges >= GUARD_SAMPLES]
-            detections_total += in_frame.size
-            if in_frame.size:
-                detected += 1
-        points.append(DetectionPoint(
-            snr_db=snr_db,
-            detection_probability=detected / n_frames,
-            mean_detections_per_frame=detections_total / n_frames,
-            n_frames=n_frames,
-        ))
-    return points
+    specs = [
+        _CurveTrialSpec(frame_kind="full", snr_db=snr_db,
+                        n_frames=batch, frame_seed=seed,
+                        energy_threshold_db=threshold_db)
+        for snr_db in snrs_db
+        for batch in _trial_batches(n_frames)
+    ]
+    outcomes = run_sweep(_energy_trial, specs, workers=workers,
+                        seed_root=seed, telemetry=telemetry)
+    return _merge_points(snrs_db, specs, outcomes)

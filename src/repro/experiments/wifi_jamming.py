@@ -11,6 +11,7 @@ the target SIR at the access point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,10 @@ from repro.mac.iperf import IperfReport, UdpBandwidthTest
 from repro.mac.medium import Medium
 from repro.mac.nodes import AccessPoint, JammerNode, Station
 from repro.mac.simkernel import SimKernel
+from repro.runtime.sweep import sweep as run_sweep
+
+if TYPE_CHECKING:
+    from repro.telemetry.session import Telemetry
 
 #: Node-name to network-port assignment (paper Fig. 9).  The jammer
 #: transmits on port 4 and listens on port 5.
@@ -145,14 +150,41 @@ class WifiJammingTestbed:
 
     def sweep(self, sir_values_db: list[float] | None = None,
               personalities: list[JammerPersonality] | None = None,
-              seed: int = 1) -> list[JammingSweepPoint]:
-        """Figs. 10/11: the full personality x SIR grid plus jammer-off."""
+              seed: int = 1, workers: int = 1,
+              telemetry: "Telemetry | None" = None
+              ) -> list[JammingSweepPoint]:
+        """Figs. 10/11: the full personality x SIR grid plus jammer-off.
+
+        Every grid point already seeds its own generator inside
+        :meth:`run_point`, so fanning the grid out over ``workers``
+        processes returns byte-identical results to the serial run.
+        """
         sir_values_db = sir_values_db if sir_values_db is not None \
             else PAPER_SIR_SWEEP_DB
         personalities = personalities if personalities is not None \
             else paper_personalities()
-        points = [self.run_point(None, None, seed=seed)]
-        for personality in personalities:
-            for sir_db in sir_values_db:
-                points.append(self.run_point(personality, sir_db, seed=seed))
-        return points
+        grid: list[tuple[WifiJammingTestbed,
+                         JammerPersonality | None, float | None, int]] = [
+            (self, None, None, seed)
+        ]
+        grid.extend((self, personality, sir_db, seed)
+                    for personality in personalities
+                    for sir_db in sir_values_db)
+        groups = run_sweep(_sweep_point_task, grid, workers=workers,
+                           seed_root=seed, telemetry=telemetry)
+        return [group[0] for group in groups]
+
+
+def _sweep_point_task(spec: tuple[WifiJammingTestbed,
+                                  JammerPersonality | None,
+                                  float | None, int],
+                      rng: np.random.Generator) -> JammingSweepPoint:
+    """One grid point as a picklable SweepRunner task.
+
+    The sweep-provided ``rng`` is deliberately unused: ``run_point``
+    seeds itself from the user-facing ``seed``, which keeps the
+    parallel sweep byte-identical to the historical serial loop.
+    """
+    del rng
+    testbed, personality, sir_db, seed = spec
+    return testbed.run_point(personality, sir_db, seed=seed)

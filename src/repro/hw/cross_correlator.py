@@ -26,6 +26,8 @@ import numpy as np
 from repro.dsp.fixed_point import COEFF3, sign_bits_iq
 from repro.errors import ConfigurationError, StreamError
 from repro.hw.register_map import CORRELATOR_LENGTH
+from repro.runtime.buffers import ScratchBuffer
+from repro.runtime.cache import cached_artifact
 
 #: Pipeline latency from last-sample arrival to trigger assertion, in
 #: FPGA clock cycles.  The comparator output registers once.
@@ -36,12 +38,17 @@ PIPELINE_LATENCY_CLOCKS = 1
 METRIC_MAX = 2 * (CORRELATOR_LENGTH * 8) ** 2
 
 
+@cached_artifact
 def quantize_coefficients(template: np.ndarray) -> tuple[np.ndarray, np.ndarray]:  # repro-lint: disable=RJ003 (host-side offline step, not datapath)
     """Quantize a complex template to 3-bit signed I/Q coefficients.
 
     The host generates these offline from knowledge of the standard's
     preamble (paper §2.3).  The template is scaled so its largest
     component magnitude maps to the 3-bit maximum (+3), then rounded.
+
+    Memoized by template content (:mod:`repro.runtime.cache`): the
+    returned banks are frozen read-only arrays shared by every caller;
+    :meth:`CrossCorrelator.load_coefficients` copies them anyway.
 
     Returns:
         ``(coeffs_i, coeffs_q)`` int arrays of length 64 in [-4, 3].
@@ -76,8 +83,13 @@ class CrossCorrelator:
         if coeffs_i is not None or coeffs_q is not None:
             self.load_coefficients(coeffs_i, coeffs_q)
         self.threshold = threshold
-        self._history_i = np.zeros(CORRELATOR_LENGTH - 1, dtype=np.int8)
-        self._history_q = np.zeros(CORRELATOR_LENGTH - 1, dtype=np.int8)
+        # History is kept int64-native so the correlation window never
+        # needs a per-chunk astype; the scratch buffers carry the
+        # [history | chunk] window across calls without reallocating.
+        self._history_i = np.zeros(CORRELATOR_LENGTH - 1, dtype=np.int64)
+        self._history_q = np.zeros(CORRELATOR_LENGTH - 1, dtype=np.int64)
+        self._scratch_i = ScratchBuffer(np.int64)
+        self._scratch_q = ScratchBuffer(np.int64)
 
     @property
     def threshold(self) -> int:
@@ -134,18 +146,24 @@ class CrossCorrelator:
         if samples.size == 0:
             return np.zeros(0, dtype=np.int64)
         sign_i, sign_q = sign_bits_iq(samples)
-        full_i = np.concatenate([self._history_i, sign_i]).astype(np.int64)
-        full_q = np.concatenate([self._history_q, sign_q]).astype(np.int64)
+        history = CORRELATOR_LENGTH - 1
+        window = history + samples.size
+        full_i = self._scratch_i.view(window)
+        full_q = self._scratch_q.view(window)
+        full_i[:history] = self._history_i
+        full_q[:history] = self._history_q
+        full_i[history:] = sign_i  # int8 -> int64 widening on assignment
+        full_q[history:] = sign_q
         # corr_re[n] = sum_k (cI*sI + cQ*sQ), corr_im[n] = sum_k (cI*sQ - cQ*sI)
         # np.correlate(x, c, 'valid')[n] = sum_k x[n+k]*c[k]
         corr_re = (np.correlate(full_i, self._coeffs_i, mode="valid")
                    + np.correlate(full_q, self._coeffs_q, mode="valid"))
         corr_im = (np.correlate(full_q, self._coeffs_i, mode="valid")
                    - np.correlate(full_i, self._coeffs_q, mode="valid"))
-        self._history_i = sign_i[-(CORRELATOR_LENGTH - 1):] if sign_i.size >= CORRELATOR_LENGTH - 1 \
-            else np.concatenate([self._history_i[sign_i.size:], sign_i])
-        self._history_q = sign_q[-(CORRELATOR_LENGTH - 1):] if sign_q.size >= CORRELATOR_LENGTH - 1 \
-            else np.concatenate([self._history_q[sign_q.size:], sign_q])
+        # The new history is the last 63 window entries; the scratch is
+        # distinct storage, so this is safe for any chunk size.
+        self._history_i[:] = full_i[samples.size:]
+        self._history_q[:] = full_q[samples.size:]
         return corr_re ** 2 + corr_im ** 2
 
     def process(self, samples: np.ndarray) -> np.ndarray:

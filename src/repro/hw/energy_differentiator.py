@@ -22,6 +22,7 @@ import numpy as np
 
 from repro import units
 from repro.errors import ConfigurationError, StreamError
+from repro.runtime.buffers import ScratchBuffer
 
 #: Moving-sum window length in samples (paper's implementation).
 DEFAULT_WINDOW = 32
@@ -56,6 +57,11 @@ class EnergyDifferentiator:
         # the last `delay` sums (for the comparison delay line).
         self._energy_tail = np.zeros(window, dtype=np.float64)
         self._sum_tail = np.zeros(delay, dtype=np.float64)
+        # Reusable [tail | chunk] assembly buffers: padding and cumsum
+        # happen in scratch storage instead of fresh per-chunk arrays.
+        self._pad_scratch = ScratchBuffer(np.float64)
+        self._csum_scratch = ScratchBuffer(np.float64)
+        self._delay_scratch = ScratchBuffer(np.float64)
 
     @staticmethod
     def _check_threshold(value_db: float) -> float:  # repro-lint: disable=RJ003 (host-side dB validation, not datapath)
@@ -108,16 +114,16 @@ class EnergyDifferentiator:
             raise StreamError("EnergyDifferentiator expects a 1-D chunk")
         if samples.size == 0:
             return np.zeros(0, dtype=np.float64)
-        energy = np.abs(samples.astype(np.complex128)) ** 2
-        padded = np.concatenate([self._energy_tail, energy])
-        csum = np.cumsum(padded)
+        energy = np.abs(np.asarray(samples, dtype=np.complex128)) ** 2
+        padded = self._pad_scratch.view(self._window + energy.size)
+        padded[:self._window] = self._energy_tail
+        padded[self._window:] = energy
+        csum = self._csum_scratch.view(padded.size)
+        np.cumsum(padded, out=csum)
         sums = csum[self._window:] - csum[:-self._window]
-        if energy.size >= self._window:
-            self._energy_tail = energy[-self._window:].copy()
-        else:
-            self._energy_tail = np.concatenate(
-                [self._energy_tail[energy.size:], energy]
-            )
+        # New tail = last `window` entries of [tail | energy]; the
+        # scratch is distinct storage, so this holds for any chunk size.
+        self._energy_tail[:] = padded[energy.size:]
         return sums
 
     def process(self, samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -126,12 +132,11 @@ class EnergyDifferentiator:
         if sums.size == 0:
             empty = np.zeros(0, dtype=bool)
             return empty, empty
-        delayed_full = np.concatenate([self._sum_tail, sums])
+        delayed_full = self._delay_scratch.view(self._delay + sums.size)
+        delayed_full[:self._delay] = self._sum_tail
+        delayed_full[self._delay:] = sums
         delayed = delayed_full[:sums.size]
-        if sums.size >= self._delay:
-            self._sum_tail = sums[-self._delay:].copy()
-        else:
-            self._sum_tail = delayed_full[-self._delay:].copy()
+        self._sum_tail[:] = delayed_full[sums.size:]
         trigger_high = sums > delayed * self._threshold_high
         trigger_low = sums * self._threshold_low < delayed
         return trigger_high, trigger_low

@@ -163,14 +163,24 @@ class UsrpN210:
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
         rx_signal = np.asarray(rx_signal, dtype=np.complex128)
-        tx_parts: list[np.ndarray] = []
+        # The data path is length-preserving chunk by chunk, so the
+        # whole transmit waveform is written into one preallocated
+        # array instead of a per-chunk list merged at the end.
+        tx = np.zeros(rx_signal.size, dtype=np.complex128)
         detections = []
         jams = []
+        filled = 0
         for start in range(0, rx_signal.size, chunk_size):
             out = self.process(rx_signal[start:start + chunk_size])
-            tx_parts.append(out.tx)
+            end = filled + out.tx.size
+            if end > tx.size:  # defensive: a stage grew the chunk
+                tx = np.concatenate([tx[:filled], out.tx])
+                end = tx.size
+            else:
+                tx[filled:end] = out.tx
+            filled = end
             detections.extend(out.detections)
             jams.extend(out.jams)
-        tx = np.concatenate(tx_parts) if tx_parts \
-            else np.zeros(0, dtype=np.complex128)
+        if filled != tx.size:
+            tx = tx[:filled]
         return CoreOutput(tx=tx, detections=detections, jams=jams)

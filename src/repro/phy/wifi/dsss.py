@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.runtime.cache import cached_artifact
 
 #: Barker-11 spreading sequence (IEEE 802.11-2012 §17.4.6.6).
 BARKER = np.array([1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1], dtype=np.int8)
@@ -79,6 +80,7 @@ def preamble_bits() -> np.ndarray:
     return np.concatenate([sync, sfd])
 
 
+@cached_artifact
 def long_preamble_waveform() -> np.ndarray:
     """The 144-bit long PLCP preamble at 22 MSPS, unit power.
 

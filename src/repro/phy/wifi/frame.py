@@ -25,6 +25,7 @@ from repro.phy.scrambler import scramble
 from repro.phy.wifi import params as p
 from repro.phy.wifi.preamble import long_preamble, short_preamble
 from repro.phy.wifi.signal_field import signal_to_coded_symbol
+from repro.runtime.cache import cached_artifact
 
 
 @dataclass(frozen=True)
@@ -92,11 +93,16 @@ def build_signal_field(psdu_length: int, rate: p.WifiRate) -> np.ndarray:
     return _assemble_symbol(points, symbol_index=0)
 
 
+@cached_artifact
 def build_ppdu(psdu: bytes, config: WifiFrameConfig | None = None) -> np.ndarray:
     """A complete 802.11g OFDM PPDU at 20 MSPS, unit average power.
 
     This is the paper's "complete WiFi frame with 10 short preambles,
     2 long preambles, the SIGNAL symbol, and the payload".
+
+    Memoized by ``(psdu, config)`` content: repeated builds of the
+    same frame (every detection trial, every benchmark round) return
+    one shared read-only waveform.  Copy before mutating.
     """
     if not psdu:
         raise ConfigurationError("PSDU must not be empty")

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.phy.wifi.params import WIFI_OFDM
+from repro.runtime.cache import cached_artifact
 
 # Short-training frequency values: nonzero on multiples of 4.
 _SHORT_CARRIERS = np.array([-24, -20, -16, -12, -8, -4, 4, 8, 12, 16, 20, 24])
@@ -47,6 +48,7 @@ def _unit_power(samples: np.ndarray) -> np.ndarray:
     return samples / np.sqrt(power)
 
 
+@cached_artifact
 def short_training_symbol() -> np.ndarray:
     """One 16-sample period of the short training sequence (unit power)."""
     freq = np.zeros(WIFI_OFDM.fft_size, dtype=np.complex128)
@@ -56,11 +58,13 @@ def short_training_symbol() -> np.ndarray:
     return _unit_power(time[:SHORT_PERIOD])
 
 
+@cached_artifact
 def short_preamble() -> np.ndarray:
     """The full 160-sample (8 us) short training field, unit power."""
     return np.tile(short_training_symbol(), SHORT_REPEATS)
 
 
+@cached_artifact
 def long_training_symbol() -> np.ndarray:
     """One 64-sample (3.2 us) long training symbol, unit power.
 
@@ -73,6 +77,7 @@ def long_training_symbol() -> np.ndarray:
     return _unit_power(time)
 
 
+@cached_artifact
 def long_preamble() -> np.ndarray:
     """The full 160-sample (8 us) long training field: GI2 + 2 symbols."""
     symbol = long_training_symbol()

@@ -34,6 +34,7 @@ from repro.dsp.ofdm import ofdm_modulate
 from repro.dsp.sequences import pn_sequence
 from repro.errors import ConfigurationError
 from repro.phy.wimax import params as p
+from repro.runtime.cache import cached_artifact
 
 
 def preamble_carriers(segment: int) -> np.ndarray:
@@ -62,6 +63,7 @@ def preamble_pn_sequence(cell_id: int, segment: int) -> np.ndarray:
     return pn_sequence(p.PREAMBLE_PN_LENGTH, seed=seed & 0x7FF or 11)
 
 
+@cached_artifact
 def preamble_symbol(cell_id: int = 1, segment: int = 0) -> np.ndarray:
     """One preamble OFDMA symbol (CP included) at unit average power.
 

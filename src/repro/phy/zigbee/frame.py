@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.phy.zigbee import params as p
+from repro.runtime.cache import cached_artifact
 
 
 def _rail(chips: np.ndarray, n_total_chips: int) -> np.ndarray:
@@ -69,6 +70,7 @@ def build_ppdu(psdu: bytes) -> np.ndarray:
     return oqpsk_modulate(chips)
 
 
+@cached_artifact
 def preamble_waveform() -> np.ndarray:
     """Just the 128 us preamble (8 zero symbols), for templates."""
     symbols = np.zeros(p.PREAMBLE_SYMBOLS, dtype=np.uint8)

@@ -1,0 +1,45 @@
+"""Execution runtime: parallel sweeps, artifact caching, buffer reuse.
+
+The paper's evaluation is Monte-Carlo heavy — 10,000 frames per SNR
+point for the detection curves, repeated iperf trials for the link
+experiments — and the reproduction needs the same sweeps to finish in
+benchmark time.  This package owns the three mechanisms that make
+that possible without touching the science:
+
+* :mod:`repro.runtime.sweep` — a process-pool fan-out engine for
+  embarrassingly-parallel trial grids with deterministic per-trial
+  seeding (``workers=1`` is byte-identical to ``workers=N``);
+* :mod:`repro.runtime.cache` — a content-addressed in-process cache
+  for expensive deterministic artifacts (PPDUs, preambles, quantized
+  coefficient banks, resampled templates);
+* :mod:`repro.runtime.buffers` — grow-only scratch buffers the
+  streaming hot path reuses across chunks instead of reallocating.
+
+Pool policy lives here and only here: repro-lint rule RJ008 flags any
+other module constructing ``ProcessPoolExecutor`` / ``multiprocessing``
+primitives directly, the same single-choke-point discipline RJ006
+applies to the register bus.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.buffers import ScratchBuffer
+from repro.runtime.cache import (
+    DEFAULT_CACHE,
+    ArtifactCache,
+    cache_key,
+    cached_artifact,
+    freeze_artifact,
+)
+from repro.runtime.sweep import SweepRunner, sweep
+
+__all__ = [
+    "ArtifactCache",
+    "DEFAULT_CACHE",
+    "ScratchBuffer",
+    "SweepRunner",
+    "cache_key",
+    "cached_artifact",
+    "freeze_artifact",
+    "sweep",
+]

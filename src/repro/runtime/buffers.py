@@ -1,0 +1,58 @@
+"""Grow-only scratch buffers for the streaming hot path.
+
+The streaming blocks process arbitrary chunks, and the naive way to
+assemble ``[history | chunk]`` windows is ``np.concatenate`` — a fresh
+allocation (and a dtype cast, for the sign-bit correlator) on every
+chunk.  At benchmark chunk rates that allocation churn is a measurable
+fraction of the wall time.  A :class:`ScratchBuffer` keeps one
+reusable array per call site: it grows monotonically to the largest
+request seen and hands back views, so a steady-state chunk loop
+allocates nothing.
+
+Views returned by :meth:`ScratchBuffer.view` alias the underlying
+storage, so they are only valid until the next ``view`` call on the
+same buffer — exactly the within-one-``process``-call lifetime the
+streaming blocks need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ScratchBuffer:
+    """One reusable, monotonically-growing scratch array.
+
+    Attributes:
+        dtype: Element type of the backing storage (fixed at creation).
+        grows: Number of times the backing storage was (re)allocated —
+            a steady-state chunk loop should stop growing after the
+            first few chunks, and tests assert exactly that.
+    """
+
+    def __init__(self, dtype: np.dtype | type) -> None:
+        self.dtype = np.dtype(dtype)
+        self._storage = np.empty(0, dtype=self.dtype)
+        self.grows = 0
+
+    @property
+    def capacity(self) -> int:
+        """Current backing-storage size in elements."""
+        return self._storage.size
+
+    def view(self, n: int) -> np.ndarray:
+        """A length-``n`` view over the scratch storage (uninitialized).
+
+        Grows the backing array if ``n`` exceeds the current capacity;
+        otherwise no allocation happens.  The contents are whatever the
+        previous use left behind — callers must overwrite every element
+        they read.
+        """
+        if n < 0:
+            raise ConfigurationError("scratch view length must be >= 0")
+        if n > self._storage.size:
+            self._storage = np.empty(n, dtype=self.dtype)
+            self.grows += 1
+        return self._storage[:n]

@@ -1,0 +1,214 @@
+"""Content-addressed in-process cache for deterministic artifacts.
+
+Every experiment and benchmark rebuilds the same PPDUs, preambles,
+quantized coefficient banks, and resampled templates on every call —
+all deterministic functions of a small config.  This module memoizes
+them behind a content-addressed key: the hash of the fully-qualified
+builder name plus a canonical encoding of its arguments (dataclass
+configs hash field-by-field, arrays hash their dtype/shape/bytes), so
+two call sites asking for the same artifact share one build.
+
+Cached artifacts are **frozen**: ndarrays come back with
+``writeable=False`` and are shared between all callers.  A consumer
+that needs to mutate one must copy it — attempting an in-place write
+raises immediately rather than silently corrupting every other
+consumer's view of the artifact.
+
+The cache is in-process and unbounded; ``clear()`` empties it (the
+benchmarks use this to measure cold-vs-warm build times).  Hit/miss
+counters are kept locally and, when a
+:class:`repro.telemetry.metrics.MetricsRegistry` is attached, folded
+into it as ``runtime.cache.hits`` / ``runtime.cache.misses``.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import hashlib
+import threading
+from collections.abc import Callable, Iterator
+from dataclasses import fields, is_dataclass
+from fractions import Fraction
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # telemetry does not import runtime; keep it that way
+    from repro.telemetry.metrics import MetricsRegistry
+
+#: Metric names the cache folds its counters into when attached.
+HITS_COUNTER = "runtime.cache.hits"
+MISSES_COUNTER = "runtime.cache.misses"
+
+
+def _tokens(value: Any) -> Iterator[bytes]:
+    """Canonical byte tokens for one key component.
+
+    Each branch emits a type tag before the payload so that, e.g.,
+    ``1`` and ``1.0`` and ``True`` produce distinct keys.
+    """
+    if value is None:
+        yield b"N"
+    elif isinstance(value, bool):
+        yield b"B1" if value else b"B0"
+    elif isinstance(value, int):
+        yield b"I" + str(value).encode()
+    elif isinstance(value, float):
+        yield b"F" + value.hex().encode()
+    elif isinstance(value, complex):
+        yield b"C" + value.real.hex().encode() + b"," + value.imag.hex().encode()
+    elif isinstance(value, str):
+        yield b"S" + value.encode()
+    elif isinstance(value, (bytes, bytearray)):
+        yield b"Y" + bytes(value)
+    elif isinstance(value, enum.Enum):
+        yield b"E" + type(value).__qualname__.encode() + b"." + value.name.encode()
+    elif isinstance(value, Fraction):
+        yield b"Q" + str(value).encode()
+    elif isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        yield (b"A" + array.dtype.str.encode()
+               + b"(" + ",".join(map(str, array.shape)).encode() + b")")
+        yield array.tobytes()
+    elif isinstance(value, np.generic):
+        yield from _tokens(value.item())
+    elif is_dataclass(value) and not isinstance(value, type):
+        yield b"D" + type(value).__qualname__.encode()
+        for field in fields(value):
+            yield b"." + field.name.encode()
+            yield from _tokens(getattr(value, field.name))
+    elif isinstance(value, (tuple, list)):
+        yield b"T(" if isinstance(value, tuple) else b"L("
+        for item in value:
+            yield from _tokens(item)
+        yield b")"
+    elif isinstance(value, dict):
+        yield b"M("
+        for key in sorted(value, key=repr):
+            yield from _tokens(key)
+            yield b"="
+            yield from _tokens(value[key])
+        yield b")"
+    else:
+        raise ConfigurationError(
+            f"cannot derive a content-addressed key from {type(value).__name__}; "
+            "cache keys must be built from scalars, strings, bytes, enums, "
+            "arrays, dataclasses, and containers of those"
+        )
+
+
+def cache_key(*parts: Any) -> str:
+    """SHA-256 content address of an artifact's identity.
+
+    ``parts`` is typically ``(module, qualname, args, kwargs)``; any
+    nesting of the types :func:`_tokens` understands works.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        for token in _tokens(part):
+            digest.update(token)
+            digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def freeze_artifact(value: Any) -> Any:
+    """Make an artifact safe to share: mark every ndarray read-only.
+
+    Containers (tuples/lists) are frozen element-wise; lists become
+    tuples so the container itself is immutable too.  Non-array leaves
+    pass through unchanged.
+    """
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(freeze_artifact(item) for item in value)
+    return value
+
+
+class ArtifactCache:
+    """Content-addressed store with hit/miss accounting.
+
+    Thread-safe for concurrent lookups; builders may run more than
+    once under a race, but the first stored value wins so every caller
+    sees one canonical artifact.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self._metrics: "MetricsRegistry | None" = None
+
+    def attach_metrics(self, registry: "MetricsRegistry | None") -> None:
+        """Fold hit/miss counters into a telemetry registry (or detach).
+
+        The backlog accumulated before attachment is folded in so the
+        registry's counters always equal the cache's own totals.
+        """
+        with self._lock:
+            self._metrics = registry
+            if registry is not None:
+                registry.counter(HITS_COUNTER).inc(self.hits)
+                registry.counter(MISSES_COUNTER).inc(self.misses)
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        """The artifact under ``key``, building (and freezing) on miss."""
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                if self._metrics is not None:
+                    self._metrics.counter(HITS_COUNTER).inc()
+                return self._store[key]
+        value = freeze_artifact(builder())
+        with self._lock:
+            value = self._store.setdefault(key, value)
+            self.misses += 1
+            if self._metrics is not None:
+                self._metrics.counter(MISSES_COUNTER).inc()
+        return value
+
+    def clear(self) -> None:
+        """Drop every stored artifact (counters keep accumulating)."""
+        with self._lock:
+            self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict:
+        """Counters and occupancy as one plain dict."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._store),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+#: The process-wide cache every ``@cached_artifact`` builder shares.
+DEFAULT_CACHE = ArtifactCache()
+
+
+def cached_artifact(fn: Callable) -> Callable:
+    """Memoize a deterministic artifact builder in :data:`DEFAULT_CACHE`.
+
+    The key is the builder's fully-qualified name plus its arguments,
+    so equal configs share one (frozen) artifact across all call
+    sites, processes forked after warm-up, and repeated sweeps.  Only
+    apply this to pure functions of their arguments.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        key = cache_key(fn.__module__, fn.__qualname__, args,
+                        tuple(sorted(kwargs.items())))
+        return DEFAULT_CACHE.get_or_build(key, lambda: fn(*args, **kwargs))
+
+    return wrapper

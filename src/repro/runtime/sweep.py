@@ -1,0 +1,196 @@
+"""Process-pool fan-out for embarrassingly-parallel trial grids.
+
+The evaluation sweeps — detection probability over SNR (Figs. 6-8),
+iperf statistics over SIR (Figs. 10-11) — are grids of independent
+trials.  :class:`SweepRunner` fans a grid out over a process pool with
+three guarantees the experiments rely on:
+
+* **Determinism.** Every trial gets its own generator,
+  ``numpy.random.default_rng(seed_root + trial_index)``, where the
+  trial index is the task's position in the flattened
+  ``points x trials`` grid.  Seeds depend only on grid position, never
+  on scheduling, so ``workers=N`` is byte-identical to the serial
+  ``workers=1`` path (floats round-trip exactly through pickle).
+* **Ordered gathering.** Results come back grouped by point, trials in
+  order, regardless of completion order.
+* **Bounded IPC.** Tasks are submitted in chunks so a 10,000-trial
+  grid does not pay 10,000 pickle round-trips.
+
+Trial functions must be module-level callables (the pool pickles them
+by reference) and should be pure functions of ``(point, rng)``.
+
+This module is the repo's one pool-policy choke point: repro-lint
+RJ008 flags ``ProcessPoolExecutor``/``multiprocessing`` construction
+anywhere else under ``src/``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # telemetry never imports runtime; one-way dependency
+    from repro.telemetry.session import Telemetry
+
+#: Chunks submitted per worker when no explicit chunk size is given —
+#: enough slack for load balancing, few enough for cheap IPC.
+CHUNKS_PER_WORKER = 4
+
+#: Counter/gauge names folded into an attached MetricsRegistry.
+TASKS_COUNTER = "runtime.sweep.tasks"
+CHUNKS_COUNTER = "runtime.sweep.chunks"
+SWEEPS_COUNTER = "runtime.sweep.runs"
+WORKERS_GAUGE = "runtime.sweep.workers"
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One (point, trial) cell of the flattened sweep grid."""
+
+    index: int
+    point: Any
+    seed: int
+
+
+def _run_chunk(fn: Callable[[Any, np.random.Generator], Any],
+               tasks: Sequence[_Task]) -> list[tuple[int, Any]]:
+    """Worker-side execution of one chunk of tasks, results indexed."""
+    return [(task.index, fn(task.point, np.random.default_rng(task.seed)))
+            for task in tasks]
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits warm caches), else default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        return multiprocessing.get_context()
+
+
+class SweepRunner:
+    """Deterministic fan-out engine for trial grids.
+
+    Attributes:
+        workers: Pool size; ``1`` runs serially in-process (the
+            reference path the parallel one must match byte-for-byte).
+        seed_root: Base of the per-trial seeding discipline.
+        chunk_size: Tasks per pool submission; ``None`` derives one
+            from the grid size and worker count.
+        telemetry: Optional :class:`repro.telemetry.session.Telemetry`
+            bundle; when given, task/chunk counters and the worker
+            gauge are folded into its metrics registry.
+        progress: Optional ``callback(done, total)`` invoked after
+            every completed task (serial) or chunk (parallel).
+    """
+
+    def __init__(self, workers: int = 1, seed_root: int = 0,
+                 chunk_size: int | None = None,
+                 telemetry: "Telemetry | None" = None,
+                 progress: Callable[[int, int], None] | None = None) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        self.workers = int(workers)
+        self.seed_root = int(seed_root)
+        self.chunk_size = chunk_size
+        self.telemetry = telemetry
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def _chunked(self, tasks: list[_Task]) -> list[list[_Task]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(tasks)
+                                    / (self.workers * CHUNKS_PER_WORKER)))
+        return [tasks[i:i + size] for i in range(0, len(tasks), size)]
+
+    def _record(self, tasks: int, chunks: int, elapsed_s: float) -> None:
+        if self.telemetry is None:
+            return
+        metrics = self.telemetry.metrics
+        metrics.counter(SWEEPS_COUNTER).inc()
+        metrics.counter(TASKS_COUNTER).inc(tasks)
+        metrics.counter(CHUNKS_COUNTER).inc(chunks)
+        metrics.gauge(WORKERS_GAUGE).set(self.workers)
+        metrics.histogram("runtime.sweep.run_seconds",
+                          bounds=(0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+                          ).observe(elapsed_s)
+
+    def sweep(self, fn: Callable[[Any, np.random.Generator], Any],
+              points: Iterable[Any], trials: int = 1) -> list[list[Any]]:
+        """Run ``fn(point, rng)`` for every (point, trial) cell.
+
+        Returns one list per point holding its ``trials`` results in
+        trial order.  A trial that raises aborts the whole sweep and
+        re-raises in the caller.
+        """
+        if trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        point_list = list(points)
+        tasks = [
+            _Task(index=point_index * trials + trial,
+                  point=point,
+                  seed=self.seed_root + point_index * trials + trial)
+            for point_index, point in enumerate(point_list)
+            for trial in range(trials)
+        ]
+        start = time.perf_counter()
+        if not tasks:
+            self._record(0, 0, time.perf_counter() - start)
+            return []
+        chunks = self._chunked(tasks)
+        results: list[Any] = [None] * len(tasks)
+        if self.workers == 1:
+            done = 0
+            for task in tasks:
+                results[task.index] = fn(
+                    task.point, np.random.default_rng(task.seed))
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, len(tasks))
+        else:
+            self._gather(fn, chunks, results, len(tasks))
+        self._record(len(tasks), len(chunks), time.perf_counter() - start)
+        return [results[p * trials:(p + 1) * trials]
+                for p in range(len(point_list))]
+
+    def _gather(self, fn: Callable[[Any, np.random.Generator], Any],
+                chunks: list[list[_Task]], results: list[Any],
+                total: int) -> None:
+        """Fan chunks out over the pool and place results by index."""
+        done = 0
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=_pool_context()) as pool:
+            pending = {pool.submit(_run_chunk, fn, chunk) for chunk in chunks}
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    for index, value in future.result():
+                        results[index] = value
+                        done += 1
+                    if self.progress is not None:
+                        self.progress(done, total)
+
+
+def sweep(fn: Callable[[Any, np.random.Generator], Any],
+          points: Iterable[Any], trials: int = 1, workers: int = 1,
+          seed_root: int = 0, chunk_size: int | None = None,
+          telemetry: "Telemetry | None" = None,
+          progress: Callable[[int, int], None] | None = None
+          ) -> list[list[Any]]:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(workers=workers, seed_root=seed_root,
+                         chunk_size=chunk_size, telemetry=telemetry,
+                         progress=progress)
+    return runner.sweep(fn, points, trials)

@@ -387,3 +387,81 @@ class TestRJ007WallClockInModel:
             def check(values):
                 return monotonic(values)
             """, "src/repro/hw/good.py")
+
+
+class TestRJ008AdHocProcessPool:
+    def test_fires_on_process_pool_executor(self):
+        found = _run("RJ008", """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out(jobs):
+                with ProcessPoolExecutor(max_workers=4) as pool:
+                    return list(pool.map(len, jobs))
+            """, "src/repro/experiments/bad.py")
+        assert len(found) == 1
+        assert "ProcessPoolExecutor" in found[0].message
+
+    def test_fires_on_multiprocessing_pool(self):
+        found = _run("RJ008", """\
+            import multiprocessing
+
+            def fan_out(jobs):
+                with multiprocessing.Pool(4) as pool:
+                    return pool.map(len, jobs)
+            """, "src/repro/experiments/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_aliased_futures_module(self):
+        found = _run("RJ008", """\
+            import concurrent.futures as cf
+
+            def fan_out(jobs):
+                return cf.ProcessPoolExecutor(max_workers=2)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_context_pool(self):
+        found = _run("RJ008", """\
+            import multiprocessing
+
+            def fan_out():
+                return multiprocessing.get_context("fork").Pool(2)
+            """, "src/repro/apps/bad.py")
+        assert len(found) == 1
+
+    def test_runtime_package_is_exempt(self):
+        assert not _run("RJ008", """\
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            def pool(workers):
+                return ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=multiprocessing.get_context("fork"))
+            """, "src/repro/runtime/sweep.py")
+
+    def test_tests_are_exempt(self):
+        assert not _run("RJ008", """\
+            from concurrent.futures import ProcessPoolExecutor
+
+            def helper():
+                return ProcessPoolExecutor(max_workers=2)
+            """, "tests/runtime/test_sweep.py")
+
+    def test_name_collision_without_import_is_clean(self):
+        assert not _run("RJ008", """\
+            class Pool:
+                pass
+
+            def make():
+                return Pool()
+            """, "src/repro/apps/good.py")
+
+    def test_thread_pool_is_clean(self):
+        assert not _run("RJ008", """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fan_out(jobs):
+                with ThreadPoolExecutor(max_workers=4) as pool:
+                    return list(pool.map(len, jobs))
+            """, "src/repro/experiments/good.py")

@@ -1,0 +1,56 @@
+"""Tests for the grow-only scratch buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.buffers import ScratchBuffer
+
+
+class TestScratchBuffer:
+    def test_view_has_requested_length_and_dtype(self):
+        scratch = ScratchBuffer(np.int64)
+        view = scratch.view(17)
+        assert view.size == 17
+        assert view.dtype == np.int64
+
+    def test_grows_monotonically(self):
+        scratch = ScratchBuffer(np.float64)
+        scratch.view(8)
+        assert scratch.capacity == 8
+        assert scratch.grows == 1
+        scratch.view(32)
+        assert scratch.capacity == 32
+        assert scratch.grows == 2
+        # Shrinking requests never reallocate.
+        scratch.view(4)
+        scratch.view(32)
+        assert scratch.capacity == 32
+        assert scratch.grows == 2
+
+    def test_steady_state_allocates_nothing(self):
+        scratch = ScratchBuffer(np.float64)
+        base = scratch.view(100)
+        for _ in range(50):
+            view = scratch.view(100)
+            assert np.shares_memory(view, base)
+        assert scratch.grows == 1
+
+    def test_views_alias_storage(self):
+        scratch = ScratchBuffer(np.int64)
+        first = scratch.view(10)
+        first[:] = 7
+        second = scratch.view(5)
+        assert np.all(second == 7)
+
+    def test_zero_length_view(self):
+        scratch = ScratchBuffer(np.complex128)
+        assert scratch.view(0).size == 0
+        assert scratch.grows == 0
+
+    def test_negative_length_rejected(self):
+        scratch = ScratchBuffer(np.int64)
+        with pytest.raises(ConfigurationError):
+            scratch.view(-1)

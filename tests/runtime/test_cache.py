@@ -1,0 +1,171 @@
+"""Tests for the content-addressed artifact cache."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import (
+    HITS_COUNTER,
+    MISSES_COUNTER,
+    ArtifactCache,
+    cache_key,
+    cached_artifact,
+    freeze_artifact,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class _Config:
+    name: str
+    length: int
+    scale: float
+
+
+class _Mode(enum.Enum):
+    FAST = 1
+    SLOW = 2
+
+
+class TestCacheKey:
+    def test_stable_for_equal_inputs(self):
+        a = cache_key("mod", "fn", (_Config("x", 3, 1.5),))
+        b = cache_key("mod", "fn", (_Config("x", 3, 1.5),))
+        assert a == b
+
+    def test_type_tags_distinguish_scalars(self):
+        # 1, 1.0, and True are == in python; their keys must differ.
+        keys = {cache_key(1), cache_key(1.0), cache_key(True)}
+        assert len(keys) == 3
+
+    def test_field_changes_change_key(self):
+        base = cache_key(_Config("x", 3, 1.5))
+        assert cache_key(_Config("x", 4, 1.5)) != base
+        assert cache_key(_Config("y", 3, 1.5)) != base
+
+    def test_array_content_dtype_and_shape_matter(self):
+        flat = np.arange(6, dtype=np.int64)
+        base = cache_key(flat)
+        assert cache_key(flat.astype(np.int32)) != base
+        assert cache_key(flat.reshape(2, 3)) != base
+        bumped = flat.copy()
+        bumped[0] += 1
+        assert cache_key(bumped) != base
+
+    def test_containers_enums_and_none(self):
+        assert cache_key([1, 2]) != cache_key((1, 2))
+        assert cache_key(_Mode.FAST) != cache_key(_Mode.SLOW)
+        assert cache_key(None) != cache_key("")
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+
+    def test_unkeyable_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cache_key(object())
+
+
+class TestFreezeArtifact:
+    def test_arrays_come_back_read_only(self):
+        frozen = freeze_artifact(np.zeros(4))
+        with pytest.raises(ValueError):
+            frozen[0] = 1.0
+
+    def test_containers_freeze_element_wise(self):
+        frozen = freeze_artifact([np.zeros(2), np.ones(2)])
+        assert isinstance(frozen, tuple)
+        for item in frozen:
+            assert not item.flags.writeable
+
+    def test_scalars_pass_through(self):
+        assert freeze_artifact(7) == 7
+        assert freeze_artifact("x") == "x"
+
+
+class TestArtifactCache:
+    def test_miss_builds_then_hit_reuses(self):
+        cache = ArtifactCache()
+        builds = []
+
+        def build():
+            builds.append(1)
+            return np.arange(8)
+
+        first = cache.get_or_build("k", build)
+        second = cache.get_or_build("k", build)
+        assert first is second
+        assert len(builds) == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_clear_forces_rebuild_but_keeps_counters(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: 1)
+        cache.get_or_build("k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        cache.get_or_build("k", lambda: 2)
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    def test_stats_shape(self):
+        cache = ArtifactCache()
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("a", lambda: 1)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_attach_metrics_folds_backlog_and_live_counts(self):
+        cache = ArtifactCache()
+        cache.get_or_build("a", lambda: 1)   # miss before attach
+        cache.get_or_build("a", lambda: 1)   # hit before attach
+        registry = MetricsRegistry()
+        cache.attach_metrics(registry)
+        cache.get_or_build("a", lambda: 1)   # hit after attach
+        cache.get_or_build("b", lambda: 2)   # miss after attach
+        counters = registry.snapshot()["counters"]
+        assert counters[HITS_COUNTER] == cache.hits == 2
+        assert counters[MISSES_COUNTER] == cache.misses == 2
+        # Detaching stops the folding without touching local counters.
+        cache.attach_metrics(None)
+        cache.get_or_build("a", lambda: 1)
+        assert registry.snapshot()["counters"][HITS_COUNTER] == 2
+        assert cache.hits == 3
+
+
+class TestCachedArtifact:
+    def test_memoizes_per_argument_set(self):
+        calls = []
+
+        @cached_artifact
+        def build(n: int) -> np.ndarray:
+            calls.append(n)
+            return np.arange(n, dtype=np.float64)
+
+        a = build(5)
+        b = build(5)
+        c = build(6)
+        assert a is b
+        assert c.size == 6
+        assert calls == [5, 6]
+        assert not a.flags.writeable
+
+    def test_kwargs_and_positional_spell_different_keys_consistently(self):
+        calls = []
+
+        @cached_artifact
+        def build(n: int = 3) -> int:
+            calls.append(n)
+            return n * 2
+
+        assert build(4) == build(4) == 8
+        assert build(n=4) == 8
+        # Positional and keyword spellings key separately (by design:
+        # the key is the literal call shape), but each is stable.
+        assert calls == [4, 4]
