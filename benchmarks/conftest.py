@@ -19,6 +19,7 @@ import pytest
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_TELEMETRY_PATH = _REPO_ROOT / "BENCH_telemetry.json"
 BENCH_RUNTIME_PATH = _REPO_ROOT / "BENCH_runtime.json"
+BENCH_KERNELS_PATH = _REPO_ROOT / "BENCH_kernels.json"
 
 
 def _record_fixture(path: Path):
@@ -41,3 +42,9 @@ def telemetry_record():
 def runtime_record():
     """A dict the runtime benchmarks drop their results into."""
     yield from _record_fixture(BENCH_RUNTIME_PATH)
+
+
+@pytest.fixture(scope="session")
+def kernels_record():
+    """A dict the kernel benchmarks drop their results into."""
+    yield from _record_fixture(BENCH_KERNELS_PATH)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.engine import Rule
 from repro.analysis.rules.bitexact import BitExactRule
+from repro.analysis.rules.dsp_primitives import DspPrimitiveRule
 from repro.analysis.rules.faults import BusConstructionRule
 from repro.analysis.rules.hygiene import HygieneRule
 from repro.analysis.rules.magic_numbers import MagicNumberRule
@@ -26,6 +27,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BusConstructionRule(),
     WallClockRule(),
     PoolConstructionRule(),
+    DspPrimitiveRule(),
 )
 
 _BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -13,17 +13,33 @@ from repro import units
 from repro.errors import ConfigurationError
 
 
-def awgn(n_samples: int, power: float, rng: np.random.Generator) -> np.ndarray:
-    """Complex white Gaussian noise of the given mean power."""
+def awgn(n_samples: int, power: float, rng: np.random.Generator,
+         out: np.ndarray | None = None) -> np.ndarray:
+    """Complex white Gaussian noise of the given mean power.
+
+    ``out`` (a length-``n_samples`` complex128 array) lets hot loops
+    synthesize noise in place.  The RNG draw order and the produced
+    values are identical with or without it: the real draws come
+    first, then the imaginary draws, each scaled by ``sqrt(power/2)``.
+    """
     if n_samples < 0:
         raise ConfigurationError("n_samples must be non-negative")
     if power < 0:
         raise ConfigurationError("noise power must be non-negative")
+    if out is None:
+        out = np.empty(n_samples, dtype=np.complex128)
+    elif out.shape != (n_samples,) or out.dtype != np.complex128:
+        raise ConfigurationError(
+            "awgn out must be a length-n_samples complex128 array"
+        )
     if power == 0.0:
-        return np.zeros(n_samples, dtype=np.complex128)
+        out[:] = 0.0
+        return out
     scale = np.sqrt(power / 2.0)
-    return scale * (rng.standard_normal(n_samples)
-                    + 1j * rng.standard_normal(n_samples))
+    out.real = rng.standard_normal(n_samples)
+    out.imag = rng.standard_normal(n_samples)
+    out *= scale
+    return out
 
 
 class AwgnChannel:

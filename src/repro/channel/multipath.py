@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels.ops import convolve
 
 
 @dataclass(frozen=True)
@@ -65,7 +66,7 @@ class TappedDelayLine:
         samples = np.asarray(samples, dtype=np.complex128)
         if samples.size == 0:
             return samples.copy()
-        out = np.convolve(samples, self.impulse_response)
+        out = convolve(samples, self.impulse_response)
         return out[:samples.size]
 
 

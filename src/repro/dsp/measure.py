@@ -11,6 +11,7 @@ import numpy as np
 
 from repro import units
 from repro.errors import StreamError
+from repro.kernels.ops import convolve
 
 
 def sliding_energy(samples: np.ndarray, window: int) -> np.ndarray:
@@ -73,7 +74,7 @@ def normalized_cross_correlation(signal: np.ndarray, template: np.ndarray) -> np
     if t_norm == 0:
         raise StreamError("template has zero energy")
     # Correlate: sum over template of conj(template) * signal window.
-    corr = np.convolve(signal, np.conj(template[::-1]), mode="full")
+    corr = convolve(signal, np.conj(template[::-1]), mode="full")
     corr = corr[template.size - 1: signal.size]
     window_energy = sliding_energy(signal, template.size)[template.size - 1:]
     norms = np.sqrt(window_energy) * t_norm

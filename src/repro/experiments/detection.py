@@ -39,8 +39,17 @@ from repro.core.coeffs import (
 from repro.dsp.resample import resample
 from repro.errors import ConfigurationError
 from repro.hw.cross_correlator import CrossCorrelator, quantize_coefficients
-from repro.hw.energy_differentiator import EnergyDifferentiator
+from repro.hw.energy_differentiator import (
+    DEFAULT_DELAY,
+    DEFAULT_WINDOW,
+    EnergyDifferentiator,
+)
 from repro.hw.trigger import rising_edges
+from repro.kernels import (
+    energy_detect_batch,
+    prepare_coefficients,
+    xcorr_detect_batch,
+)
 from repro.phy.wifi.frame import WifiFrameConfig, build_ppdu
 from repro.phy.wifi.params import WIFI_SAMPLE_RATE, WifiRate
 from repro.phy.wifi.preamble import long_preamble, long_training_symbol, short_preamble
@@ -102,20 +111,43 @@ def threshold_for_false_alarm_rate(coeffs_i: np.ndarray, coeffs_q: np.ndarray,
     return int(round(threshold))
 
 
+#: Row width the noise-only calibration folds its chunks into.
+_FA_ROW_SAMPLES = 1 << 13
+
+
 def measured_false_alarm_rate(correlator: CrossCorrelator, duration_s: float,
                               rng: np.random.Generator,
                               chunk_samples: int = 1 << 18) -> float:
-    """Empirical triggers/second on a noise-only (terminated) input."""
+    """Empirical triggers/second on a noise-only (terminated) input.
+
+    The noise is drawn in ``chunk_samples`` pieces (the RNG draw order
+    is part of the seeded contract) but each chunk runs through the
+    chained batch kernel as a ``rows x _FA_ROW_SAMPLES`` block, with
+    the sign history and last-trigger state carried across chunks —
+    byte-identical to streaming the same noise through
+    ``correlator.process`` from reset state.
+    """
     total_samples = int(duration_s * units.BASEBAND_RATE)
+    prepared = correlator.prepared_coefficients
+    threshold = correlator.threshold
+    backend = correlator.backend
     triggers = 0
+    history = None
     last = False
     remaining = total_samples
     while remaining > 0:
         n = min(chunk_samples, remaining)
-        noise = awgn(n, 1.0, rng)
-        trig = correlator.process(noise)
-        triggers += rising_edges(trig, last).size
-        last = bool(trig[-1])
+        n_rows = -(-n // _FA_ROW_SAMPLES)
+        blocks = np.zeros((n_rows, _FA_ROW_SAMPLES), dtype=np.complex128)
+        awgn(n, 1.0, rng, out=blocks.reshape(-1)[:n])
+        lengths = np.full(n_rows, _FA_ROW_SAMPLES, dtype=np.int64)
+        lengths[-1] = n - _FA_ROW_SAMPLES * (n_rows - 1)
+        result = xcorr_detect_batch(blocks, lengths, prepared, threshold,
+                                    history=history, last=last,
+                                    backend=backend)
+        triggers += int(result.edge_plane.sum())
+        history = result.history
+        last = result.last
         remaining -= n
     return triggers / duration_s
 
@@ -182,10 +214,71 @@ class _CurveTrialSpec:
     energy_threshold_db: float | None = None
 
 
-def _count_frames(spec: _CurveTrialSpec, detector_process,
-                  rng: np.random.Generator, warmup: int = 0
+def _count_frames(spec: _CurveTrialSpec, rng: np.random.Generator
                   ) -> tuple[int, int]:
-    """Shared frame loop: (frames detected, total in-frame triggers)."""
+    """Batched frame engine: (frames detected, total in-frame triggers).
+
+    Synthesizes every frame of the trial into one ``(rows, width)``
+    block matrix — preserving the RNG draw order of the streaming loop
+    exactly — and runs a single chained batch-kernel call over it.
+    Per-frame counts are byte-identical to feeding the frames one by
+    one through the streaming detectors (the chained edge extraction
+    can differ from the per-frame loop only at column 0 of a row,
+    which lies inside the guard gap and is excluded from the in-frame
+    window).  :func:`_count_frames_looped` keeps the streaming
+    reference alive for the identity tests and benchmarks.
+    """
+    arrivals = _frame_arrivals(spec.frame_kind, spec.frame_seed)
+    scale = np.sqrt(units.db_to_linear(spec.snr_db))
+    energy_mode = spec.energy_threshold_db is not None
+    warmup = 4 * DEFAULT_DELAY if energy_mode else 0
+    n_rows = spec.n_frames + (1 if warmup else 0)
+    width = GUARD_SAMPLES + max(a.size for a in arrivals)
+    blocks = np.zeros((n_rows, width), dtype=np.complex128)
+    lengths = np.empty(n_rows, dtype=np.int64)
+    row = 0
+    if warmup:
+        # The looped engine warms the energy detector on noise before
+        # the first frame; the batched path keeps that draw as row 0
+        # and discards its edges below.
+        awgn(warmup, 1.0, rng, out=blocks[0, :warmup])
+        lengths[0] = warmup
+        row = 1
+    for _ in range(spec.n_frames):
+        frame_25 = arrivals[rng.integers(0, len(arrivals))]
+        if energy_mode:
+            factor = scale
+        else:
+            # The sign-slicing correlator has 90-degree phase
+            # resolution, so each frame gets a random carrier phase.
+            factor = scale * np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+        size = GUARD_SAMPLES + frame_25.size
+        segment = blocks[row, :size]
+        awgn(size, 1.0, rng, out=segment)
+        segment[GUARD_SAMPLES:] += frame_25 * factor
+        lengths[row] = size
+        row += 1
+    if energy_mode:
+        threshold = units.db_to_linear(spec.energy_threshold_db)
+        result = energy_detect_batch(blocks, lengths,
+                                     DEFAULT_WINDOW, DEFAULT_DELAY,
+                                     threshold, threshold)
+        edge_plane = result.edge_high
+    else:
+        prepared = prepare_coefficients(spec.coeffs_i, spec.coeffs_q)
+        result = xcorr_detect_batch(blocks, lengths, prepared,
+                                    spec.threshold)
+        edge_plane = result.edge_plane
+    frame_rows = edge_plane[1:] if warmup else edge_plane
+    in_frame = frame_rows[:, GUARD_SAMPLES:]
+    per_frame = in_frame.sum(axis=1)
+    return int((per_frame > 0).sum()), int(per_frame.sum())
+
+
+def _count_frames_looped(spec: _CurveTrialSpec, detector_process,
+                         rng: np.random.Generator, warmup: int = 0
+                         ) -> tuple[int, int]:
+    """Streaming reference frame loop (one detector call per frame)."""
     arrivals = _frame_arrivals(spec.frame_kind, spec.frame_seed)
     scale = np.sqrt(units.db_to_linear(spec.snr_db))
     if warmup:
@@ -196,8 +289,6 @@ def _count_frames(spec: _CurveTrialSpec, detector_process,
     for _ in range(spec.n_frames):
         frame_25 = arrivals[rng.integers(0, len(arrivals))]
         if spec.energy_threshold_db is None:
-            # The sign-slicing correlator has 90-degree phase
-            # resolution, so each frame gets a random carrier phase.
             factor = scale * np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
         else:
             factor = scale
@@ -216,14 +307,26 @@ def _count_frames(spec: _CurveTrialSpec, detector_process,
 def _xcorr_trial(spec: _CurveTrialSpec, rng: np.random.Generator
                  ) -> tuple[int, int]:
     """One correlator trial batch (a SweepRunner task)."""
-    correlator = CrossCorrelator(spec.coeffs_i, spec.coeffs_q,
-                                 threshold=spec.threshold)
-    return _count_frames(spec, correlator.process, rng)
+    return _count_frames(spec, rng)
 
 
 def _energy_trial(spec: _CurveTrialSpec, rng: np.random.Generator
                   ) -> tuple[int, int]:
     """One energy-differentiator trial batch (a SweepRunner task)."""
+    return _count_frames(spec, rng)
+
+
+def _xcorr_trial_looped(spec: _CurveTrialSpec, rng: np.random.Generator
+                        ) -> tuple[int, int]:
+    """Streaming-reference correlator trial (identity tests, benchmarks)."""
+    correlator = CrossCorrelator(spec.coeffs_i, spec.coeffs_q,
+                                 threshold=spec.threshold)
+    return _count_frames_looped(spec, correlator.process, rng)
+
+
+def _energy_trial_looped(spec: _CurveTrialSpec, rng: np.random.Generator
+                         ) -> tuple[int, int]:
+    """Streaming-reference energy trial (identity tests, benchmarks)."""
     detector = EnergyDifferentiator(
         threshold_high_db=spec.energy_threshold_db,
         threshold_low_db=spec.energy_threshold_db)
@@ -233,7 +336,8 @@ def _energy_trial(spec: _CurveTrialSpec, rng: np.random.Generator
         return trig_high
 
     # Warm the detector so the cold-start rise is consumed.
-    return _count_frames(spec, process, rng, warmup=4 * detector.delay)
+    return _count_frames_looped(spec, process, rng,
+                                warmup=4 * detector.delay)
 
 
 def _trial_batches(n_frames: int) -> list[int]:

@@ -17,15 +17,29 @@ With template ``c[k] = cI[k] + j*cQ[k]`` and sliced signal
 The output peaks on the sample where the last template symbol arrives,
 so a detection fires exactly 64 samples (2.56 us at 25 MSPS) after the
 start of a 64-sample preamble — the paper's T_xcorr_det.
+
+This class is the thin stateful *facade*: it owns the streaming
+history, the threshold register, and the scratch buffers, while the
+per-sample math runs in :mod:`repro.kernels` (one fused kernel call
+per chunk instead of the four ``np.correlate`` passes the seed model
+used).  The kernel backend is picked at construction
+(:func:`repro.kernels.get_backend`, honoring ``REPRO_KERNEL_BACKEND``)
+and every backend is byte-identical to the numpy reference.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.dsp.fixed_point import COEFF3, sign_bits_iq
+from repro.dsp.fixed_point import COEFF3
 from repro.errors import ConfigurationError, StreamError
 from repro.hw.register_map import CORRELATOR_LENGTH
+from repro.kernels import (
+    get_backend,
+    prepare_coefficients,
+    sign_plane,
+    xcorr_detect,
+)
 from repro.runtime.buffers import ScratchBuffer
 from repro.runtime.cache import cached_artifact
 
@@ -77,19 +91,31 @@ class CrossCorrelator:
 
     def __init__(self, coeffs_i: np.ndarray | None = None,
                  coeffs_q: np.ndarray | None = None,
-                 threshold: int = METRIC_MAX) -> None:
+                 threshold: int = METRIC_MAX,
+                 backend: str | None = None) -> None:
+        self._backend = get_backend(backend)
         self._coeffs_i = np.zeros(CORRELATOR_LENGTH, dtype=np.int64)
         self._coeffs_q = np.zeros(CORRELATOR_LENGTH, dtype=np.int64)
+        self._prepared = prepare_coefficients(self._coeffs_i,
+                                              self._coeffs_q)
         if coeffs_i is not None or coeffs_q is not None:
             self.load_coefficients(coeffs_i, coeffs_q)
         self.threshold = threshold
-        # History is kept int64-native so the correlation window never
-        # needs a per-chunk astype; the scratch buffers carry the
-        # [history | chunk] window across calls without reallocating.
-        self._history_i = np.zeros(CORRELATOR_LENGTH - 1, dtype=np.int64)
-        self._history_q = np.zeros(CORRELATOR_LENGTH - 1, dtype=np.int64)
-        self._scratch_i = ScratchBuffer(np.int64)
-        self._scratch_q = ScratchBuffer(np.int64)
+        # The interleaved sign history (zeros after reset, exactly as
+        # the hardware shift register clears); the scratch buffers
+        # carry the [history | chunk] plane and the kernel's padded
+        # GEMM storage across calls without reallocating.
+        self._history = np.zeros(2 * (CORRELATOR_LENGTH - 1),
+                                 dtype=np.int8)
+        self._plane_scratch = ScratchBuffer(np.int8)
+        self._gemm_scratch = ScratchBuffer(self._prepared.gemm_dtype)
+        self._metric_chunks = None
+        self._metric_samples = None
+
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend this instance dispatches to."""
+        return self._backend.name
 
     @property
     def threshold(self) -> int:
@@ -106,6 +132,11 @@ class CrossCorrelator:
     def coefficients(self) -> tuple[np.ndarray, np.ndarray]:
         """Current I and Q coefficient banks (copies)."""
         return self._coeffs_i.copy(), self._coeffs_q.copy()
+
+    @property
+    def prepared_coefficients(self):
+        """The kernel-ready coefficient bank (frozen, shareable)."""
+        return self._prepared
 
     def load_coefficients(self, coeffs_i: np.ndarray | None,
                           coeffs_q: np.ndarray | None) -> None:
@@ -126,11 +157,42 @@ class CrossCorrelator:
                 )
         self._coeffs_i = coeffs_i.copy()
         self._coeffs_q = coeffs_q.copy()
+        self._prepared = prepare_coefficients(coeffs_i, coeffs_q)
+
+    def attach_metrics(self, registry) -> None:
+        """Fold per-chunk throughput counters into a metrics registry.
+
+        Exposes ``kernels.xcorr.chunks`` / ``kernels.xcorr.samples``
+        and bumps ``kernels.backend.<name>.selected`` once, so a
+        telemetry snapshot records which backend produced the run.
+        Pass ``None`` to detach.
+        """
+        if registry is None:
+            self._metric_chunks = None
+            self._metric_samples = None
+            return
+        self._metric_chunks = registry.counter("kernels.xcorr.chunks")
+        self._metric_samples = registry.counter("kernels.xcorr.samples")
+        registry.counter(
+            f"kernels.backend.{self._backend.name}.selected").inc()
 
     def reset(self) -> None:
         """Clear the sign-bit history (as a hardware reset would)."""
-        self._history_i[:] = 0
-        self._history_q[:] = 0
+        self._history[:] = 0
+
+    def _assemble_plane(self, samples: np.ndarray) -> np.ndarray:
+        """[history | chunk] interleaved sign plane in scratch storage."""
+        history = self._history.size
+        plane = self._plane_scratch.view(history + 2 * samples.size)
+        plane[:history] = self._history
+        sign_plane(samples, out=plane[history:])
+        # The new history is the last 63 sign pairs of the plane; the
+        # scratch is distinct storage, so this holds for any chunk size.
+        self._history[:] = plane[2 * samples.size:]
+        if self._metric_chunks is not None:
+            self._metric_chunks.inc()
+            self._metric_samples.inc(samples.size)
+        return plane
 
     def metric(self, samples: np.ndarray) -> np.ndarray:
         """Squared correlation metric per incoming sample.
@@ -145,27 +207,29 @@ class CrossCorrelator:
             raise StreamError("CrossCorrelator expects a 1-D sample chunk")
         if samples.size == 0:
             return np.zeros(0, dtype=np.int64)
-        sign_i, sign_q = sign_bits_iq(samples)
-        history = CORRELATOR_LENGTH - 1
-        window = history + samples.size
-        full_i = self._scratch_i.view(window)
-        full_q = self._scratch_q.view(window)
-        full_i[:history] = self._history_i
-        full_q[:history] = self._history_q
-        full_i[history:] = sign_i  # int8 -> int64 widening on assignment
-        full_q[history:] = sign_q
-        # corr_re[n] = sum_k (cI*sI + cQ*sQ), corr_im[n] = sum_k (cI*sQ - cQ*sI)
-        # np.correlate(x, c, 'valid')[n] = sum_k x[n+k]*c[k]
-        corr_re = (np.correlate(full_i, self._coeffs_i, mode="valid")
-                   + np.correlate(full_q, self._coeffs_q, mode="valid"))
-        corr_im = (np.correlate(full_q, self._coeffs_i, mode="valid")
-                   - np.correlate(full_i, self._coeffs_q, mode="valid"))
-        # The new history is the last 63 window entries; the scratch is
-        # distinct storage, so this is safe for any chunk size.
-        self._history_i[:] = full_i[samples.size:]
-        self._history_q[:] = full_q[samples.size:]
-        return corr_re ** 2 + corr_im ** 2
+        plane = self._assemble_plane(samples)
+        return self._backend.xcorr_metric(plane, self._prepared,
+                                          scratch=self._gemm_scratch)
 
     def process(self, samples: np.ndarray) -> np.ndarray:
         """Boolean trigger per incoming sample (metric > threshold)."""
         return self.metric(samples) > self._threshold
+
+    def detect(self, samples: np.ndarray, last: bool = False):
+        """The fused datapath: ``(trigger, rising-edge indices)``.
+
+        ``last`` carries the final trigger value of the previous chunk
+        so edges are not double-counted across chunk boundaries.  One
+        kernel call yields metric, threshold compare, and edges — the
+        path :class:`repro.hw.dsp_core.CustomDspCore` runs per chunk.
+        """
+        samples = np.asarray(samples)
+        if samples.ndim != 1:
+            raise StreamError("CrossCorrelator expects a 1-D sample chunk")
+        if samples.size == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+        plane = self._assemble_plane(samples)
+        result = xcorr_detect(plane, self._prepared, self._threshold,
+                              last=last, backend=self._backend,
+                              scratch=self._gemm_scratch)
+        return result.trigger, result.edges

@@ -37,7 +37,6 @@ from repro.hw.trigger import (
     TriggerMode,
     TriggerSource,
     TriggerStateMachine,
-    rising_edges,
 )
 from repro.hw.tx_controller import JamInterval, JamWaveform, TransmitController
 
@@ -280,38 +279,54 @@ class CustomDspCore:
     # ------------------------------------------------------------------
     # Data path
 
-    def process(self, rx_chunk: np.ndarray) -> CoreOutput:
+    def process(self, rx_chunk: np.ndarray, *,
+                quantized: bool = False) -> CoreOutput:
         """Run one received chunk through detection and jamming control.
 
         ``rx_chunk`` is complex baseband at 25 MSPS; it is quantized to
         the 16-bit data path on entry (the ADC/DDC already delivers
-        integers in the real system).  Returns the transmit waveform
-        aligned to the same sample span plus all events.
+        integers in the real system).  Callers that already hold
+        IQ16-quantized complex128 samples — the DDC output — pass
+        ``quantized=True`` to skip the redundant re-quantize copy.
+        Returns the transmit waveform aligned to the same sample span
+        plus all events.
         """
-        rx_chunk = np.asarray(rx_chunk, dtype=np.complex128)
+        if quantized:
+            rx_chunk = np.asarray(rx_chunk)
+        else:
+            rx_chunk = np.asarray(rx_chunk, dtype=np.complex128)
         if rx_chunk.ndim != 1:
             raise StreamError("CustomDspCore expects a 1-D complex chunk")
         chunk_start = self._clock
         n = rx_chunk.size
         if n == 0:
             return CoreOutput(tx=np.zeros(0, dtype=np.complex128))
-        quantized = quantize_iq16(rx_chunk)
+        samples = rx_chunk if quantized else quantize_iq16(rx_chunk)
 
         if self.watchdog is not None:
             self.watchdog.check_rearm(self.fsm, chunk_start)
 
         profiler = self.profiler
         if profiler is None:
-            xcorr_trig = self.correlator.process(quantized)
-            ehigh_trig, elow_trig = self.energy.process(quantized)
+            xcorr_trig, xcorr_edges = self.correlator.detect(
+                samples, self._last_xcorr)
+            ehigh_trig, elow_trig, ehigh_edges, elow_edges = \
+                self.energy.detect(samples, self._last_ehigh,
+                                   self._last_elow)
         else:
             with profiler.profile("xcorr"):
-                xcorr_trig = self.correlator.process(quantized)
+                xcorr_trig, xcorr_edges = self.correlator.detect(
+                    samples, self._last_xcorr)
             with profiler.profile("energy"):
-                ehigh_trig, elow_trig = self.energy.process(quantized)
+                ehigh_trig, elow_trig, ehigh_edges, elow_edges = \
+                    self.energy.detect(samples, self._last_ehigh,
+                                       self._last_elow)
+        self._last_xcorr = bool(xcorr_trig[-1])
+        self._last_ehigh = bool(ehigh_trig[-1])
+        self._last_elow = bool(elow_trig[-1])
 
         detections = self._collect_detections(
-            chunk_start, xcorr_trig, ehigh_trig, elow_trig
+            chunk_start, xcorr_edges, ehigh_edges, elow_edges
         )
         jam_times = self.fsm.process_events(
             [(event.time, event.source) for event in detections]
@@ -320,12 +335,12 @@ class CustomDspCore:
         new_intervals: list[JamInterval] = []
         if self._tx_allowed and jam_times:
             new_intervals = self._schedule_with_capture(
-                jam_times, quantized, chunk_start
+                jam_times, samples, chunk_start
             )
             if self.watchdog is not None:
                 new_intervals = self._admit_intervals(new_intervals)
         else:
-            self.tx.observe_rx(quantized)
+            self.tx.observe_rx(samples)
         self.jam_count += len(new_intervals)
         self._active_intervals.extend(new_intervals)
 
@@ -362,23 +377,32 @@ class CustomDspCore:
         self._last_elow = False
         self._retire_intervals()
 
-    def _collect_detections(self, chunk_start: int, xcorr: np.ndarray,
-                            ehigh: np.ndarray, elow: np.ndarray
+    def _collect_detections(self, chunk_start: int,
+                            xcorr_edges: np.ndarray,
+                            ehigh_edges: np.ndarray,
+                            elow_edges: np.ndarray
                             ) -> list[DetectionEvent]:
-        events: list[DetectionEvent] = []
-        for trig, last_attr, source in (
-            (xcorr, "_last_xcorr", TriggerSource.XCORR),
-            (ehigh, "_last_ehigh", TriggerSource.ENERGY_HIGH),
-            (elow, "_last_elow", TriggerSource.ENERGY_LOW),
-        ):
-            edges = rising_edges(trig, getattr(self, last_attr))
-            setattr(self, last_attr, bool(trig[-1]))
-            self.detection_counts[source] += edges.size
-            events.extend(
-                DetectionEvent(time=chunk_start + int(e), source=source)
-                for e in edges
-            )
-        events.sort(key=lambda event: (event.time, int(event.source)))
+        self.detection_counts[TriggerSource.XCORR] += xcorr_edges.size
+        self.detection_counts[TriggerSource.ENERGY_HIGH] += ehigh_edges.size
+        self.detection_counts[TriggerSource.ENERGY_LOW] += elow_edges.size
+        total = xcorr_edges.size + ehigh_edges.size + elow_edges.size
+        if not total:
+            # The common chunk: no edges, no objects built at all.
+            return []
+        times = np.concatenate([xcorr_edges, ehigh_edges, elow_edges])
+        times += chunk_start
+        sources = np.empty(total, dtype=np.int64)
+        split_a = xcorr_edges.size
+        split_b = split_a + ehigh_edges.size
+        sources[:split_a] = TriggerSource.XCORR
+        sources[split_a:split_b] = TriggerSource.ENERGY_HIGH
+        sources[split_b:] = TriggerSource.ENERGY_LOW
+        order = np.lexsort((sources, times))
+        events = [
+            DetectionEvent(time=int(times[k]),
+                           source=TriggerSource(int(sources[k])))
+            for k in order
+        ]
         if self._tracer.enabled:
             for event in events:
                 self._tracer.instant(

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro import units
 from repro.errors import ConfigurationError, StreamError
+from repro.kernels import get_backend, rising_edge_plane
 from repro.runtime.buffers import ScratchBuffer
 
 #: Moving-sum window length in samples (paper's implementation).
@@ -44,11 +45,13 @@ class EnergyDifferentiator:
     def __init__(self, threshold_high_db: float = 10.0,
                  threshold_low_db: float = 10.0,
                  window: int = DEFAULT_WINDOW,
-                 delay: int = DEFAULT_DELAY) -> None:
+                 delay: int = DEFAULT_DELAY,
+                 backend: str | None = None) -> None:
         if window < 1:
             raise ConfigurationError("window must be >= 1")
         if delay < 1:
             raise ConfigurationError("delay must be >= 1")
+        self._backend = get_backend(backend)
         self._window = window
         self._delay = delay
         self.threshold_high_db = threshold_high_db
@@ -62,6 +65,29 @@ class EnergyDifferentiator:
         self._pad_scratch = ScratchBuffer(np.float64)
         self._csum_scratch = ScratchBuffer(np.float64)
         self._delay_scratch = ScratchBuffer(np.float64)
+        self._metric_chunks = None
+        self._metric_samples = None
+
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend this instance dispatches to."""
+        return self._backend.name
+
+    def attach_metrics(self, registry) -> None:
+        """Fold per-chunk throughput counters into a metrics registry.
+
+        Exposes ``kernels.energy.chunks`` / ``kernels.energy.samples``
+        and bumps ``kernels.backend.<name>.selected`` once.  Pass
+        ``None`` to detach.
+        """
+        if registry is None:
+            self._metric_chunks = None
+            self._metric_samples = None
+            return
+        self._metric_chunks = registry.counter("kernels.energy.chunks")
+        self._metric_samples = registry.counter("kernels.energy.samples")
+        registry.counter(
+            f"kernels.backend.{self._backend.name}.selected").inc()
 
     @staticmethod
     def _check_threshold(value_db: float) -> float:  # repro-lint: disable=RJ003 (host-side dB validation, not datapath)
@@ -118,12 +144,14 @@ class EnergyDifferentiator:
         padded = self._pad_scratch.view(self._window + energy.size)
         padded[:self._window] = self._energy_tail
         padded[self._window:] = energy
-        csum = self._csum_scratch.view(padded.size)
-        np.cumsum(padded, out=csum)
-        sums = csum[self._window:] - csum[:-self._window]
+        sums = self._backend.moving_sums(padded, self._window,
+                                         csum_scratch=self._csum_scratch)
         # New tail = last `window` entries of [tail | energy]; the
         # scratch is distinct storage, so this holds for any chunk size.
         self._energy_tail[:] = padded[energy.size:]
+        if self._metric_chunks is not None:
+            self._metric_chunks.inc()
+            self._metric_samples.inc(energy.size)
         return sums
 
     def process(self, samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -140,3 +168,23 @@ class EnergyDifferentiator:
         trigger_high = sums > delayed * self._threshold_high
         trigger_low = sums * self._threshold_low < delayed
         return trigger_high, trigger_low
+
+    def detect(self, samples: np.ndarray, last_high: bool = False,
+               last_low: bool = False
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fused triggers plus rising-edge indices for both directions.
+
+        ``last_high``/``last_low`` carry the final trigger values of
+        the previous chunk so edges are not double-counted across
+        chunk boundaries.  Returns ``(trigger_high, trigger_low,
+        edges_high, edges_low)``.
+        """
+        trigger_high, trigger_low = self.process(samples)
+        if trigger_high.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return trigger_high, trigger_low, empty, empty
+        edges_high = np.flatnonzero(
+            rising_edge_plane(trigger_high, last_high))
+        edges_low = np.flatnonzero(
+            rising_edge_plane(trigger_low, last_low))
+        return trigger_high, trigger_low, edges_high, edges_low

@@ -131,14 +131,16 @@ class UsrpN210:
         rx_chunk = np.asarray(rx_chunk, dtype=np.complex128)
         if self.stream_faults is not None:
             rx_chunk = self.stream_faults.process(rx_chunk)
+        # The DDC already quantizes its output to IQ16, so the core is
+        # told not to re-quantize (no second pass over the chunk).
         if self.profiler is None:
             baseband = self.ddc.process(rx_chunk)
-            output = self.core.process(baseband)
+            output = self.core.process(baseband, quantized=True)
             output.tx = self.duc.process(output.tx)
             return output
         with self.profiler.profile("ddc"):
             baseband = self.ddc.process(rx_chunk)
-        output = self.core.process(baseband)
+        output = self.core.process(baseband, quantized=True)
         with self.profiler.profile("duc"):
             output.tx = self.duc.process(output.tx)
         return output

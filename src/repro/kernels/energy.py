@@ -1,0 +1,139 @@
+"""Batched energy-differentiator kernels (paper Fig. 4).
+
+The streaming block is a length-``window`` moving energy sum compared
+against its own value ``delay`` samples earlier.  Batching rows is
+*not* free of state the way it looks: the moving sum is evaluated as a
+float64 cumulative-sum difference, and float addition does not cancel
+prefixes — ``(A + x) - (A + y) != x - y`` in general — so a batched
+row must start from the previous row's *actual* tail values, not from
+a fresh zero tail, to stay byte-identical to the stream.  The chained
+kernel therefore stitches two per-row carries:
+
+* the last ``window`` energies of the previous row (moving-sum warmup);
+* the last ``delay`` sums of the previous row (the Z^-64 delay line).
+
+Rows shorter than a tail reach into their own stitched prefix, which
+makes the gather order-dependent; that rare shape falls back to a
+sequential stitch, keeping the identity guarantee unconditional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.kernels.dispatch import KernelBackend, get_backend
+from repro.kernels.xcorr import chained_edges
+
+
+def moving_sums(padded: np.ndarray, window: int,
+                backend: "str | KernelBackend | None" = None,
+                out: np.ndarray | None = None,
+                csum_scratch=None) -> np.ndarray:
+    """Moving sums over ``[tail | energies]`` rows (backend dispatch)."""
+    return get_backend(backend).moving_sums(padded, window, out=out,
+                                            csum_scratch=csum_scratch)
+
+
+@dataclass(frozen=True)
+class EnergyBatchResult:
+    """Chained batch result of the energy differentiator.
+
+    ``trigger_high``/``trigger_low`` are raw ``(batch, width)`` planes
+    (columns past a row's length are meaningless); the edge planes are
+    masked to valid columns.  ``energy_tail``/``sum_tail`` and the two
+    ``last`` bits are the carry-out stream state.
+    """
+
+    sums: np.ndarray
+    trigger_high: np.ndarray
+    trigger_low: np.ndarray
+    edge_high: np.ndarray
+    edge_low: np.ndarray
+    energy_tail: np.ndarray
+    sum_tail: np.ndarray
+    last_high: bool
+    last_low: bool
+
+
+def _stitch_tails(full: np.ndarray, lengths: np.ndarray,
+                  init_tail: np.ndarray, tail_len: int) -> None:
+    """Fill ``full[:, :tail_len]`` with each previous row's valid tail.
+
+    ``full`` rows are ``[tail | payload]``; the last ``tail_len``
+    valid entries of row ``b - 1`` start at column ``lengths[b - 1]``.
+    """
+    batch = full.shape[0]
+    full[0, :tail_len] = init_tail
+    if batch == 1 or tail_len == 0:
+        return
+    if np.all(lengths[:-1] >= tail_len):
+        cols = lengths[:-1, None] + np.arange(tail_len)[None, :]
+        full[1:, :tail_len] = np.take_along_axis(full[:-1], cols, axis=1)
+    else:
+        for b in range(1, batch):
+            start = lengths[b - 1]
+            full[b, :tail_len] = full[b - 1, start:start + tail_len]
+
+
+def energy_detect_batch(blocks: np.ndarray, lengths: np.ndarray,
+                        window: int, delay: int,
+                        threshold_high: float, threshold_low: float,
+                        energy_tail: np.ndarray | None = None,
+                        sum_tail: np.ndarray | None = None,
+                        last_high: bool = False, last_low: bool = False,
+                        backend: "str | KernelBackend | None" = None
+                        ) -> EnergyBatchResult:
+    """Run a batch of chained sample rows through the energy detector.
+
+    Same contract as :func:`repro.kernels.xcorr.xcorr_detect_batch`:
+    ``blocks`` is ``(batch, width)`` complex with per-row valid
+    ``lengths``, rows are chained through the stitched tails, and the
+    result is byte-identical to the streaming facade fed row by row.
+    ``threshold_high``/``threshold_low`` are the *linear* ratios.
+    """
+    blocks = np.asarray(blocks)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if blocks.ndim != 2 or lengths.shape != (blocks.shape[0],):
+        raise StreamError("expected (batch, width) blocks with one "
+                          "length per row")
+    if np.any(lengths < 1) or np.any(lengths > blocks.shape[1]):
+        raise StreamError("row lengths must be in [1, width]")
+    batch, width = blocks.shape
+
+    # Zero padding has zero energy, and every padded-column value is
+    # sliced off or masked before it can reach a carried tail.
+    padded = np.empty((batch, window + width), dtype=np.float64)
+    np.abs(np.asarray(blocks, dtype=np.complex128),
+           out=padded[:, window:].view())
+    np.square(padded[:, window:], out=padded[:, window:])
+    if energy_tail is None:
+        energy_tail = np.zeros(window, dtype=np.float64)
+    _stitch_tails(padded, lengths, energy_tail, window)
+
+    sums = moving_sums(padded, window, backend=backend)
+
+    delayed_full = np.empty((batch, delay + width), dtype=np.float64)
+    delayed_full[:, delay:] = sums
+    if sum_tail is None:
+        sum_tail = np.zeros(delay, dtype=np.float64)
+    _stitch_tails(delayed_full, lengths, sum_tail, delay)
+    delayed = delayed_full[:, :width]
+
+    trigger_high = sums > delayed * threshold_high
+    trigger_low = sums * threshold_low < delayed
+
+    tail_start = int(lengths[-1])
+    return EnergyBatchResult(
+        sums=sums,
+        trigger_high=trigger_high,
+        trigger_low=trigger_low,
+        edge_high=chained_edges(trigger_high, lengths, last_high),
+        edge_low=chained_edges(trigger_low, lengths, last_low),
+        energy_tail=padded[-1, tail_start:tail_start + window].copy(),
+        sum_tail=delayed_full[-1, tail_start:tail_start + delay].copy(),
+        last_high=bool(trigger_high[-1, lengths[-1] - 1]),
+        last_low=bool(trigger_low[-1, lengths[-1] - 1]),
+    )

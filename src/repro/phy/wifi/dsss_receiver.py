@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import DecodeError
+from repro.kernels.ops import convolve
 from repro.phy.wifi.dsss import (
     BARKER,
     SAMPLES_PER_CHIP,
@@ -40,7 +41,7 @@ class DsssReceiveResult:
 def _barker_matched_filter(samples: np.ndarray) -> np.ndarray:
     """Correlate against the sample-rate Barker template (causal)."""
     template = np.repeat(BARKER.astype(np.float64), SAMPLES_PER_CHIP)
-    corr = np.convolve(samples, template[::-1].conj())
+    corr = convolve(samples, template[::-1].conj())
     return corr[template.size - 1:]
 
 

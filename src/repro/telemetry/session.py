@@ -77,12 +77,15 @@ class Telemetry:
         """Wire this bundle into a device (and optionally its driver).
 
         Probe points covered: the DSP core's detectors / FSM / jam
-        windows, the watchdog, the DDC/DUC host profiling scopes, and
-        — when a driver is given — its register-write path.
+        windows, the detector kernels' backend and throughput counters
+        (``kernels.*``), the watchdog, the DDC/DUC host profiling
+        scopes, and — when a driver is given — its register-write path.
         """
         device.core.tracer = self.tracer
         device.core.profiler = self.profiler
         device.profiler = self.profiler
+        device.core.correlator.attach_metrics(self.metrics)
+        device.core.energy.attach_metrics(self.metrics)
         if device.core.watchdog is not None:
             device.core.watchdog.tracer = self.tracer
         if driver is not None:

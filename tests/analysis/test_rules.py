@@ -465,3 +465,85 @@ class TestRJ008AdHocProcessPool:
                 with ThreadPoolExecutor(max_workers=4) as pool:
                     return list(pool.map(len, jobs))
             """, "src/repro/experiments/good.py")
+
+
+class TestRJ009RawDspPrimitive:
+    def test_fires_on_np_correlate(self):
+        found = _run("RJ009", """\
+            import numpy as np
+
+            def metric(signal, template):
+                return np.correlate(signal, template, mode="valid")
+            """, "src/repro/dsp/bad.py")
+        assert len(found) == 1
+        assert "np.correlate" in found[0].message
+
+    def test_fires_on_np_convolve(self):
+        found = _run("RJ009", """\
+            import numpy as np
+
+            def smooth(signal, kernel):
+                return np.convolve(signal, kernel)
+            """, "src/repro/channel/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_from_imported_primitive(self):
+        found = _run("RJ009", """\
+            from numpy import convolve
+
+            def smooth(signal, kernel):
+                return convolve(signal, kernel)
+            """, "src/repro/channel/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_sliding_window_view(self):
+        found = _run("RJ009", """\
+            from numpy.lib.stride_tricks import sliding_window_view
+
+            def frames(signal, window):
+                return sliding_window_view(signal, window)
+            """, "src/repro/dsp/bad.py")
+        assert len(found) == 1
+
+    def test_fires_on_nested_attribute_chain(self):
+        found = _run("RJ009", """\
+            import numpy as np
+
+            def frames(signal, window):
+                return np.lib.stride_tricks.sliding_window_view(
+                    signal, window)
+            """, "src/repro/dsp/bad.py")
+        assert len(found) == 1
+
+    def test_kernels_package_is_exempt(self):
+        assert not _run("RJ009", """\
+            import numpy as np
+
+            def convolve(signal, kernel, mode="full"):
+                return np.convolve(signal, kernel, mode)
+            """, "src/repro/kernels/ops.py")
+
+    def test_tests_are_exempt(self):
+        assert not _run("RJ009", """\
+            import numpy as np
+
+            def reference(signal, template):
+                return np.correlate(signal, template, mode="valid")
+            """, "tests/kernels/test_xcorr_kernels.py")
+
+    def test_name_collision_without_import_is_clean(self):
+        assert not _run("RJ009", """\
+            def convolve(signal, kernel):
+                return [s * k for s, k in zip(signal, kernel)]
+
+            def smooth(signal, kernel):
+                return convolve(signal, kernel)
+            """, "src/repro/dsp/good.py")
+
+    def test_other_numpy_calls_are_clean(self):
+        assert not _run("RJ009", """\
+            import numpy as np
+
+            def energy(signal):
+                return np.sum(np.abs(signal) ** 2)
+            """, "src/repro/dsp/good.py")

@@ -7,6 +7,11 @@ import pytest
 
 from repro.core.presets import reactive_jammer
 from repro.experiments.detection import (
+    _CurveTrialSpec,
+    _energy_trial,
+    _energy_trial_looped,
+    _xcorr_trial,
+    _xcorr_trial_looped,
     energy_detector_curve,
     long_preamble_curve,
     measured_false_alarm_rate,
@@ -43,6 +48,66 @@ class TestFalseAlarmCalibration:
         ci, cq = quantize_coefficients(template)
         with pytest.raises(Exception):
             threshold_for_false_alarm_rate(ci, cq, 0.0)
+
+
+class TestBatchedTrialIdentity:
+    """The batched trial engine reproduces the streaming loop exactly."""
+
+    @pytest.mark.parametrize("frame_kind", ["full", "single_long"])
+    def test_xcorr_trial_matches_looped(self, frame_kind):
+        from repro.core.coeffs import wifi_long_preamble_template
+
+        ci, cq = quantize_coefficients(wifi_long_preamble_template())
+        threshold = threshold_for_false_alarm_rate(ci, cq, 0.083)
+        spec = _CurveTrialSpec(frame_kind=frame_kind, snr_db=0.0,
+                               n_frames=30, frame_seed=77,
+                               coeffs_i=ci, coeffs_q=cq,
+                               threshold=threshold)
+        for seed in (1, 2, 3):
+            batched = _xcorr_trial(spec, np.random.default_rng(seed))
+            looped = _xcorr_trial_looped(spec,
+                                         np.random.default_rng(seed))
+            assert batched == looped
+
+    def test_energy_trial_matches_looped(self):
+        spec = _CurveTrialSpec(frame_kind="full", snr_db=3.0,
+                               n_frames=30, frame_seed=77,
+                               energy_threshold_db=10.0)
+        for seed in (1, 2, 3):
+            batched = _energy_trial(spec, np.random.default_rng(seed))
+            looped = _energy_trial_looped(spec,
+                                          np.random.default_rng(seed))
+            assert batched == looped
+
+    def test_false_alarm_rate_matches_streaming_facade(self, rng):
+        """The chained batch calibration equals process()+rising_edges."""
+        from repro.hw.trigger import rising_edges
+
+        template = np.exp(1j * rng.uniform(0, 2 * np.pi, 64))
+        ci, cq = quantize_coefficients(template)
+        threshold = threshold_for_false_alarm_rate(ci, cq, 3000.0)
+        duration_s = 0.01
+        seed = 424242
+
+        batched = measured_false_alarm_rate(
+            CrossCorrelator(ci, cq, threshold=threshold), duration_s,
+            np.random.default_rng(seed), chunk_samples=1 << 16)
+
+        from repro import units
+        from repro.channel.awgn import awgn
+
+        corr = CrossCorrelator(ci, cq, threshold=threshold)
+        stream_rng = np.random.default_rng(seed)
+        remaining = int(duration_s * units.BASEBAND_RATE)
+        triggers = 0
+        last = False
+        while remaining > 0:
+            n = min(1 << 16, remaining)
+            trig = corr.process(awgn(n, 1.0, stream_rng))
+            triggers += rising_edges(trig, last).size
+            last = bool(trig[-1])
+            remaining -= n
+        assert batched == triggers / duration_s
 
 
 class TestDetectionCurves:
