@@ -1,0 +1,96 @@
+"""The ratchet baseline: adopt repro-lint on a codebase with history.
+
+Turning a new rule on over ``tests/`` surfaces findings that are
+deliberate (tests write raw register addresses to prove the bus
+rejects them) or merely old.  Deleting them all at once would bury the
+PR that introduces the rule; ignoring the directory would let *new*
+violations in.  The baseline is the standard way out: a checked-in
+JSON file records, per ``RULE::path`` key, how many findings existed
+when the rule landed.  At report time that many findings per key are
+swallowed; finding **number N+1** — a new violation — still fails the
+build.  The ratchet only turns one way: ``--update-baseline`` rewrites
+the file from current findings, and review keeps counts from growing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+#: Conventional baseline filename at the repository root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Separator inside baseline keys; ``::`` cannot appear in a rule code
+#: and is vanishingly unlikely in a repo-relative posix path.
+KEY_SEP = "::"
+
+
+def baseline_key(finding: Finding) -> str:
+    return f"{finding.rule}{KEY_SEP}{finding.path}"
+
+
+def build_baseline(findings: Sequence[Finding]) -> dict[str, int]:
+    """Per ``RULE::path`` finding counts for the given findings."""
+    return dict(sorted(Counter(
+        baseline_key(finding) for finding in findings).items()))
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return {}
+    data = json.loads(baseline_path.read_text())
+    version = data.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline schema_version {version!r} in "
+            f"{baseline_path} (expected {BASELINE_SCHEMA_VERSION})")
+    counts = data.get("counts", {})
+    if not isinstance(counts, dict) or not all(
+            isinstance(key, str) and isinstance(value, int)
+            and value >= 0 for key, value in counts.items()):
+        raise ValueError(f"malformed baseline counts in {baseline_path}")
+    return dict(counts)
+
+
+def write_baseline(path: str | Path,
+                   findings: Sequence[Finding]) -> dict[str, int]:
+    """Rewrite the baseline file from current findings; returns counts."""
+    counts = build_baseline(findings)
+    payload = {
+        "tool": "repro-lint",
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "counts": counts,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return counts
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: dict[str, int]
+                   ) -> tuple[list[Finding], int]:
+    """Swallow up to the baselined count of findings per key.
+
+    Findings are consumed in report order (path, line, col), so the
+    surviving ones are the *latest* occurrences — the ones most likely
+    introduced by the change under review.  Returns
+    ``(surviving_findings, suppressed_count)``.
+    """
+    budget = dict(baseline)
+    surviving: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = baseline_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            surviving.append(finding)
+    return surviving, suppressed

@@ -1,0 +1,484 @@
+"""Abstract dtype inference for the dataflow rules.
+
+A tiny abstract interpreter over one function body that tracks, per
+local name, whether its value is *certainly* integer-valued,
+*certainly* floating, *certainly* complex, or unknown.  Two distinct
+combinators keep the analysis sound for its one client question ("did
+integer state silently become float?"):
+
+* :func:`promote` models numeric promotion inside arithmetic — an
+  ``int`` operand meeting a ``float`` operand certainly produces a
+  float, exactly like the hardware-modelling bug RJ010 hunts;
+* :func:`merge` models control-flow joins — a value that is ``int`` on
+  one branch and ``float`` on the other is *unknown*, because neither
+  claim is certain any more.
+
+Only certainties ever produce findings, so every imprecision here
+degrades to silence, never to a false positive.  The interpreter is
+pure stdlib and never imports numpy; the numpy surface it understands
+(dtype constructors, array factories, ``.astype``) is recognized
+syntactically.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+
+# The abstract lattice.  UNKNOWN is both top and bottom for our
+# purposes: it produces no findings and absorbs every merge conflict.
+INT = "int"
+FLOAT = "float"
+COMPLEX = "complex"
+UNKNOWN = "unknown"
+
+#: numpy dtype constructor names that certainly produce integers.
+INT_DTYPE_NAMES: frozenset[str] = frozenset({
+    "int8", "int16", "int32", "int64", "uint8", "uint16", "uint32",
+    "uint64", "intp", "uintp", "intc", "int_", "byte", "ubyte",
+    "short", "ushort", "longlong", "ulonglong",
+})
+
+#: numpy dtype constructor names that certainly produce floats.
+FLOAT_DTYPE_NAMES: frozenset[str] = frozenset({
+    "float16", "float32", "float64", "float_", "double", "single",
+    "half", "longdouble",
+})
+
+#: numpy dtype constructor names that certainly produce complexes.
+COMPLEX_DTYPE_NAMES: frozenset[str] = frozenset({
+    "complex64", "complex128", "complex_", "cdouble", "csingle",
+})
+
+#: Array factories whose default dtype is float64 when no ``dtype=``
+#: keyword overrides it.
+_FLOAT_DEFAULT_FACTORIES = frozenset({"zeros", "ones", "empty"})
+
+#: Array factories that take an explicit ``dtype=`` but default to the
+#: dtype of their input, which we do not track.
+_DTYPE_KW_FACTORIES = frozenset({
+    "array", "asarray", "ascontiguousarray", "full", "arange",
+    "zeros_like", "ones_like", "empty_like", "full_like", "linspace",
+})
+
+#: Methods/reductions preserving their receiver's dtype.
+_PRESERVING_METHODS = frozenset({
+    "sum", "cumsum", "prod", "cumprod", "copy", "reshape", "ravel",
+    "flatten", "transpose", "squeeze", "min", "max", "clip", "take",
+})
+
+#: Methods that certainly produce floats regardless of receiver.
+_FLOAT_METHODS = frozenset({"mean", "std", "var"})
+
+#: ``np.<attr>`` module constants that are floats.
+_FLOAT_NP_CONSTANTS = frozenset({"pi", "e", "inf", "nan", "euler_gamma"})
+
+#: A resolver maps a Call node to the abstract return dtype of the
+#: callee (via project summaries), or None when unresolvable.
+Resolver = Callable[[ast.Call], "str | None"]
+
+
+def promote(a: str, b: str) -> str:
+    """Numeric promotion of two operand dtypes (arithmetic result)."""
+    if COMPLEX in (a, b):
+        return COMPLEX
+    if FLOAT in (a, b):
+        return FLOAT
+    if a == INT and b == INT:
+        return INT
+    return UNKNOWN
+
+
+def merge(a: str, b: str) -> str:
+    """Control-flow join: certainty survives only when both agree."""
+    return a if a == b else UNKNOWN
+
+
+def dtype_of_annotation(node: ast.expr | None) -> str:
+    """Abstract dtype named by a parameter/return annotation."""
+    name = _terminal_name(node)
+    if name is None:
+        return UNKNOWN
+    if name == "int" or name in INT_DTYPE_NAMES:
+        return INT
+    if name == "float" or name in FLOAT_DTYPE_NAMES:
+        return FLOAT
+    if name == "complex" or name in COMPLEX_DTYPE_NAMES:
+        return COMPLEX
+    return UNKNOWN
+
+
+def dtype_of_dtype_arg(node: ast.expr) -> str:
+    """Abstract dtype named by a ``dtype=...`` argument value."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name: str | None = node.value
+    else:
+        name = _terminal_name(node)
+    if name is None:
+        return UNKNOWN
+    if name == "int" or name in INT_DTYPE_NAMES:
+        return INT
+    if name == "float" or name in FLOAT_DTYPE_NAMES:
+        return FLOAT
+    if name == "complex" or name in COMPLEX_DTYPE_NAMES:
+        return COMPLEX
+    return UNKNOWN
+
+
+def _terminal_name(node: ast.expr | None) -> str | None:
+    """The rightmost identifier of a Name / dotted Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_explicit_cast(node: ast.expr) -> bool:
+    """Whether ``node`` is a visible, deliberate float/complex cast.
+
+    ``float(x)``, ``np.float64(x)``, and ``x.astype(np.float32)`` are
+    loud about changing the dtype; RJ010 only flags *silent* widening,
+    so these shapes are exempt at the assignment that performs them.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    name = _terminal_name(node.func)
+    if name in ("float", "complex") or name in FLOAT_DTYPE_NAMES \
+            or name in COMPLEX_DTYPE_NAMES:
+        return True
+    return name == "astype"
+
+
+class DtypeInterpreter:
+    """In-order abstract interpretation of one function body.
+
+    The interpreter owns the environment (name -> abstract dtype) and
+    exposes overridable hooks so clients layer behaviour on top: the
+    summary builder collects :attr:`return_dtypes`; RJ010 overrides
+    the ``on_*`` hooks to emit findings at the offending statements.
+    """
+
+    def __init__(self, resolver: Resolver | None = None,
+                 params: dict[str, str] | None = None,
+                 self_attrs: dict[str, str] | None = None) -> None:
+        self.env: dict[str, str] = dict(params or {})
+        #: Abstract dtypes of ``self.<attr>`` established in __init__.
+        self.self_attrs = dict(self_attrs or {})
+        self.resolver = resolver
+        self.return_dtypes: list[str] = []
+
+    # -- hooks ---------------------------------------------------------
+
+    def on_name_widened(self, name: str, old: str, new: str,
+                        node: ast.stmt) -> None:
+        """A local established as ``old`` was rebound to ``new``."""
+
+    def on_attr_widened(self, attr: str, old: str, new: str,
+                        node: ast.stmt) -> None:
+        """A ``self.<attr>`` established as ``old`` was rebound."""
+
+    def on_return(self, dtype: str, node: ast.Return) -> None:
+        """A return statement produced ``dtype``."""
+
+    def on_call(self, node: ast.Call) -> None:
+        """Every call site, visited with the current environment."""
+
+    # -- expressions ---------------------------------------------------
+
+    def infer(self, node: ast.expr | None) -> str:
+        if node is None:
+            return UNKNOWN
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or isinstance(node.value, int):
+                return INT
+            if isinstance(node.value, float):
+                return FLOAT
+            if isinstance(node.value, complex):
+                return COMPLEX
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node.op, self.infer(node.left),
+                                     self.infer(node.right), node)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return INT
+            return self.infer(node.operand)
+        if isinstance(node, ast.BoolOp):
+            dtype = self.infer(node.values[0])
+            for value in node.values[1:]:
+                dtype = merge(dtype, self.infer(value))
+            return dtype
+        if isinstance(node, ast.IfExp):
+            return merge(self.infer(node.body), self.infer(node.orelse))
+        if isinstance(node, ast.Compare):
+            return INT  # bool
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.Attribute):
+            return self._infer_attribute(node)
+        if isinstance(node, ast.Subscript):
+            # An element of an array shares the array's abstract dtype.
+            return self.infer(node.value)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            if not node.elts:
+                return UNKNOWN
+            dtype = self.infer(node.elts[0])
+            for elt in node.elts[1:]:
+                dtype = merge(dtype, self.infer(elt))
+            return dtype
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value)
+        if isinstance(node, ast.NamedExpr):
+            dtype = self.infer(node.value)
+            self.env[node.target.id] = dtype
+            return dtype
+        return UNKNOWN
+
+    def _infer_binop(self, op: ast.operator, left: str, right: str,
+                     node: ast.BinOp) -> str:
+        if isinstance(op, ast.Div):
+            return COMPLEX if COMPLEX in (left, right) else FLOAT
+        if isinstance(op, (ast.FloorDiv, ast.Mod)):
+            if left == INT and right == INT:
+                return INT
+            if FLOAT in (left, right):
+                return FLOAT
+            return UNKNOWN
+        if isinstance(op, ast.Pow):
+            exponent = node.right
+            if isinstance(exponent, ast.Constant) \
+                    and isinstance(exponent.value, int):
+                if exponent.value >= 0:
+                    return promote(left, right)
+                return COMPLEX if COMPLEX in (left, right) else FLOAT
+            if FLOAT in (left, right) or COMPLEX in (left, right):
+                return promote(left, right)
+            return UNKNOWN
+        if isinstance(op, (ast.LShift, ast.RShift, ast.BitAnd,
+                           ast.BitOr, ast.BitXor)):
+            return INT
+        return promote(left, right)
+
+    def _infer_call(self, node: ast.Call) -> str:
+        name = _terminal_name(node.func)
+        if name is not None:
+            if name in ("int", "len", "ord", "hash", "id") \
+                    or name in INT_DTYPE_NAMES:
+                return INT
+            if name == "float" or name in FLOAT_DTYPE_NAMES:
+                return FLOAT
+            if name == "complex" or name in COMPLEX_DTYPE_NAMES:
+                return COMPLEX
+            if name == "range":
+                return INT
+            if name == "round" and len(node.args) == 1 \
+                    and not node.keywords:
+                return INT
+            if name == "abs":
+                operand = self.infer(node.args[0]) if node.args else UNKNOWN
+                return FLOAT if operand == COMPLEX else operand
+            if name in ("min", "max"):
+                dtype = UNKNOWN
+                if node.args:
+                    dtype = self.infer(node.args[0])
+                    for arg in node.args[1:]:
+                        dtype = merge(dtype, self.infer(arg))
+                return dtype
+            if name == "astype" and isinstance(node.func, ast.Attribute):
+                if node.args:
+                    return dtype_of_dtype_arg(node.args[0])
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        return dtype_of_dtype_arg(kw.value)
+                return UNKNOWN
+            if name in _FLOAT_METHODS and isinstance(node.func, ast.Attribute):
+                return FLOAT
+            if name in _PRESERVING_METHODS \
+                    and isinstance(node.func, ast.Attribute):
+                return self.infer(node.func.value)
+            if name in _FLOAT_DEFAULT_FACTORIES | _DTYPE_KW_FACTORIES:
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        return dtype_of_dtype_arg(kw.value)
+                if name in _FLOAT_DEFAULT_FACTORIES:
+                    return FLOAT
+                if name == "linspace":
+                    return FLOAT
+                if name == "arange":
+                    dtype = INT
+                    for arg in node.args:
+                        dtype = promote(dtype, self.infer(arg))
+                    return dtype
+                if name == "full" and len(node.args) >= 2:
+                    return self.infer(node.args[1])
+                return UNKNOWN
+        if self.resolver is not None:
+            resolved = self.resolver(node)
+            if resolved is not None:
+                return resolved
+        return UNKNOWN
+
+    def _infer_attribute(self, node: ast.Attribute) -> str:
+        if node.attr in _FLOAT_NP_CONSTANTS:
+            return FLOAT
+        if node.attr in ("real", "imag"):
+            receiver = self.infer(node.value)
+            return FLOAT if receiver == COMPLEX else receiver
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return self.self_attrs.get(node.attr, UNKNOWN)
+        return UNKNOWN
+
+    # -- statements ----------------------------------------------------
+
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _visit_calls(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self.on_call(child)
+
+    def _bind_name(self, name: str, dtype: str, node: ast.stmt,
+                   explicit: bool) -> None:
+        old = self.env.get(name, UNKNOWN)
+        if old == INT and dtype in (FLOAT, COMPLEX) and not explicit:
+            self.on_name_widened(name, old, dtype, node)
+        self.env[name] = dtype
+
+    def _bind_attr(self, attr: str, dtype: str, node: ast.stmt,
+                   explicit: bool) -> None:
+        old = self.self_attrs.get(attr, UNKNOWN)
+        if old == INT and dtype in (FLOAT, COMPLEX) and not explicit:
+            self.on_attr_widened(attr, old, dtype, node)
+        self.self_attrs[attr] = dtype
+
+    def _assign_target(self, target: ast.expr, dtype: str, node: ast.stmt,
+                       explicit: bool) -> None:
+        if isinstance(target, ast.Name):
+            self._bind_name(target.id, dtype, node, explicit)
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            self._bind_attr(target.attr, dtype, node, explicit)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, UNKNOWN, node, explicit)
+        # Subscript stores (x[i] = v) do not rebind x's dtype: writing
+        # a float into an int array raises or casts at runtime, and the
+        # static claim about x stays whatever established it.
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._visit_calls(stmt.value)
+            dtype = self.infer(stmt.value)
+            explicit = is_explicit_cast(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, dtype, stmt, explicit)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._visit_calls(stmt.value)
+            ann = dtype_of_annotation(stmt.annotation)
+            value = self.infer(stmt.value) if stmt.value is not None \
+                else UNKNOWN
+            dtype = ann if ann != UNKNOWN else value
+            if stmt.value is not None and ann == INT \
+                    and value in (FLOAT, COMPLEX):
+                self._assign_target(stmt.target, value, stmt,
+                                    is_explicit_cast(stmt.value))
+            else:
+                if isinstance(stmt.target, ast.Name):
+                    self.env[stmt.target.id] = dtype
+                else:
+                    self._assign_target(stmt.target, dtype, stmt, True)
+        elif isinstance(stmt, ast.AugAssign):
+            self._visit_calls(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                old = self.env.get(target.id, UNKNOWN)
+            elif isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                old = self.self_attrs.get(target.attr, UNKNOWN)
+            else:
+                old = UNKNOWN
+            new = self._infer_binop(stmt.op, old, self.infer(stmt.value),
+                                    ast.BinOp(left=ast.Constant(value=0),
+                                              op=stmt.op,
+                                              right=stmt.value))
+            self._assign_target(target, new, stmt, False)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._visit_calls(stmt.value)
+            dtype = self.infer(stmt.value)
+            self.return_dtypes.append(dtype)
+            self.on_return(dtype, stmt)
+        elif isinstance(stmt, ast.For):
+            self._visit_calls(stmt.iter)
+            iter_dtype = self.infer(stmt.iter)
+            if isinstance(stmt.iter, ast.Call) \
+                    and _terminal_name(stmt.iter.func) in ("range",
+                                                           "enumerate"):
+                iter_dtype = INT if _terminal_name(
+                    stmt.iter.func) == "range" else UNKNOWN
+            self._assign_target(stmt.target, iter_dtype, stmt, True)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._visit_calls(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._visit_calls(stmt.test)
+            before = dict(self.env)
+            before_attrs = dict(self.self_attrs)
+            self.run(stmt.body)
+            after_body = dict(self.env)
+            after_body_attrs = dict(self.self_attrs)
+            self.env = dict(before)
+            self.self_attrs = dict(before_attrs)
+            self.run(stmt.orelse)
+            self.env = {
+                name: merge(after_body.get(name, UNKNOWN),
+                            self.env.get(name, UNKNOWN))
+                for name in set(after_body) | set(self.env)
+            }
+            self.self_attrs = {
+                name: merge(after_body_attrs.get(name, UNKNOWN),
+                            self.self_attrs.get(name, UNKNOWN))
+                for name in set(after_body_attrs) | set(self.self_attrs)
+            }
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._visit_calls(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, UNKNOWN,
+                                        stmt, True)
+            self.run(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self._visit_calls(stmt.value)
+            self.infer(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            # Nested scopes are summarized separately; their bodies do
+            # not execute here.
+            self.env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, (ast.Assert, ast.Raise, ast.Delete,
+                               ast.Global, ast.Nonlocal, ast.Pass,
+                               ast.Break, ast.Continue, ast.Import,
+                               ast.ImportFrom)):
+            if isinstance(stmt, ast.Assert):
+                self._visit_calls(stmt.test)
+            if isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.env.pop(target.id, None)

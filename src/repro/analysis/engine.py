@@ -1,18 +1,25 @@
-"""The rule engine: file discovery, parsing, dispatch, suppression.
+"""The rule engine: discovery, (parallel) parsing, dispatch, suppression.
 
-The engine is deliberately boring: it parses each file once, hands the
-shared :class:`FileContext` to every rule, filters the findings
-through the suppression table, and returns them sorted.  All domain
-knowledge lives in the rules (:mod:`repro.analysis.rules`).
+Analysis runs in two phases.  The **index phase** parses every file —
+serially or fanned out over a parse pool — and builds the
+:class:`~repro.analysis.project.ProjectContext`: module/import graph,
+symbol table, approximate call graph, per-function dtype summaries.
+The **rule phase** walks each file once more, handing per-file rules
+the :class:`FileContext` and whole-program rules
+(:class:`ProjectRule`) the project context alongside it.  All domain
+knowledge lives in the rules (:mod:`repro.analysis.rules`); the engine
+stays deliberately boring.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, Severity
 from repro.analysis.suppressions import Suppressions, collect_suppressions
 
 #: Rule code reserved for files the parser rejects.
@@ -22,9 +29,12 @@ PARSE_ERROR_CODE = "RJ000"
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
               "build", "dist"}
 
+#: Hard cap on the parse pool; parsing saturates well before this.
+MAX_PARSE_JOBS = 8
+
 
 class FileContext:
-    """Everything a rule needs to know about one file."""
+    """Everything a per-file rule needs to know about one file."""
 
     def __init__(self, path: str, source: str, tree: ast.Module,
                  suppressions: Suppressions) -> None:
@@ -47,21 +57,25 @@ class FileContext:
 
 
 class Rule:
-    """Base class for repro-lint rules.
+    """Base class for per-file repro-lint rules.
 
-    Subclasses set ``code`` (``RJ00x``), ``name`` (short slug), and
-    ``description``, and implement :meth:`check` yielding findings.
-    Rules must not mutate the context.
+    Subclasses set ``code`` (``RJ0xx``), ``name`` (short slug),
+    ``description``, optionally ``severity``, and implement
+    :meth:`check` yielding findings.  Rules must not mutate the
+    context.
     """
 
     code: str = ""
     name: str = ""
     description: str = ""
+    #: Findings default to this severity; ERROR findings gate CI.
+    severity: Severity = Severity.ERROR
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
 
-    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                severity: Severity | None = None) -> Finding:
         """Build a finding anchored at ``node``."""
         return Finding(
             rule=self.code,
@@ -69,89 +83,266 @@ class Rule:
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            severity=severity if severity is not None else self.severity,
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    The engine calls :meth:`check_project` with the shared
+    :class:`~repro.analysis.project.ProjectContext` built in the index
+    phase.  The rule is still invoked once per file and must anchor
+    its findings in ``ctx`` — that keeps suppressions, baselines, and
+    reporting identical across both rule families.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Without a project index there is nothing to verify.
+        return iter(())
+
+    def check_project(self, ctx: FileContext,
+                      project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
-    """Expand files and directories into a sorted stream of ``.py`` files."""
+    """Expand files and directories into a stream of unique ``.py`` files.
+
+    Overlapping arguments (a file plus its parent directory, the same
+    directory twice) are deduplicated by resolved path so findings are
+    never double-reported.
+    """
+    seen: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
             for candidate in sorted(path.rglob("*.py")):
-                if not _SKIP_DIRS.intersection(candidate.parts):
+                if _SKIP_DIRS.intersection(candidate.parts):
+                    continue
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
                     yield candidate
         elif path.suffix == ".py":
-            yield path
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield path
 
 
 def resolve_rules(select: Iterable[str] | None = None,
                   ignore: Iterable[str] | None = None) -> list[Rule]:
-    """Turn ``--select`` / ``--ignore`` code lists into rule instances."""
+    """Turn ``--select`` / ``--ignore`` code lists into rule instances.
+
+    Unknown codes raise in **both** lists: a typo'd ``--ignore`` that
+    silently ignores nothing is exactly as wrong as a typo'd
+    ``--select``.
+    """
     from repro.analysis.rules import ALL_RULES
 
+    known = {rule.code for rule in ALL_RULES}
     rules = list(ALL_RULES)
     if select:
         wanted = {code.upper() for code in select}
-        unknown = wanted - {rule.code for rule in rules}
+        unknown = wanted - known
         if unknown:
             raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
         rules = [rule for rule in rules if rule.code in wanted]
     if ignore:
         dropped = {code.upper() for code in ignore}
+        unknown = dropped - known
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
         rules = [rule for rule in rules if rule.code not in dropped]
     return rules
 
 
-def analyze_source(source: str, path: str,
-                   rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Analyze one source string as if it lived at ``path``."""
-    if rules is None:
-        rules = resolve_rules()
+# -- parsing ------------------------------------------------------------
+
+
+@dataclass
+class ParsedFile:
+    """One file after the parse step (tree is None on errors)."""
+
+    path: str
+    source: str
+    tree: ast.Module | None
+    suppressions: Suppressions
+    error: Finding | None = None
+
+
+def _parse_one(path_str: str) -> ParsedFile:
+    """Read + parse + collect suppressions for one file.
+
+    Module-level so the parse pool can pickle it by reference; the
+    returned dataclass (AST included) round-trips through pickle.
+    """
+    try:
+        source = Path(path_str).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return ParsedFile(
+            path=path_str, source="", tree=None,
+            suppressions=Suppressions(),
+            error=Finding(rule=PARSE_ERROR_CODE,
+                          message=f"file is unreadable: {exc}",
+                          path=path_str, line=1, col=0),
+        )
+    return parse_source(source, path_str)
+
+
+def parse_source(source: str, path: str) -> ParsedFile:
+    """Parse one in-memory source string."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Finding(
-            rule=PARSE_ERROR_CODE,
-            message=f"file does not parse: {exc.msg}",
-            path=path,
-            line=exc.lineno or 1,
-            col=exc.offset or 0,
-        )]
-    ctx = FileContext(path, source, tree, collect_suppressions(source, tree))
+        return ParsedFile(
+            path=path, source=source, tree=None,
+            suppressions=collect_suppressions(source, None),
+            error=Finding(rule=PARSE_ERROR_CODE,
+                          message=f"file does not parse: {exc.msg}",
+                          path=path, line=exc.lineno or 1,
+                          col=exc.offset or 0),
+        )
+    return ParsedFile(path=path, source=source, tree=tree,
+                      suppressions=collect_suppressions(source, tree))
+
+
+def default_jobs() -> int:
+    """Parse-pool width used by ``--jobs auto``."""
+    return max(1, min(MAX_PARSE_JOBS, os.cpu_count() or 1))
+
+
+def parse_files(paths: Iterable[str | Path],
+                jobs: int = 1) -> list[ParsedFile]:
+    """Parse every Python file under ``paths``.
+
+    With ``jobs > 1`` the files are parsed by a process pool.  The
+    result is identical to the serial path (order included); only the
+    wall-clock changes, which the analysis test suite measures.
+    """
+    files = [str(path) for path in iter_python_files(paths)]
+    if jobs <= 1 or len(files) < 2:
+        return [_parse_one(path) for path in files]
+    # The parse fan-out is IO + C-parser work over an already-fixed
+    # file list, not a seeded trial grid, so it stays here rather than
+    # going through repro.runtime.sweep.
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(files))
+    chunk = max(1, len(files) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:  # repro-lint: disable=RJ008
+        return list(pool.map(_parse_one, files, chunksize=chunk))
+
+
+# -- analysis -----------------------------------------------------------
+
+
+def _check_file(parsed: ParsedFile, rules: Iterable[Rule],
+                project: "ProjectContext | None") -> list[Finding]:
+    if parsed.tree is None:
+        return [parsed.error] if parsed.error is not None else []
+    ctx = FileContext(parsed.path, parsed.source, parsed.tree,
+                      parsed.suppressions)
+    findings = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            if project is None:
+                continue
+            produced = rule.check_project(ctx, project)
+        else:
+            produced = rule.check(ctx)
+        for finding in produced:
+            if not ctx.suppressions.is_suppressed(finding.rule,
+                                                  finding.line):
+                findings.append(finding)
+    return findings
+
+
+def _build_project(parsed: Iterable[ParsedFile]) -> "ProjectContext":
+    from repro.analysis.project import ProjectContext
+
+    return ProjectContext.build([
+        (p.path, p.tree) for p in parsed if p.tree is not None
+    ])
+
+
+def analyze_source(source: str, path: str,
+                   rules: Iterable[Rule] | None = None,
+                   project: "ProjectContext | None" = None
+                   ) -> list[Finding]:
+    """Analyze one source string as if it lived at ``path``.
+
+    Without an explicit ``project`` a single-file index is built, so
+    whole-program rules still run on snippets (seeing only this file).
+    """
+    if rules is None:
+        rules = resolve_rules()
+    parsed = parse_source(source, path)
+    if project is None and parsed.tree is not None:
+        project = _build_project([parsed])
+    return sorted(_check_file(parsed, rules, project),
+                  key=Finding.sort_key)
+
+
+def analyze_sources(files: dict[str, str],
+                    rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Analyze several in-memory files as one project.
+
+    ``files`` maps path -> source; the index phase sees all of them,
+    so cross-file dataflow rules resolve calls between the entries.
+    """
+    if rules is None:
+        rules = resolve_rules()
+    parsed = [parse_source(source, path) for path, source in files.items()]
+    project = _build_project(parsed)
     findings = [
         finding
-        for rule in rules
-        for finding in rule.check(ctx)
-        if not ctx.suppressions.is_suppressed(finding.rule, finding.line)
+        for one in parsed
+        for finding in _check_file(one, rules, project)
     ]
     return sorted(findings, key=Finding.sort_key)
 
 
 def analyze_file(path: str | Path,
                  rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Analyze one file on disk."""
-    path = Path(path)
-    try:
-        source = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as exc:
-        return [Finding(
-            rule=PARSE_ERROR_CODE,
-            message=f"file is unreadable: {exc}",
-            path=str(path),
-            line=1,
-            col=0,
-        )]
-    return analyze_source(source, str(path), rules)
+    """Analyze one file on disk (single-file project index)."""
+    if rules is None:
+        rules = resolve_rules()
+    parsed = _parse_one(str(path))
+    project = None
+    if parsed.tree is not None:
+        project = _build_project([parsed])
+    return sorted(_check_file(parsed, rules, project),
+                  key=Finding.sort_key)
 
 
 def analyze_paths(paths: Iterable[str | Path],
-                  rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Analyze every Python file under ``paths`` (the CLI entry point)."""
+                  rules: Iterable[Rule] | None = None,
+                  jobs: int = 1,
+                  project_paths: Iterable[str | Path] | None = None
+                  ) -> list[Finding]:
+    """Analyze every Python file under ``paths`` (the CLI entry point).
+
+    ``project_paths`` widens the **index** beyond the analyzed files:
+    ``--changed-only`` hands the changed files as ``paths`` and the
+    full source roots here, so whole-program rules keep seeing the
+    entire project while per-file work shrinks to the diff.
+    """
     if rules is None:
         rules = resolve_rules()
     else:
         rules = list(rules)
+    parsed = parse_files(paths, jobs=jobs)
+    index_input = parsed
+    if project_paths is not None:
+        analyzed = {Path(p.path).resolve() for p in parsed}
+        extra = parse_files(project_paths, jobs=jobs)
+        index_input = parsed + [
+            p for p in extra if Path(p.path).resolve() not in analyzed
+        ]
+    project = _build_project(index_input)
     findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(analyze_file(file_path, rules))
+    for one in parsed:
+        findings.extend(_check_file(one, rules, project))
     return sorted(findings, key=Finding.sort_key)

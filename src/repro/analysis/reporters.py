@@ -1,8 +1,11 @@
-"""Finding reporters: human text and machine JSON.
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
 
 The JSON schema (version 1) is stable; future PRs diff reports over
 time, so fields are only ever added, never renamed.  See
-``docs/static_analysis.md`` for the documented schema.
+``docs/static_analysis.md`` for the documented schema.  The SARIF
+output targets the minimal valid 2.1.0 shape that code-scanning UIs
+ingest: one run, a tool driver with the rule catalogue, one result
+per finding with a single physical location.
 """
 
 from __future__ import annotations
@@ -15,6 +18,9 @@ from repro.analysis.findings import Finding
 
 #: Bumped only when an existing field changes meaning.
 JSON_SCHEMA_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -47,3 +53,62 @@ def render_json(findings: Sequence[Finding],
         "findings": [finding.to_dict() for finding in findings],
     }
     return json.dumps(report, indent=2)
+
+
+def render_sarif(findings: Sequence[Finding],
+                 rules: Iterable = ()) -> str:
+    """SARIF 2.1.0 for code-scanning ingestion.
+
+    ``rules`` is the sequence of rule objects that ran (anything with
+    ``code``/``name``/``description`` attributes); their catalogue
+    entries go into the tool driver so viewers can show rule help
+    without a second lookup.
+    """
+    rule_entries = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+        }
+        for rule in rules
+    ]
+    rule_index = {entry["id"]: i for i, entry in enumerate(rule_entries)}
+    results = []
+    for finding in findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": finding.severity.value,
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; findings carry the
+                        # 0-based AST col_offset.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    sarif = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": rule_entries,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(sarif, indent=2)

@@ -9,13 +9,17 @@ PR needs is deliberately that small.
 from __future__ import annotations
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.backend_parity import BackendParityRule
 from repro.analysis.rules.bitexact import BitExactRule
+from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.dsp_primitives import DspPrimitiveRule
+from repro.analysis.rules.dtypeflow import DtypeFlowRule
 from repro.analysis.rules.faults import BusConstructionRule
 from repro.analysis.rules.hygiene import HygieneRule
 from repro.analysis.rules.magic_numbers import MagicNumberRule
 from repro.analysis.rules.pools import PoolConstructionRule
 from repro.analysis.rules.registers import RegisterAddressRule, RegisterWidthRule
+from repro.analysis.rules.spans import SpanPairingRule
 from repro.analysis.rules.walltime import WallClockRule
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -28,6 +32,10 @@ ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
     PoolConstructionRule(),
     DspPrimitiveRule(),
+    DtypeFlowRule(),
+    DeterminismRule(),
+    SpanPairingRule(),
+    BackendParityRule(),
 )
 
 _BY_CODE = {rule.code: rule for rule in ALL_RULES}

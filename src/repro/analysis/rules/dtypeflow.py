@@ -1,0 +1,168 @@
+"""RJ010: dtype propagation through the bit-exact packages.
+
+RJ003 catches a float *literal* inside the three designated datapath
+modules, but the property the paper's detection results rest on is
+wider: everything under ``hw/``, ``dsp/``, and ``kernels/`` models
+fixed-point hardware, and a float that reaches integer detection state
+*through a variable or a call boundary* is invisible to per-file
+pattern matching.  This rule runs the abstract dtype interpreter
+(:mod:`repro.analysis.dtypes`) over every function in those packages,
+using the :class:`~repro.analysis.project.ProjectContext` summaries to
+see one level through intra-project calls, and flags:
+
+* a local established as integer being silently rebound or augmented
+  to a float/complex value (``acc = 0`` ... ``acc += scale(x)`` where
+  ``scale`` returns float);
+* the same for ``self.<attr>`` state established integer in
+  ``__init__``;
+* a float-valued expression returned from a function annotated
+  ``-> int`` (or a numpy integer dtype);
+* a float-valued argument passed to a parameter annotated integer on
+  a resolved project callee.
+
+Explicit casts (``float(x)``, ``np.float64(x)``, ``x.astype(...)``)
+are exempt at the assignment that performs them: the rule hunts
+*silent* widening, and a spelled-out cast is a visible decision (that
+RJ003 still polices inside the strict modules).  Everything the
+interpreter cannot prove stays silent — only certainties fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.dtypes import COMPLEX, FLOAT, INT, DtypeInterpreter
+from repro.analysis.engine import FileContext, Finding, ProjectRule
+from repro.analysis.project import MODULE_BODY, FunctionInfo, ProjectContext
+
+#: Path fragments naming the bit-exact packages.
+BIT_EXACT_PATH_PARTS: tuple[str, ...] = ("/hw/", "/dsp/", "/kernels/")
+
+
+class _CheckingInterpreter(DtypeInterpreter):
+    """The dtype interpreter with RJ010's hooks wired to findings."""
+
+    def __init__(self, rule: "DtypeFlowRule", ctx: FileContext,
+                 fn: FunctionInfo, project: ProjectContext,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._rule = rule
+        self._ctx = ctx
+        self._fn = fn
+        self._project = project
+        self.findings: list[Finding] = []
+
+    def on_name_widened(self, name: str, old: str, new: str,
+                        node: ast.stmt) -> None:
+        self.findings.append(self._rule.finding(
+            self._ctx, node,
+            f"integer variable '{name}' in {self._fn.display}() is "
+            f"silently widened to {new}; the bit-exact datapath must "
+            "keep integer state integer (cast explicitly if this is "
+            "host-side math)",
+        ))
+
+    def on_attr_widened(self, attr: str, old: str, new: str,
+                        node: ast.stmt) -> None:
+        self.findings.append(self._rule.finding(
+            self._ctx, node,
+            f"integer state 'self.{attr}' (established in __init__) is "
+            f"silently widened to {new} in {self._fn.display}(); "
+            "detection state crossing chunks must stay integer",
+        ))
+
+    def on_return(self, dtype: str, node: ast.Return) -> None:
+        if self._fn.return_annotation_dtype == INT \
+                and dtype in (FLOAT, COMPLEX):
+            self.findings.append(self._rule.finding(
+                self._ctx, node,
+                f"{self._fn.display}() is annotated to return int but "
+                f"this return is certainly {dtype}",
+            ))
+
+    def on_call(self, node: ast.Call) -> None:
+        callee = self._project.resolve_call(self._fn.module, node,
+                                            cls=self._fn.cls)
+        if callee is None:
+            return
+        params = callee.params
+        if callee.cls is not None and params and params[0] == "self":
+            params = params[1:]
+        for param, arg in zip(params, node.args):
+            if callee.param_dtypes.get(param) != INT:
+                continue
+            if self.infer(arg) in (FLOAT, COMPLEX):
+                self.findings.append(self._rule.finding(
+                    self._ctx, node,
+                    f"float operand flows into integer parameter "
+                    f"'{param}' of {callee.display}(); the callee's "
+                    "contract is integer (quantize or round at the "
+                    "boundary)",
+                ))
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            if callee.param_dtypes.get(keyword.arg) != INT:
+                continue
+            if self.infer(keyword.value) in (FLOAT, COMPLEX):
+                self.findings.append(self._rule.finding(
+                    self._ctx, node,
+                    f"float operand flows into integer parameter "
+                    f"'{keyword.arg}' of {callee.display}(); the "
+                    "callee's contract is integer (quantize or round "
+                    "at the boundary)",
+                ))
+
+
+class DtypeFlowRule(ProjectRule):
+    """RJ010: no silent int->float widening in hw/, dsp/, kernels/."""
+
+    code = "RJ010"
+    name = "dtype-widening-in-bit-exact-package"
+    description = (
+        "integer detection state in hw/, dsp/, and kernels/ must not be "
+        "silently widened to float — across assignments, augmented "
+        "arithmetic, returns, and one level of intra-project calls "
+        "(project dtype summaries)"
+    )
+
+    def check_project(self, ctx: FileContext,
+                      project: ProjectContext) -> Iterator[Finding]:
+        if not ctx.is_src:
+            return
+        if not any(part in ctx.posix_path
+                   for part in BIT_EXACT_PATH_PARTS):
+            return
+        module = project.module_for(ctx.posix_path)
+        if module is None:
+            return
+        functions = list(module.functions.values())
+        for klass in module.classes.values():
+            functions.extend(klass.methods.values())
+        for fn in functions:
+            yield from self._check_function(ctx, project, module.name, fn)
+
+    def _check_function(self, ctx: FileContext, project: ProjectContext,
+                        module_name: str,
+                        fn: FunctionInfo) -> Iterator[Finding]:
+        self_attrs: dict[str, str] = {}
+        if fn.cls is not None and fn.name != "__init__":
+            klass = project.modules[module_name].classes.get(fn.cls)
+            if klass is not None:
+                self_attrs = dict(klass.attr_dtypes)
+        interp = _CheckingInterpreter(
+            self, ctx, fn, project,
+            resolver=project.dtype_resolver(module_name, cls=fn.cls),
+            params=dict(fn.param_dtypes),
+            self_attrs=self_attrs,
+        )
+        if fn.name == MODULE_BODY:
+            body = [stmt for stmt in fn.node.body
+                    if not isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef,
+                                             ast.ClassDef))]
+        else:
+            body = fn.node.body
+        interp.run(body)
+        yield from interp.findings

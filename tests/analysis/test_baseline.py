@@ -1,0 +1,97 @@
+"""The ratchet baseline: swallow the recorded count, never finding N+1."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    apply_baseline,
+    build_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+
+
+def _finding(rule: str, path: str, line: int) -> Finding:
+    return Finding(rule=rule, message="m", path=path, line=line, col=0)
+
+
+class TestBuildAndRoundtrip:
+    def test_counts_keyed_by_rule_and_path(self):
+        findings = [
+            _finding("RJ004", "tests/a.py", 1),
+            _finding("RJ004", "tests/a.py", 9),
+            _finding("RJ001", "tests/b.py", 2),
+        ]
+        assert build_baseline(findings) == {
+            "RJ001::tests/b.py": 1,
+            "RJ004::tests/a.py": 2,
+        }
+
+    def test_write_then_load_roundtrips(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        findings = [_finding("RJ004", "tests/a.py", 1)]
+        written = write_baseline(target, findings)
+        assert load_baseline(target) == written == {
+            "RJ004::tests/a.py": 1}
+        payload = json.loads(target.read_text())
+        assert payload["tool"] == "repro-lint"
+        assert payload["schema_version"] == 1
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_bad_schema_version_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps(
+            {"schema_version": 99, "counts": {}}))
+        with pytest.raises(ValueError):
+            load_baseline(target)
+
+    def test_malformed_counts_raise(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps(
+            {"schema_version": 1, "counts": {"RJ004::a.py": "two"}}))
+        with pytest.raises(ValueError):
+            load_baseline(target)
+
+
+class TestRatchet:
+    def test_baselined_findings_are_swallowed(self):
+        findings = [_finding("RJ004", "tests/a.py", 1)]
+        surviving, suppressed = apply_baseline(
+            findings, {"RJ004::tests/a.py": 1})
+        assert surviving == []
+        assert suppressed == 1
+
+    def test_finding_n_plus_one_survives(self):
+        findings = [
+            _finding("RJ004", "tests/a.py", 1),
+            _finding("RJ004", "tests/a.py", 9),
+        ]
+        surviving, suppressed = apply_baseline(
+            findings, {"RJ004::tests/a.py": 1})
+        assert suppressed == 1
+        # Report order means the later occurrence — the likely new
+        # violation — is the one that surfaces.
+        assert [f.line for f in surviving] == [9]
+
+    def test_other_rules_and_paths_unaffected(self):
+        findings = [
+            _finding("RJ001", "tests/a.py", 1),
+            _finding("RJ004", "tests/b.py", 1),
+        ]
+        surviving, suppressed = apply_baseline(
+            findings, {"RJ004::tests/a.py": 5})
+        assert suppressed == 0
+        assert surviving == findings
+
+    def test_fixed_findings_shrink_naturally(self):
+        # Fewer findings than the baseline records is simply clean;
+        # --update-baseline tightens the ratchet on the next run.
+        surviving, suppressed = apply_baseline(
+            [], {"RJ004::tests/a.py": 3})
+        assert surviving == [] and suppressed == 0

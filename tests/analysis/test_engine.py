@@ -108,7 +108,7 @@ class TestReporters:
 class TestRuleSelection:
     def test_all_rules_have_unique_codes(self):
         codes = [rule.code for rule in ALL_RULES]
-        assert len(set(codes)) == len(codes) == 9
+        assert len(set(codes)) == len(codes) == 13
         assert codes == sorted(codes)
 
     def test_select_narrows(self):
@@ -126,6 +126,48 @@ class TestRuleSelection:
             assert "RJ999" in str(exc)
         else:
             raise AssertionError("expected ValueError")
+
+    def test_unknown_ignore_raises(self):
+        # --ignore validates exactly like --select: a typo'd code that
+        # silently ignores nothing must be rejected, not swallowed.
+        try:
+            resolve_rules(ignore=["RJ001", "RJ998"])
+        except ValueError as exc:
+            assert "RJ998" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestFileDiscovery:
+    def _make_tree(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        (pkg / "b.py").write_text("y = 2\n")
+        return pkg
+
+    def test_overlapping_dir_and_file_dedupe(self, tmp_path):
+        from repro.analysis import iter_python_files
+
+        pkg = self._make_tree(tmp_path)
+        files = list(iter_python_files([pkg, pkg / "a.py"]))
+        assert sorted(f.name for f in files) == ["a.py", "b.py"]
+
+    def test_same_dir_twice_dedupes(self, tmp_path):
+        from repro.analysis import iter_python_files
+
+        pkg = self._make_tree(tmp_path)
+        files = list(iter_python_files([pkg, pkg]))
+        assert sorted(f.name for f in files) == ["a.py", "b.py"]
+
+    def test_relative_and_absolute_spellings_dedupe(self, tmp_path,
+                                                    monkeypatch):
+        from repro.analysis import iter_python_files
+
+        pkg = self._make_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        files = list(iter_python_files(["pkg/a.py", pkg / "a.py"]))
+        assert [f.name for f in files] == ["a.py"]
 
 
 class TestParseErrors:

@@ -1,0 +1,262 @@
+"""The index phase: ProjectContext, call graph, parallel parsing.
+
+The acceptance budget for the whole analysis is explicit: a full
+project index plus all thirteen rules over the entire repository in
+under ten seconds.  The timing tests here measure the index phase
+directly against the real source tree, and the parallel-parse tests
+assert result *parity* unconditionally and speedup only where the box
+actually has cores to spend (single-core CI runners prove nothing
+about a pool).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import parse_files
+from repro.analysis.project import (
+    MODULE_BODY,
+    ProjectContext,
+    module_name_for_path,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def _build(files: dict[str, str]) -> ProjectContext:
+    return ProjectContext.build(
+        [(path, ast.parse(source)) for path, source in files.items()])
+
+
+class TestModuleNames:
+    def test_src_files_get_import_names(self):
+        assert module_name_for_path(
+            "src/repro/hw/trigger.py") == "repro.hw.trigger"
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for_path(
+            "src/repro/kernels/__init__.py") == "repro.kernels"
+
+    def test_out_of_tree_files_get_pseudo_names(self):
+        name = module_name_for_path("tests/hw/test_trigger.py")
+        assert name.endswith("test_trigger")
+
+
+class TestSymbolTable:
+    FILES = {
+        "src/repro/dsp/a.py": (
+            "from __future__ import annotations\n"
+            "def top(x):\n"
+            "    return helper(x)\n"
+            "def helper(x):\n"
+            "    return x\n"
+            "class Filter:\n"
+            "    taps = 4\n"
+            "    def __init__(self):\n"
+            "        self.acc = 0\n"
+            "    def step(self, x):\n"
+            "        return self._inner(x)\n"
+            "    def _inner(self, x):\n"
+            "        return x\n"
+        ),
+    }
+
+    def test_functions_and_methods_indexed_by_qualname(self):
+        project = _build(self.FILES)
+        assert "repro.dsp.a:top" in project.functions
+        assert "repro.dsp.a:helper" in project.functions
+        assert "repro.dsp.a:Filter.step" in project.functions
+        assert "repro.dsp.a:Filter" in project.classes
+
+    def test_module_body_is_a_pseudo_function(self):
+        project = _build(self.FILES)
+        assert f"repro.dsp.a:{MODULE_BODY}" in project.functions
+
+    def test_class_attrs_and_init_state_recorded(self):
+        project = _build(self.FILES)
+        klass = project.classes["repro.dsp.a:Filter"]
+        assert "taps" in klass.class_attrs
+        assert klass.attr_dtypes.get("acc") == "int"
+
+
+class TestCallGraph:
+    def test_local_call_edge(self):
+        project = _build(TestSymbolTable.FILES)
+        assert "repro.dsp.a:helper" in \
+            project.functions["repro.dsp.a:top"].calls
+
+    def test_self_method_edge(self):
+        project = _build(TestSymbolTable.FILES)
+        assert "repro.dsp.a:Filter._inner" in \
+            project.functions["repro.dsp.a:Filter.step"].calls
+
+    def test_cross_module_from_import_edge(self):
+        project = _build({
+            "src/repro/dsp/lib.py": (
+                "def leaf(x):\n"
+                "    return x\n"
+            ),
+            "src/repro/dsp/use.py": (
+                "from repro.dsp.lib import leaf\n"
+                "def caller(x):\n"
+                "    return leaf(x)\n"
+            ),
+        })
+        assert "repro.dsp.lib:leaf" in \
+            project.functions["repro.dsp.use:caller"].calls
+
+    def test_module_alias_attribute_edge(self):
+        project = _build({
+            "src/repro/dsp/lib.py": "def leaf(x):\n    return x\n",
+            "src/repro/dsp/use.py": (
+                "import repro.dsp.lib as lib\n"
+                "def caller(x):\n"
+                "    return lib.leaf(x)\n"
+            ),
+        })
+        assert "repro.dsp.lib:leaf" in \
+            project.functions["repro.dsp.use:caller"].calls
+
+    def test_call_inside_comprehension_is_an_edge(self):
+        project = _build({
+            "src/repro/dsp/lib.py": "def leaf(x):\n    return x\n",
+            "src/repro/dsp/use.py": (
+                "from repro.dsp.lib import leaf\n"
+                "def caller(xs):\n"
+                "    return [leaf(x) for x in xs]\n"
+            ),
+        })
+        assert "repro.dsp.lib:leaf" in \
+            project.functions["repro.dsp.use:caller"].calls
+
+    def test_unresolvable_call_produces_no_edge(self):
+        project = _build({
+            "src/repro/dsp/use.py": (
+                "def caller(obj):\n"
+                "    return obj.method()\n"
+            ),
+        })
+        assert project.functions["repro.dsp.use:caller"].calls == set()
+
+    def test_reachability_is_transitive(self):
+        project = _build({
+            "src/repro/dsp/a.py": (
+                "from repro.dsp.b import mid\n"
+                "def entry(x):\n"
+                "    return mid(x)\n"
+            ),
+            "src/repro/dsp/b.py": (
+                "from repro.dsp.c import leaf\n"
+                "def mid(x):\n"
+                "    return leaf(x)\n"
+            ),
+            "src/repro/dsp/c.py": "def leaf(x):\n    return x\n",
+        })
+        reachable = project.reachable_from({"repro.dsp.a:entry"})
+        assert "repro.dsp.c:leaf" in reachable
+
+
+class TestFunctionSummaries:
+    def test_return_dtype_from_annotation(self):
+        project = _build({
+            "src/repro/dsp/a.py": (
+                "def f(x) -> int:\n"
+                "    return x\n"
+            ),
+        })
+        assert project.functions["repro.dsp.a:f"].returns_dtype == "int"
+
+    def test_return_dtype_inferred_from_body(self):
+        project = _build({
+            "src/repro/dsp/a.py": (
+                "def f(x):\n"
+                "    return x * 0.5\n"
+            ),
+        })
+        assert project.functions["repro.dsp.a:f"].returns_dtype == "float"
+
+    def test_second_pass_sees_one_call_level(self):
+        project = _build({
+            "src/repro/dsp/a.py": (
+                "def inner(x):\n"
+                "    return x * 0.5\n"
+                "def outer(x):\n"
+                "    return inner(x)\n"
+            ),
+        })
+        assert project.functions[
+            "repro.dsp.a:outer"].returns_dtype == "float"
+
+    def test_contextmanager_decorator_detected(self):
+        project = _build({
+            "src/repro/dsp/a.py": (
+                "from contextlib import contextmanager\n"
+                "@contextmanager\n"
+                "def scope():\n"
+                "    yield\n"
+            ),
+        })
+        assert project.functions["repro.dsp.a:scope"].is_contextmanager
+
+
+class TestSubclassQuery:
+    def test_subclasses_found_across_modules(self):
+        project = _build({
+            "src/repro/kernels/dispatch.py": (
+                "class KernelBackend:\n"
+                "    name = 'base'\n"
+            ),
+            "src/repro/kernels/np_b.py": (
+                "from repro.kernels.dispatch import KernelBackend\n"
+                "class NumpyB(KernelBackend):\n"
+                "    name = 'numpy'\n"
+            ),
+        })
+        subs = project.subclasses_of(
+            "repro.kernels.dispatch:KernelBackend")
+        assert [klass.name for klass in subs] == ["NumpyB"]
+
+
+class TestParallelParsing:
+    def test_parallel_matches_serial(self):
+        paths = [SRC / "repro" / "analysis"]
+        serial = parse_files(paths, jobs=1)
+        parallel = parse_files(paths, jobs=4)
+        assert [p.path for p in serial] == [p.path for p in parallel]
+        assert all(
+            ast.dump(a.tree) == ast.dump(b.tree)
+            for a, b in zip(serial, parallel)
+            if a.tree is not None and b.tree is not None
+        )
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                        reason="speedup is only measurable with >1 core")
+    def test_parallel_is_faster_on_multicore(self):
+        paths = [SRC]
+        parse_files(paths, jobs=1)  # warm the page cache
+        start = time.perf_counter()
+        parse_files(paths, jobs=1)
+        serial_s = time.perf_counter() - start
+        start = time.perf_counter()
+        parse_files(paths, jobs=os.cpu_count())
+        parallel_s = time.perf_counter() - start
+        # Pool startup costs real time; demand better than break-even,
+        # not a perfect scaling curve.
+        assert parallel_s < serial_s * 1.1
+
+
+class TestFullProjectBudget:
+    def test_index_plus_rules_under_ten_seconds(self):
+        from repro.analysis import analyze_paths
+
+        start = time.perf_counter()
+        findings = analyze_paths([SRC], jobs=os.cpu_count() or 1)
+        elapsed = time.perf_counter() - start
+        assert findings == []
+        assert elapsed < 10.0, f"full src analysis took {elapsed:.1f}s"

@@ -1,0 +1,61 @@
+"""The SARIF exporter: minimal valid 2.1.0 shape for code scanning."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import ALL_RULES, get_rule, render_sarif
+from repro.analysis.findings import Finding, Severity
+
+
+def _finding(rule="RJ003", severity=Severity.ERROR) -> Finding:
+    return Finding(rule=rule, message="float in datapath",
+                   path="src/repro/hw/x.py", line=7, col=4,
+                   severity=severity)
+
+
+class TestSarifShape:
+    def test_top_level_envelope(self):
+        sarif = json.loads(render_sarif([_finding()], ALL_RULES))
+        assert sarif["version"] == "2.1.0"
+        assert sarif["$schema"].endswith("sarif-2.1.0.json")
+        assert len(sarif["runs"]) == 1
+
+    def test_driver_carries_rule_catalogue(self):
+        sarif = json.loads(render_sarif([], ALL_RULES))
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == [rule.code for rule in ALL_RULES]
+        for entry in driver["rules"]:
+            assert entry["shortDescription"]["text"]
+            assert entry["fullDescription"]["text"]
+
+    def test_result_location_and_level(self):
+        sarif = json.loads(render_sarif([_finding()], ALL_RULES))
+        result = sarif["runs"][0]["results"][0]
+        assert result["ruleId"] == "RJ003"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "float in datapath"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/hw/x.py"
+        assert location["region"]["startLine"] == 7
+        # SARIF columns are 1-based; the finding's col is the 0-based
+        # AST offset.
+        assert location["region"]["startColumn"] == 5
+
+    def test_rule_index_points_into_catalogue(self):
+        sarif = json.loads(render_sarif([_finding()], ALL_RULES))
+        run = sarif["runs"][0]
+        result = run["results"][0]
+        catalogue = run["tool"]["driver"]["rules"]
+        assert catalogue[result["ruleIndex"]]["id"] == "RJ003"
+
+    def test_warning_severity_maps_to_warning_level(self):
+        sarif = json.loads(render_sarif(
+            [_finding(severity=Severity.WARNING)], ALL_RULES))
+        assert sarif["runs"][0]["results"][0]["level"] == "warning"
+
+    def test_empty_findings_yield_empty_results(self):
+        sarif = json.loads(render_sarif([], [get_rule("RJ003")]))
+        assert sarif["runs"][0]["results"] == []

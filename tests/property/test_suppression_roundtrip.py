@@ -1,0 +1,113 @@
+"""Property tests: suppression-comment parsing round-trips.
+
+The suppression layer is the one part of repro-lint every developer
+talks to directly, so its parser gets the adversarial treatment:
+generated rule-code sets, spacing, and comment placement must always
+round-trip — a directive we emit is a directive we parse, suppressing
+exactly the codes it names on exactly the lines it covers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.suppressions import collect_suppressions
+import ast
+
+#: Realistic rule codes (RJ000..RJ099) plus renamed/unknown ones;
+#: the parser accepts any alphanumeric code.
+rule_codes = st.from_regex(r"RJ[0-9]{3}", fullmatch=True)
+code_sets = st.sets(rule_codes, min_size=1, max_size=4)
+#: Horizontal padding a human might type around the directive.
+pad = st.text(alphabet=" ", max_size=3)
+
+
+def _directive(codes: set[str], scope_file: bool, lpad: str,
+               rpad: str) -> str:
+    scope = "disable-file" if scope_file else "disable"
+    return f"# repro-lint:{lpad}{scope}{rpad}={lpad}{','.join(sorted(codes))}"
+
+
+def _collect(source: str):
+    return collect_suppressions(source, ast.parse(source))
+
+
+class TestLineDirectiveRoundtrip:
+    @given(codes=code_sets, lpad=pad, rpad=pad)
+    @settings(max_examples=200)
+    def test_emitted_directive_suppresses_named_codes_on_its_line(
+            self, codes, lpad, rpad):
+        source = (
+            "x = 1\n"
+            f"y = compute()  {_directive(codes, False, lpad, rpad)}\n"
+            "z = 3\n"
+        )
+        suppressions = _collect(source)
+        for code in codes:
+            assert suppressions.is_suppressed(code, 2)
+            assert not suppressions.is_suppressed(code, 1)
+            assert not suppressions.is_suppressed(code, 3)
+
+    @given(codes=code_sets, other=rule_codes)
+    @settings(max_examples=200)
+    def test_unlisted_codes_stay_active(self, codes, other):
+        source = f"y = compute()  {_directive(codes, False, '', '')}\n"
+        suppressions = _collect(source)
+        assert suppressions.is_suppressed(other, 1) == (other in codes)
+
+    @given(codes=code_sets)
+    def test_case_of_code_is_irrelevant(self, codes):
+        lowered = {code.lower() for code in codes}
+        source = f"y = compute()  {_directive(lowered, False, '', '')}\n"
+        suppressions = _collect(source)
+        for code in codes:
+            assert suppressions.is_suppressed(code, 1)
+
+
+class TestFileDirectiveRoundtrip:
+    @given(codes=code_sets, line_count=st.integers(1, 20))
+    @settings(max_examples=100)
+    def test_file_directive_covers_every_line(self, codes, line_count):
+        source = f"{_directive(codes, True, '', '')}\n" + \
+            "\n".join(f"x{i} = {i}" for i in range(line_count)) + "\n"
+        suppressions = _collect(source)
+        for code in codes:
+            for line in range(1, line_count + 2):
+                assert suppressions.is_suppressed(code, line)
+
+
+class TestDefScopedRoundtrip:
+    @given(codes=code_sets, body_lines=st.integers(1, 10))
+    @settings(max_examples=100)
+    def test_header_directive_covers_exactly_the_body(self, codes,
+                                                      body_lines):
+        body = "\n".join(f"    x{i} = {i}" for i in range(body_lines))
+        source = (
+            "a = 0\n"
+            f"def f():  {_directive(codes, False, '', '')}\n"
+            f"{body}\n"
+            "b = 1\n"
+        )
+        suppressions = _collect(source)
+        last_body_line = 2 + body_lines
+        for code in codes:
+            for line in range(2, last_body_line + 1):
+                assert suppressions.is_suppressed(code, line)
+            assert not suppressions.is_suppressed(code, 1)
+            assert not suppressions.is_suppressed(code, last_body_line + 1)
+
+
+class TestNonDirectivesAreInert:
+    @given(comment=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                               exclude_characters="#\\"),
+        max_size=40))
+    @settings(max_examples=200)
+    def test_arbitrary_comments_suppress_nothing(self, comment):
+        if "repro-lint" in comment:
+            return
+        source = f"x = 1  # {comment}\n"
+        suppressions = _collect(source)
+        assert not suppressions.is_suppressed("RJ001", 1)
+        assert not suppressions.file_level
