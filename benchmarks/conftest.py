@@ -20,6 +20,7 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_TELEMETRY_PATH = _REPO_ROOT / "BENCH_telemetry.json"
 BENCH_RUNTIME_PATH = _REPO_ROOT / "BENCH_runtime.json"
 BENCH_KERNELS_PATH = _REPO_ROOT / "BENCH_kernels.json"
+BENCH_RESILIENCE_PATH = _REPO_ROOT / "BENCH_resilience.json"
 
 
 def _record_fixture(path: Path):
@@ -48,3 +49,9 @@ def runtime_record():
 def kernels_record():
     """A dict the kernel benchmarks drop their results into."""
     yield from _record_fixture(BENCH_KERNELS_PATH)
+
+
+@pytest.fixture(scope="session")
+def resilience_record():
+    """A dict the chaos-sweep benchmarks drop their results into."""
+    yield from _record_fixture(BENCH_RESILIENCE_PATH)

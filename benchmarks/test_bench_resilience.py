@@ -1,0 +1,148 @@
+"""Chaos-sweep harness — the job layer under injected worker faults.
+
+The acceptance contract for :mod:`repro.runtime.jobs` (see
+docs/resilient_sweeps.md): a Fig. 6 detection curve whose workers are
+killed mid-sweep must finish anyway and match the uninterrupted serial
+``workers=1`` reference bit-for-bit, and an interrupted checkpointed
+sweep must resume by re-executing only the shards the first run never
+completed.  Two arms:
+
+* **crash arm** — a 2-worker Fig. 6 sweep with two seeded
+  ``os._exit`` kills (real ``BrokenProcessPool`` crashes, not mocked
+  exceptions); the supervisor recycles the pool, retries the victims,
+  and the curve is byte-identical to the serial reference;
+* **resume arm** — a serial checkpointed sweep is killed after K
+  shards by a poison shard that exhausts its retry budget; the resumed
+  run replays exactly K shards from the journal (checkpoint-hit count
+  asserted) and the finished curve is byte-identical to an
+  uninterrupted run.
+
+Results land in ``BENCH_resilience.json`` via the session fixture; the
+CI ``chaos-sweep`` job uploads it as an artifact.  Run via the
+``chaos`` marker: ``python -m pytest benchmarks -m chaos``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.experiments.detection import long_preamble_curve
+from repro.faults.workers import WorkerFaultInjector, WorkerFaultPlan
+from repro.runtime.jobs import ResilienceConfig, last_sweep_health
+
+SNRS_DB = [-6.0, -3.0, 0.0, 3.0]
+N_FRAMES = 200  # 4 batches per SNR -> 16 trial specs
+
+
+def _curve(**kwargs):
+    return long_preamble_curve(SNRS_DB, n_frames=N_FRAMES,
+                               full_frames=False, **kwargs)
+
+
+def _curve_fingerprint(points) -> list[tuple[float, float, float, int]]:
+    return [(p.snr_db, p.detection_probability,
+             p.mean_detections_per_frame, p.n_frames) for p in points]
+
+
+@pytest.mark.chaos
+def test_bench_crash_identity(resilience_record):
+    """Two real worker kills mid-sweep; curve byte-identical to serial."""
+    t0 = time.perf_counter()
+    reference = _curve(workers=1)
+    serial_s = time.perf_counter() - t0
+
+    # Kill the workers running shards 0 and 1 on their first attempt:
+    # each os._exit(137) takes the whole fork pool down, so the
+    # supervisor sees BrokenProcessPool twice and recycles twice.
+    plan = WorkerFaultPlan(seed=42).kill_shards([0, 1])
+    t0 = time.perf_counter()
+    survived = _curve(workers=2,
+                      resilience=ResilienceConfig(max_attempts=3,
+                                                  quarantine_limit=0),
+                      fault_injector=WorkerFaultInjector(plan))
+    chaos_s = time.perf_counter() - t0
+    health = last_sweep_health()
+
+    print("\nChaos sweep — crash arm (2 injected worker kills)")
+    print(health.summary())
+
+    # The faults actually flowed: at least the two seeded kills (pool
+    # breakage charges collateral shards too, so >= not ==).
+    assert health.crashes >= 2
+    assert health.retries >= 2
+    # Nothing quarantined, nothing missing...
+    assert health.ok
+    assert health.completed_tasks == health.total_tasks
+    # ...and the curve survived the crashes bit-for-bit.
+    assert _curve_fingerprint(survived) == _curve_fingerprint(reference)
+
+    resilience_record["crash_arm"] = {
+        "injected_kills": 2,
+        "crashes_observed": health.crashes,
+        "retries": health.retries,
+        "identical_to_serial": True,
+        "serial_seconds": serial_s,
+        "chaos_seconds": chaos_s,
+        "health": health.to_dict(),
+    }
+
+
+@pytest.mark.chaos
+def test_bench_checkpoint_resume(resilience_record, tmp_path):
+    """Kill after K shards; resume replays exactly K from the journal."""
+    reference = _curve(workers=1)
+    journal = tmp_path / "sweep.ckpt.jsonl"
+
+    # A poison shard that dies on every attempt exhausts the retry
+    # budget and aborts the sweep — the serial analogue of yanking the
+    # power cord partway through.  Shards before it complete and land
+    # in the journal first.
+    poison = WorkerFaultPlan(seed=7).kill_shards([2], attempts=(0, 1, 2))
+    with pytest.raises(WorkerCrashError):
+        _curve(workers=1,
+               resilience=ResilienceConfig(max_attempts=3,
+                                           quarantine_limit=0,
+                                           checkpoint_path=journal),
+               fault_injector=WorkerFaultInjector(poison))
+    interrupted = last_sweep_health()
+    completed_before_kill = interrupted.completed_shards
+    total_shards = interrupted.total_shards
+
+    print("\nChaos sweep — resume arm (interrupted run)")
+    print(interrupted.summary())
+
+    # The interruption left real durable progress behind.
+    assert 0 < completed_before_kill < total_shards
+    assert journal.exists()
+
+    t0 = time.perf_counter()
+    resumed = _curve(workers=1,
+                     resilience=ResilienceConfig(
+                         max_attempts=3, quarantine_limit=0,
+                         checkpoint_path=journal))
+    resume_s = time.perf_counter() - t0
+    health = last_sweep_health()
+
+    print("Chaos sweep — resume arm (resumed run)")
+    print(health.summary())
+
+    # Exactly the shards the first run finished replay from the
+    # journal; only the remainder executes live.
+    assert health.checkpoint_hits == completed_before_kill
+    assert health.completed_shards == total_shards
+    assert health.ok
+    # The stitched-together curve is bit-for-bit the uninterrupted one.
+    assert _curve_fingerprint(resumed) == _curve_fingerprint(reference)
+
+    resilience_record["resume_arm"] = {
+        "total_shards": total_shards,
+        "completed_before_kill": completed_before_kill,
+        "checkpoint_hits_on_resume": health.checkpoint_hits,
+        "shards_reexecuted": total_shards - health.checkpoint_hits,
+        "identical_to_uninterrupted": True,
+        "resume_seconds": resume_s,
+        "health": health.to_dict(),
+    }

@@ -19,6 +19,7 @@ from repro.analysis.rules.hygiene import HygieneRule
 from repro.analysis.rules.magic_numbers import MagicNumberRule
 from repro.analysis.rules.pools import PoolConstructionRule
 from repro.analysis.rules.registers import RegisterAddressRule, RegisterWidthRule
+from repro.analysis.rules.retries import UnboundedRetryRule
 from repro.analysis.rules.spans import SpanPairingRule
 from repro.analysis.rules.walltime import WallClockRule
 
@@ -36,6 +37,7 @@ ALL_RULES: tuple[Rule, ...] = (
     DeterminismRule(),
     SpanPairingRule(),
     BackendParityRule(),
+    UnboundedRetryRule(),
 )
 
 _BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,134 @@
+"""RJ014: retry loops must carry a bound.
+
+The fault-tolerant job layer (:mod:`repro.runtime.jobs`) retries
+crashed shards under a ``max_attempts`` budget with a capped seeded
+backoff — a failure costs bounded time and then surfaces as a
+quarantine or a typed error.  An unbounded retry loop inverts that: a
+poison input or a dead device turns into a silent spin that never
+returns and never reports.  This rule flags ``while True`` loops in
+the resilience-critical packages (``runtime``, ``faults``, ``hw``)
+that swallow an exception and go around again without any visible
+attempt bound, backoff cap, or deadline in the loop body.
+
+The check is a heuristic on names: a loop is considered bounded when
+some comparison inside it mentions an attempt counter, retry budget,
+cap, or deadline (``attempt``, ``retries``, ``tries``, ``budget``,
+``cap``, ``deadline``, ``remaining``).  Loops without a ``try`` that
+re-iterates are never flagged — an infinite *generator* (``while
+True: yield ...``) is a legitimate shape.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+#: Packages where an unbounded retry is a resilience bug, not a style
+#: choice: the sweep runtime, the fault injectors, and the hardware
+#: control plane.
+WATCHED_PATH_PARTS: tuple[str, ...] = ("/runtime/", "/faults/", "/hw/")
+
+#: Substrings that mark a comparison as a retry bound.
+BOUND_NAME_HINTS: tuple[str, ...] = (
+    "attempt", "retr", "tries", "budget", "cap", "deadline", "remaining",
+)
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    """``while True`` / ``while 1`` — a loop only a ``break`` can end."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _iter_loop_body(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a loop body without descending into nested def/class.
+
+    A retry bound inside a nested function does not bound the outer
+    loop, and a ``try`` inside a nested function is not the loop's
+    exception handling.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _handler_reiterates(handler: ast.ExceptHandler) -> bool:
+    """True when the except handler lets the loop go around again.
+
+    A handler whose last statement raises, returns, or breaks exits
+    the retry cycle; anything else (including an explicit ``continue``
+    or a bare fall-through) re-enters the loop.
+    """
+    if not handler.body:
+        return True
+    last = handler.body[-1]
+    return not isinstance(last, (ast.Raise, ast.Return, ast.Break))
+
+
+def _names_in(node: ast.AST) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _has_bound(loop: ast.While) -> bool:
+    """Any comparison in the loop mentioning an attempt/budget name."""
+    for node in _iter_loop_body(loop.body):
+        if not isinstance(node, ast.Compare):
+            continue
+        for name in _names_in(node):
+            lowered = name.lower()
+            if any(hint in lowered for hint in BOUND_NAME_HINTS):
+                return True
+    return False
+
+
+class UnboundedRetryRule(Rule):
+    """RJ014: no bound-less swallow-and-retry loops."""
+
+    code = "RJ014"
+    name = "unbounded-retry"
+    description = (
+        "a `while True` loop in runtime/faults/hw that catches an "
+        "exception and retries must carry a visible attempt bound, "
+        "backoff cap, or deadline; unbounded retries turn poison "
+        "inputs into silent spins (see repro.runtime.jobs for the "
+        "budgeted pattern)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_src:
+            return
+        if not any(part in ctx.posix_path for part in WATCHED_PATH_PARTS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While) \
+                    or not _is_constant_true(node.test):
+                continue
+            retrying = [
+                handler
+                for sub in _iter_loop_body(node.body)
+                if isinstance(sub, ast.Try)
+                for handler in sub.handlers
+                if _handler_reiterates(handler)
+            ]
+            if not retrying:
+                continue
+            if _has_bound(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                "unbounded retry: this `while True` loop swallows an "
+                "exception and goes around again with no attempt "
+                "bound, backoff cap, or deadline in sight; budget the "
+                "retries (max attempts + capped backoff) the way "
+                "repro.runtime.jobs does",
+            )

@@ -45,3 +45,33 @@ class RegisterWriteError(HardwareError):
     configured retry budget is exhausted — the control plane itself is
     failing, not the caller.
     """
+
+
+class WorkerCrashError(ReproError):
+    """A sweep worker process died while trials were in flight.
+
+    Wraps the raw ``concurrent.futures.process.BrokenProcessPool``
+    (kept as ``__cause__``) with the context the pool error lacks:
+    which flattened trial indices were being executed when the worker
+    vanished.  The job layer uses the same type when a shard exhausts
+    its retry budget and quarantine is not permitted.
+
+    Attributes:
+        trial_indices: Flattened ``points x trials`` grid indices that
+            were in flight (or unrecoverable) when the crash surfaced.
+    """
+
+    def __init__(self, message: str,
+                 trial_indices: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.trial_indices = tuple(int(i) for i in trial_indices)
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint journal could not be created or written.
+
+    Unreadable or corrupted *entries* inside an existing journal are
+    tolerated (skipped and recomputed); this error is reserved for the
+    journal file itself being unwritable — the durability contract of
+    a resumable sweep cannot be met.
+    """

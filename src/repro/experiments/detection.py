@@ -54,9 +54,14 @@ from repro.phy.wifi.frame import WifiFrameConfig, build_ppdu
 from repro.phy.wifi.params import WIFI_SAMPLE_RATE, WifiRate
 from repro.phy.wifi.preamble import long_preamble, long_training_symbol, short_preamble
 from repro.runtime.cache import cached_artifact
-from repro.runtime.sweep import sweep as run_sweep
+from repro.runtime.jobs import (
+    STRICT_RESILIENCE,
+    ResilienceConfig,
+    resilient_sweep,
+)
 
 if TYPE_CHECKING:
+    from repro.faults.workers import WorkerFaultInjector
     from repro.telemetry.session import Telemetry
 
 #: The paper's frame pacing: 130 frames per second, 10,000 frames.
@@ -372,14 +377,21 @@ def _detection_curve(template: np.ndarray, frame_kind: str,
                      snrs_db: list[float], n_frames: int,
                      fa_per_second: float, seed: int,
                      workers: int = 1,
-                     telemetry: "Telemetry | None" = None
+                     telemetry: "Telemetry | None" = None,
+                     resilience: "ResilienceConfig | None" = None,
+                     fault_injector: "WorkerFaultInjector | None" = None
                      ) -> list[DetectionPoint]:
     """Shared sweep engine for the correlator characterizations.
 
-    The (SNR x trial-batch) grid runs through
-    :func:`repro.runtime.sweep.sweep`: every trial draws its noise and
-    impairments from ``default_rng(seed + trial_index)``, so the curve
-    is byte-identical for any ``workers`` count.
+    The (SNR x trial-batch) grid runs through the fault-tolerant job
+    layer (:func:`repro.runtime.jobs.resilient_sweep`): every trial
+    draws its noise and impairments from ``default_rng(seed +
+    trial_index)``, so the curve is byte-identical for any ``workers``
+    count — and for any number of worker crashes, hangs, retries, or
+    checkpoint resumes the run survives along the way.  The default
+    policy (:data:`~repro.runtime.jobs.STRICT_RESILIENCE`) retries
+    failed shards but never quarantines: a curve with holes is not a
+    result.
     """
     coeffs_i, coeffs_q = quantize_coefficients(template)
     threshold = threshold_for_false_alarm_rate(coeffs_i, coeffs_q,
@@ -392,8 +404,11 @@ def _detection_curve(template: np.ndarray, frame_kind: str,
         for snr_db in snrs_db
         for batch in _trial_batches(n_frames)
     ]
-    outcomes = run_sweep(_xcorr_trial, specs, workers=workers,
-                         seed_root=seed, telemetry=telemetry)
+    outcomes = resilient_sweep(
+        _xcorr_trial, specs, workers=workers, seed_root=seed,
+        telemetry=telemetry,
+        config=resilience if resilience is not None else STRICT_RESILIENCE,
+        fault_injector=fault_injector)
     return _merge_points(snrs_db, specs, outcomes)
 
 
@@ -402,7 +417,9 @@ def long_preamble_curve(snrs_db: list[float], n_frames: int = 500,
                         full_frames: bool = True,
                         seed: int = 20140818,
                         workers: int = 1,
-                        telemetry: "Telemetry | None" = None
+                        telemetry: "Telemetry | None" = None,
+                        resilience: "ResilienceConfig | None" = None,
+                        fault_injector: "WorkerFaultInjector | None" = None
                         ) -> list[DetectionPoint]:
     """Fig. 6: long-preamble detection vs SNR.
 
@@ -412,19 +429,25 @@ def long_preamble_curve(snrs_db: list[float], n_frames: int = 500,
     kind = "full" if full_frames else "single_long"
     return _detection_curve(wifi_long_preamble_template(), kind, snrs_db,
                             n_frames, fa_per_second, seed,
-                            workers=workers, telemetry=telemetry)
+                            workers=workers, telemetry=telemetry,
+                            resilience=resilience,
+                            fault_injector=fault_injector)
 
 
 def short_preamble_curve(snrs_db: list[float], n_frames: int = 500,
                          fa_per_second: float = 0.059,
                          seed: int = 20140819,
                          workers: int = 1,
-                         telemetry: "Telemetry | None" = None
+                         telemetry: "Telemetry | None" = None,
+                         resilience: "ResilienceConfig | None" = None,
+                         fault_injector: "WorkerFaultInjector | None" = None
                          ) -> list[DetectionPoint]:
     """Fig. 7: short-preamble detection of full WiFi frames vs SNR."""
     return _detection_curve(wifi_short_preamble_template(), "full", snrs_db,
                             n_frames, fa_per_second, seed,
-                            workers=workers, telemetry=telemetry)
+                            workers=workers, telemetry=telemetry,
+                            resilience=resilience,
+                            fault_injector=fault_injector)
 
 
 def roc_curve(template: np.ndarray, snr_db: float,
@@ -432,7 +455,8 @@ def roc_curve(template: np.ndarray, snr_db: float,
               frame_kind: str = "single_long",
               seed: int = 20140821,
               workers: int = 1,
-              telemetry: "Telemetry | None" = None
+              telemetry: "Telemetry | None" = None,
+              resilience: "ResilienceConfig | None" = None
               ) -> list[tuple[float, float]]:
     """Receiver operating characteristic at a fixed SNR.
 
@@ -446,7 +470,7 @@ def roc_curve(template: np.ndarray, snr_db: float,
     for fa in fa_rates_per_s:
         curve = _detection_curve(template, frame_kind, [snr_db], n_frames,
                                  fa, seed, workers=workers,
-                                 telemetry=telemetry)
+                                 telemetry=telemetry, resilience=resilience)
         points.append((fa, curve[0].detection_probability))
     return points
 
@@ -455,7 +479,9 @@ def energy_detector_curve(snrs_db: list[float], n_frames: int = 500,
                           threshold_db: float = 10.0,
                           seed: int = 20140820,
                           workers: int = 1,
-                          telemetry: "Telemetry | None" = None
+                          telemetry: "Telemetry | None" = None,
+                          resilience: "ResilienceConfig | None" = None,
+                          fault_injector: "WorkerFaultInjector | None" = None
                           ) -> list[DetectionPoint]:
     """Fig. 8: energy differentiator on full WiFi frames vs SNR.
 
@@ -471,6 +497,9 @@ def energy_detector_curve(snrs_db: list[float], n_frames: int = 500,
         for snr_db in snrs_db
         for batch in _trial_batches(n_frames)
     ]
-    outcomes = run_sweep(_energy_trial, specs, workers=workers,
-                        seed_root=seed, telemetry=telemetry)
+    outcomes = resilient_sweep(
+        _energy_trial, specs, workers=workers, seed_root=seed,
+        telemetry=telemetry,
+        config=resilience if resilience is not None else STRICT_RESILIENCE,
+        fault_injector=fault_injector)
     return _merge_points(snrs_db, specs, outcomes)

@@ -22,9 +22,14 @@ from repro.mac.iperf import IperfReport, UdpBandwidthTest
 from repro.mac.medium import Medium
 from repro.mac.nodes import AccessPoint, JammerNode, Station
 from repro.mac.simkernel import SimKernel
-from repro.runtime.sweep import sweep as run_sweep
+from repro.runtime.jobs import (
+    STRICT_RESILIENCE,
+    ResilienceConfig,
+    resilient_sweep,
+)
 
 if TYPE_CHECKING:
+    from repro.faults.workers import WorkerFaultInjector
     from repro.telemetry.session import Telemetry
 
 #: Node-name to network-port assignment (paper Fig. 9).  The jammer
@@ -151,13 +156,19 @@ class WifiJammingTestbed:
     def sweep(self, sir_values_db: list[float] | None = None,
               personalities: list[JammerPersonality] | None = None,
               seed: int = 1, workers: int = 1,
-              telemetry: "Telemetry | None" = None
+              telemetry: "Telemetry | None" = None,
+              resilience: "ResilienceConfig | None" = None,
+              fault_injector: "WorkerFaultInjector | None" = None
               ) -> list[JammingSweepPoint]:
         """Figs. 10/11: the full personality x SIR grid plus jammer-off.
 
         Every grid point already seeds its own generator inside
         :meth:`run_point`, so fanning the grid out over ``workers``
-        processes returns byte-identical results to the serial run.
+        processes returns byte-identical results to the serial run —
+        the grid rides the fault-tolerant job layer
+        (:func:`repro.runtime.jobs.resilient_sweep`), so a crashed or
+        hung worker costs a retry, not the sweep, and a checkpointed
+        run resumes from its completed shards.
         """
         sir_values_db = sir_values_db if sir_values_db is not None \
             else PAPER_SIR_SWEEP_DB
@@ -170,8 +181,12 @@ class WifiJammingTestbed:
         grid.extend((self, personality, sir_db, seed)
                     for personality in personalities
                     for sir_db in sir_values_db)
-        groups = run_sweep(_sweep_point_task, grid, workers=workers,
-                           seed_root=seed, telemetry=telemetry)
+        groups = resilient_sweep(
+            _sweep_point_task, grid, workers=workers, seed_root=seed,
+            telemetry=telemetry,
+            config=resilience if resilience is not None
+            else STRICT_RESILIENCE,
+            fault_injector=fault_injector)
         return [group[0] for group in groups]
 
 

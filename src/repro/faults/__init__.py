@@ -14,7 +14,11 @@ scripts those failure modes so the hardening in :mod:`repro.hw` and
   antenna-port stage injecting overruns, DC spikes, gain steps, and
   stuck-sample runs;
 * :mod:`repro.faults.chaos` — scenario/campaign runners measuring
-  detection probability, jam coverage, and duty cycle under faults.
+  detection probability, jam coverage, and duty cycle under faults;
+* :mod:`repro.faults.workers` — :class:`WorkerFaultPlan` /
+  :class:`WorkerFaultInjector`, seeded process-level kill/hang/slow
+  faults for chaos-testing the fault-tolerant sweep layer
+  (:mod:`repro.runtime.jobs`).
 """
 
 from __future__ import annotations
@@ -37,6 +41,14 @@ from repro.faults.chaos import (
     run_campaign,
     run_scenario,
 )
+from repro.faults.workers import (
+    NO_WORKER_FAULTS,
+    WorkerFault,
+    WorkerFaultInjector,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+    WorkerFaultSpec,
+)
 
 __all__ = [
     "FaultPlan",
@@ -54,4 +66,10 @@ __all__ = [
     "ChaosResult",
     "run_scenario",
     "run_campaign",
+    "NO_WORKER_FAULTS",
+    "WorkerFault",
+    "WorkerFaultInjector",
+    "WorkerFaultKind",
+    "WorkerFaultPlan",
+    "WorkerFaultSpec",
 ]

@@ -1,0 +1,270 @@
+"""Process-level worker faults: seeded kill/hang/slow-worker plans.
+
+:mod:`repro.faults.plan` scripts what goes wrong on the *device* —
+dropped register writes, RX overruns.  This module scripts what goes
+wrong on the *host* running a sweep: a worker process segfaults or is
+OOM-killed mid-shard, wedges on a dead NFS mount, or grinds at a tenth
+of its usual speed on an oversubscribed box.  The fault-tolerant job
+layer (:mod:`repro.runtime.jobs`) is supervised precisely against
+these modes, and a :class:`WorkerFaultInjector` makes that supervision
+chaos-testable instead of theoretical.
+
+Determinism contract (same as :class:`~repro.faults.plan.FaultPlan`):
+a :class:`WorkerFaultPlan` is a frozen value object and every decision
+is a pure function of ``(plan, shard_index, attempt)`` — never of
+scheduling order or wall time.  Replaying a plan yields a
+byte-identical schedule (:meth:`WorkerFaultPlan.schedule_digest`), so
+the chaos benchmarks can assert exact crash counts and a failing
+campaign can be re-run under a debugger.
+
+Faults are evaluated *per shard attempt*: a shard killed on attempt 0
+gets a fresh decision on attempt 1, which is how a plan expresses
+"crash twice, then recover" (filter on ``attempts={0, 1}``) versus a
+poison shard that must be quarantined (no ``attempts`` filter with
+``rate=1``).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WorkerCrashError
+
+#: Exit status a killed worker dies with (mirrors SIGKILL's 128+9 so a
+#: real supervisor's logs read the same for injected and real kills).
+KILL_EXIT_CODE = 137
+
+#: Seed-sequence domain tag decorrelating worker-fault draws from the
+#: control/stream domains of :mod:`repro.faults.plan`.
+_WORKER_DOMAIN = 3
+
+
+class WorkerFaultKind(enum.Enum):
+    """What can happen to one shard attempt on the host."""
+
+    KILL = "kill"
+    HANG = "hang"
+    SLOW = "slow"
+
+
+@dataclass(frozen=True)
+class WorkerFaultSpec:
+    """One host-side failure mode and its selection rule.
+
+    Attributes:
+        kind: The fault applied to a selected shard attempt.
+        rate: Per-attempt probability in [0, 1].
+        shard_indices: Optional shard filter; when set, attempts on
+            other shards pass through clean (lets a campaign target
+            exactly the shards whose loss it wants to measure).
+        attempts: Optional attempt filter; ``{0}`` means "first try
+            only" (the shard recovers on retry), ``None`` applies the
+            rate to every attempt (a poison-shard pathology).
+        duration_s: For HANG/SLOW faults, how long the worker stalls.
+            A HANG should exceed the sweep's shard deadline (that is
+            what makes it a hang); a SLOW should not.
+    """
+
+    kind: WorkerFaultKind
+    rate: float = 1.0
+    shard_indices: frozenset[int] | None = None
+    attempts: frozenset[int] | None = frozenset({0})
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"worker fault rate {self.rate} outside [0, 1]")
+        if self.duration_s < 0.0:
+            raise ConfigurationError("duration_s must be >= 0")
+        if self.kind is WorkerFaultKind.HANG and self.duration_s == 0.0:
+            raise ConfigurationError("a HANG fault needs duration_s > 0")
+
+    def selects(self, shard_index: int, attempt: int) -> bool:
+        """Whether this spec's filters admit the given shard attempt."""
+        if self.shard_indices is not None \
+                and shard_index not in self.shard_indices:
+            return False
+        return self.attempts is None or attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled worker-fault decision for a shard attempt."""
+
+    shard_index: int
+    attempt: int
+    kind: WorkerFaultKind
+    spec_index: int
+    duration_s: float = 0.0
+
+
+def _freeze(values: Iterable[int] | None) -> frozenset[int] | None:
+    return None if values is None else frozenset(int(v) for v in values)
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """A scripted, replayable host-fault campaign.
+
+    Plans are immutable; builder methods return extended copies::
+
+        plan = (WorkerFaultPlan(seed=7)
+                .kill_shards({0, 3})                  # die on first try
+                .hang_workers(0.05, duration_s=30.0)) # 5% of attempts wedge
+    """
+
+    seed: int = 0
+    specs: tuple[WorkerFaultSpec, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Builder DSL
+
+    def with_spec(self, spec: WorkerFaultSpec) -> "WorkerFaultPlan":
+        """Append a worker-fault spec."""
+        return replace(self, specs=(*self.specs, spec))
+
+    def kill_shards(self, shard_indices: Iterable[int],
+                    attempts: Iterable[int] | None = (0,)
+                    ) -> "WorkerFaultPlan":
+        """Kill the worker outright on the named shards' attempts."""
+        return self.with_spec(WorkerFaultSpec(
+            WorkerFaultKind.KILL, rate=1.0,
+            shard_indices=_freeze(shard_indices),
+            attempts=_freeze(attempts)))
+
+    def kill_workers(self, rate: float,
+                     attempts: Iterable[int] | None = (0,)
+                     ) -> "WorkerFaultPlan":
+        """Kill a seeded fraction of shard attempts (OOM-killer model)."""
+        return self.with_spec(WorkerFaultSpec(
+            WorkerFaultKind.KILL, rate=rate, attempts=_freeze(attempts)))
+
+    def hang_workers(self, rate: float, duration_s: float,
+                     shard_indices: Iterable[int] | None = None,
+                     attempts: Iterable[int] | None = (0,)
+                     ) -> "WorkerFaultPlan":
+        """Wedge a seeded fraction of shard attempts for ``duration_s``."""
+        return self.with_spec(WorkerFaultSpec(
+            WorkerFaultKind.HANG, rate=rate,
+            shard_indices=_freeze(shard_indices),
+            attempts=_freeze(attempts), duration_s=duration_s))
+
+    def slow_workers(self, rate: float, duration_s: float,
+                     attempts: Iterable[int] | None = None
+                     ) -> "WorkerFaultPlan":
+        """Stall a seeded fraction of shard attempts (stays under deadline)."""
+        return self.with_spec(WorkerFaultSpec(
+            WorkerFaultKind.SLOW, rate=rate,
+            attempts=_freeze(attempts), duration_s=duration_s))
+
+    # ------------------------------------------------------------------
+    # Deterministic schedule
+
+    def decision(self, shard_index: int, attempt: int) -> WorkerFault | None:
+        """The fault (if any) for one shard attempt.
+
+        A pure function of ``(plan, shard_index, attempt)``: the draw
+        is seeded per attempt, so the decision is identical no matter
+        which worker runs the shard, in what order, or how often the
+        supervisor re-asks.  At most one fault applies per attempt;
+        specs are consulted in plan order.
+        """
+        rng = np.random.default_rng(
+            [int(self.seed), _WORKER_DOMAIN, int(shard_index), int(attempt)])
+        for spec_index, spec in enumerate(self.specs):
+            draw = rng.random()  # always drawn: keeps substreams aligned
+            if not spec.selects(shard_index, attempt):
+                continue
+            if draw >= spec.rate:
+                continue
+            return WorkerFault(shard_index=shard_index, attempt=attempt,
+                               kind=spec.kind, spec_index=spec_index,
+                               duration_s=spec.duration_s)
+        return None
+
+    def schedule(self, n_shards: int,
+                 n_attempts: int = 3) -> list[WorkerFault]:
+        """Every fault decided over an ``n_shards x n_attempts`` grid."""
+        return [
+            fault
+            for shard in range(n_shards)
+            for attempt in range(n_attempts)
+            if (fault := self.decision(shard, attempt)) is not None
+        ]
+
+    def schedule_digest(self, n_shards: int = 64,
+                        n_attempts: int = 3) -> bytes:
+        """Canonical byte encoding of the plan's fault schedule.
+
+        Two plans with equal specs and seed produce identical digests —
+        the replayability contract, mirrored from
+        :meth:`repro.faults.plan.FaultPlan.schedule_digest`.
+        """
+        return ";".join(
+            f"{f.shard_index}.{f.attempt}:{f.kind.value}"
+            f":{f.spec_index}:{f.duration_s!r}"
+            for f in self.schedule(n_shards, n_attempts)
+        ).encode("ascii")
+
+
+#: The identity plan: injects nothing.
+NO_WORKER_FAULTS = WorkerFaultPlan()
+
+
+@dataclass(frozen=True)
+class WorkerFaultInjector:
+    """Applies a :class:`WorkerFaultPlan` inside sweep workers.
+
+    The job layer passes the injector (a small frozen value object —
+    it pickles into every shard submission) to the worker-side shard
+    entry point, which calls :meth:`apply` before running the trials:
+
+    * ``KILL`` — in a pool worker the process exits immediately with
+      :data:`KILL_EXIT_CODE` via ``os._exit`` (no cleanup, exactly
+      like SIGKILL), which the supervisor observes as
+      ``BrokenProcessPool``.  In the serial in-process path the same
+      decision raises :class:`~repro.errors.WorkerCrashError` instead
+      — the retry logic is exercised without sacrificing the host.
+    * ``HANG`` — the worker sleeps ``duration_s``; chosen longer than
+      the shard deadline, the supervisor sees a missed heartbeat.
+    * ``SLOW`` — the worker sleeps ``duration_s``; chosen shorter than
+      the deadline, the shard completes late but successfully (the
+      backpressure/ordering paths get exercised, not the retry path).
+    """
+
+    plan: WorkerFaultPlan = NO_WORKER_FAULTS
+
+    def apply(self, shard_index: int, attempt: int,
+              in_worker: bool = True) -> None:
+        """Enact this attempt's scheduled fault (if any)."""
+        fault = self.plan.decision(shard_index, attempt)
+        if fault is None:
+            return
+        if fault.kind is WorkerFaultKind.KILL:
+            if in_worker:
+                os._exit(KILL_EXIT_CODE)
+            raise WorkerCrashError(
+                f"injected worker kill on shard {shard_index} "
+                f"attempt {attempt}")
+        # HANG and SLOW both stall; the *supervisor's* deadline decides
+        # which one it was — exactly as in production.
+        if fault.duration_s > 0.0:
+            time.sleep(fault.duration_s)
+
+
+__all__ = [
+    "KILL_EXIT_CODE",
+    "NO_WORKER_FAULTS",
+    "WorkerFault",
+    "WorkerFaultInjector",
+    "WorkerFaultKind",
+    "WorkerFaultPlan",
+    "WorkerFaultSpec",
+]

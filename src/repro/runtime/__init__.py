@@ -13,7 +13,13 @@ that possible without touching the science:
   for expensive deterministic artifacts (PPDUs, preambles, quantized
   coefficient banks, resampled templates);
 * :mod:`repro.runtime.buffers` — grow-only scratch buffers the
-  streaming hot path reuses across chunks instead of reallocating.
+  streaming hot path reuses across chunks instead of reallocating;
+* :mod:`repro.runtime.jobs` — the fault-tolerant job layer over the
+  sweep engine: content-addressed shards, a durable
+  :class:`ShardCheckpoint` journal for crash-resumable sweeps, a
+  :class:`WorkerSupervisor` with crash/hang detection and seeded
+  retry/backoff, quarantine for poison shards, and a
+  :class:`SweepHealth` report folded into telemetry.
 
 Pool policy lives here and only here: repro-lint rule RJ008 flags any
 other module constructing ``ProcessPoolExecutor`` / ``multiprocessing``
@@ -31,15 +37,35 @@ from repro.runtime.cache import (
     cached_artifact,
     freeze_artifact,
 )
+from repro.runtime.jobs import (
+    STRICT_RESILIENCE,
+    ResilienceConfig,
+    ResilientSweepRunner,
+    ShardCheckpoint,
+    SweepHealth,
+    WorkerSupervisor,
+    last_sweep_health,
+    resilient_sweep,
+    shard_key,
+)
 from repro.runtime.sweep import SweepRunner, sweep
 
 __all__ = [
     "ArtifactCache",
     "DEFAULT_CACHE",
+    "ResilienceConfig",
+    "ResilientSweepRunner",
+    "STRICT_RESILIENCE",
     "ScratchBuffer",
+    "ShardCheckpoint",
+    "SweepHealth",
     "SweepRunner",
+    "WorkerSupervisor",
     "cache_key",
     "cached_artifact",
     "freeze_artifact",
+    "last_sweep_health",
+    "resilient_sweep",
+    "shard_key",
     "sweep",
 ]

@@ -14,11 +14,20 @@ that needs to mutate one must copy it — attempting an in-place write
 raises immediately rather than silently corrupting every other
 consumer's view of the artifact.
 
-The cache is in-process and unbounded; ``clear()`` empties it (the
-benchmarks use this to measure cold-vs-warm build times).  Hit/miss
+The cache is in-process and LRU-bounded (``max_entries``; the default
+bound is far above any real working set, so eviction is a safety
+valve, not a tuning knob); ``clear()`` empties it (the benchmarks use
+this to measure cold-vs-warm build times).  A stored entry is
+fingerprinted at insert time and re-validated on every hit: an entry
+that comes back structurally wrong — an array that lost its read-only
+freeze, changed dtype/shape, or whose container was truncated (the
+signature of a half-written artifact from a killed worker) — is
+treated as a **miss**: logged, dropped, and rebuilt instead of
+poisoning every later consumer.  Hit/miss/eviction/corruption
 counters are kept locally and, when a
 :class:`repro.telemetry.metrics.MetricsRegistry` is attached, folded
-into it as ``runtime.cache.hits`` / ``runtime.cache.misses``.
+into it as ``runtime.cache.hits`` / ``runtime.cache.misses`` /
+``runtime.cache.evictions`` / ``runtime.cache.corrupt``.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from __future__ import annotations
 import enum
 import functools
 import hashlib
+import logging
 import threading
 from collections.abc import Callable, Iterator
 from dataclasses import fields, is_dataclass
@@ -39,9 +49,17 @@ from repro.errors import ConfigurationError
 if TYPE_CHECKING:  # telemetry does not import runtime; keep it that way
     from repro.telemetry.metrics import MetricsRegistry
 
+_log = logging.getLogger(__name__)
+
 #: Metric names the cache folds its counters into when attached.
 HITS_COUNTER = "runtime.cache.hits"
 MISSES_COUNTER = "runtime.cache.misses"
+EVICTIONS_COUNTER = "runtime.cache.evictions"
+CORRUPT_COUNTER = "runtime.cache.corrupt"
+
+#: Default LRU bound: generous against the repo's real artifact count
+#: (tens of entries) while still bounding a pathological producer.
+DEFAULT_MAX_ENTRIES = 1024
 
 
 def _tokens(value: Any) -> Iterator[bytes]:
@@ -129,23 +147,47 @@ def freeze_artifact(value: Any) -> Any:
     return value
 
 
+def _fingerprint(value: Any) -> Any:
+    """Structural fingerprint of a frozen artifact.
+
+    Captures, per ndarray leaf, ``(dtype, shape)`` plus the read-only
+    flag, and per container its length — cheap to recompute on every
+    hit (no byte hashing), yet enough to catch the corruption modes a
+    killed or misbehaving producer leaves behind: truncated containers,
+    reshaped/retyped arrays, and arrays whose write-protection was
+    stripped (the precondition for silent mutation).
+    """
+    if isinstance(value, np.ndarray):
+        return ("A", value.dtype.str, value.shape,
+                bool(value.flags.writeable))
+    if isinstance(value, tuple):
+        return ("T", len(value), tuple(_fingerprint(v) for v in value))
+    return ("V",)
+
+
 class ArtifactCache:
-    """Content-addressed store with hit/miss accounting.
+    """Content-addressed LRU store with hit/miss/corruption accounting.
 
     Thread-safe for concurrent lookups; builders may run more than
     once under a race, but the first stored value wins so every caller
     sees one canonical artifact.
     """
 
-    def __init__(self) -> None:
-        self._store: dict[str, Any] = {}
+    def __init__(self, max_entries: int | None = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1 (or None)")
+        self.max_entries = max_entries
+        #: key -> (value, fingerprint); dict order is LRU order.
+        self._store: dict[str, tuple[Any, Any]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
         self._metrics: "MetricsRegistry | None" = None
 
     def attach_metrics(self, registry: "MetricsRegistry | None") -> None:
-        """Fold hit/miss counters into a telemetry registry (or detach).
+        """Fold the cache counters into a telemetry registry (or detach).
 
         The backlog accumulated before attachment is folded in so the
         registry's counters always equal the cache's own totals.
@@ -155,21 +197,60 @@ class ArtifactCache:
             if registry is not None:
                 registry.counter(HITS_COUNTER).inc(self.hits)
                 registry.counter(MISSES_COUNTER).inc(self.misses)
+                registry.counter(EVICTIONS_COUNTER).inc(self.evictions)
+                registry.counter(CORRUPT_COUNTER).inc(self.corrupt)
+
+    def _count(self, name: str, counter: str) -> None:
+        """Bump a local counter and its mirrored metric (lock held)."""
+        setattr(self, name, getattr(self, name) + 1)
+        if self._metrics is not None:
+            self._metrics.counter(counter).inc()
+
+    def _lookup(self, key: str) -> tuple[bool, Any]:
+        """One locked probe: (hit, value); corrupt entries become misses."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is not None:
+                value, stamp = entry
+                try:
+                    intact = _fingerprint(value) == stamp
+                except Exception:  # unreadable entry == corrupt entry
+                    intact = False
+                if intact:
+                    # Touch for LRU: re-insert at the fresh end.
+                    del self._store[key]
+                    self._store[key] = entry
+                    self._count("hits", HITS_COUNTER)
+                    return True, value
+                del self._store[key]
+                self._count("corrupt", CORRUPT_COUNTER)
+                _log.warning(
+                    "artifact cache entry %s failed validation; "
+                    "treating as a miss and rebuilding", key[:16])
+            return False, None
 
     def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
-        """The artifact under ``key``, building (and freezing) on miss."""
-        with self._lock:
-            if key in self._store:
-                self.hits += 1
-                if self._metrics is not None:
-                    self._metrics.counter(HITS_COUNTER).inc()
-                return self._store[key]
+        """The artifact under ``key``, building (and freezing) on miss.
+
+        An entry that fails its stored-fingerprint validation — e.g. a
+        half-written artifact left behind by a killed worker — is
+        dropped and rebuilt rather than returned or raised.
+        """
+        hit, value = self._lookup(key)
+        if hit:
+            return value
         value = freeze_artifact(builder())
         with self._lock:
-            value = self._store.setdefault(key, value)
-            self.misses += 1
-            if self._metrics is not None:
-                self._metrics.counter(MISSES_COUNTER).inc()
+            if key in self._store:
+                value = self._store[key][0]
+            else:
+                self._store[key] = (value, _fingerprint(value))
+                if self.max_entries is not None:
+                    while len(self._store) > self.max_entries:
+                        oldest = next(iter(self._store))
+                        del self._store[oldest]
+                        self._count("evictions", EVICTIONS_COUNTER)
+            self._count("misses", MISSES_COUNTER)
         return value
 
     def clear(self) -> None:
@@ -186,8 +267,11 @@ class ArtifactCache:
             total = self.hits + self.misses
             return {
                 "entries": len(self._store),
+                "max_entries": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
+                "corrupt": self.corrupt,
                 "hit_rate": self.hits / total if total else 0.0,
             }
 

@@ -31,12 +31,13 @@ import multiprocessing
 import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 
 if TYPE_CHECKING:  # telemetry never imports runtime; one-way dependency
     from repro.telemetry.session import Telemetry
@@ -59,6 +60,25 @@ class _Task:
     index: int
     point: Any
     seed: int
+
+
+def build_tasks(points: Sequence[Any], trials: int,
+                seed_root: int) -> list[_Task]:
+    """Flatten a ``points x trials`` grid into seeded tasks.
+
+    This is the one place the seeding discipline is written down:
+    trial ``(p, t)`` draws from ``default_rng(seed_root + p*trials +
+    t)``.  Both the plain runner and the fault-tolerant job layer
+    (:mod:`repro.runtime.jobs`) build their grids here so the two are
+    byte-identical by construction.
+    """
+    return [
+        _Task(index=point_index * trials + trial,
+              point=point,
+              seed=seed_root + point_index * trials + trial)
+        for point_index, point in enumerate(points)
+        for trial in range(trials)
+    ]
 
 
 def _run_chunk(fn: Callable[[Any, np.random.Generator], Any],
@@ -138,13 +158,7 @@ class SweepRunner:
         if trials < 1:
             raise ConfigurationError("trials must be >= 1")
         point_list = list(points)
-        tasks = [
-            _Task(index=point_index * trials + trial,
-                  point=point,
-                  seed=self.seed_root + point_index * trials + trial)
-            for point_index, point in enumerate(point_list)
-            for trial in range(trials)
-        ]
+        tasks = build_tasks(point_list, trials, self.seed_root)
         start = time.perf_counter()
         if not tasks:
             self._record(0, 0, time.perf_counter() - start)
@@ -172,11 +186,28 @@ class SweepRunner:
         done = 0
         with ProcessPoolExecutor(max_workers=self.workers,
                                  mp_context=_pool_context()) as pool:
-            pending = {pool.submit(_run_chunk, fn, chunk) for chunk in chunks}
+            pending = {pool.submit(_run_chunk, fn, chunk): chunk
+                       for chunk in chunks}
             while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    for index, value in future.result():
+                    chunk = pending.pop(future)
+                    try:
+                        rows = future.result()
+                    except BrokenProcessPool as exc:
+                        # Every still-pending chunk was lost with the
+                        # pool; name all in-flight trial indices so the
+                        # caller knows what was running when it died.
+                        in_flight = tuple(sorted(
+                            task.index for lost in (chunk, *pending.values())
+                            for task in lost))
+                        raise WorkerCrashError(
+                            "sweep worker process died; trial indices "
+                            f"{list(in_flight)} were in flight (use "
+                            "repro.runtime.jobs for a sweep that retries "
+                            "and resumes instead of aborting)",
+                            trial_indices=in_flight) from exc
+                    for index, value in rows:
                         results[index] = value
                         done += 1
                     if self.progress is not None:

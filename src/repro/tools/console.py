@@ -85,6 +85,11 @@ commands:
   save <file>           snapshot the configuration to a JSON profile
   load <file>           program the device from a JSON profile
   demo <wifi|wimax|zigbee>                            run a canned capture
+  sweep run [--workers=N] [--resume=PATH] [--max-retries=N]
+            [--shard-deadline=S]                      quick detection sweep
+                                                      on the job layer
+  sweep status          health of the last sweep (retries, crashes,
+                        quarantines, checkpoint hits)
   help                  this text
   quit                  leave the console"""
 
@@ -304,6 +309,39 @@ class JammerConsole:
 
         writes = load_profile(self.device, args[0])
         return f"profile loaded from {args[0]} ({writes} register writes)"
+
+    def _cmd_sweep(self, args: list[str]) -> str:
+        """Run/inspect detection sweeps on the fault-tolerant job layer."""
+        from repro.runtime.jobs import last_sweep_health
+
+        sub = args[0] if args else "status"
+        if sub == "status":
+            health = last_sweep_health()
+            if health is None:
+                return "no sweep has run yet (try 'sweep run')"
+            return health.summary()
+        if sub != "run":
+            return f"error: unknown sweep subcommand {sub!r} (run|status)"
+
+        from repro.experiments.detection import long_preamble_curve
+        from repro.experiments.report import resilience_from_args
+
+        opts = args[1:]
+        workers = 1
+        for opt in opts:
+            if opt.startswith("--workers="):
+                workers = int(opt.split("=", 1)[1])
+        points = long_preamble_curve(
+            [-6.0, -3.0, 0.0, 3.0, 6.0], n_frames=40, full_frames=False,
+            workers=workers, telemetry=self.telemetry,
+            resilience=resilience_from_args(opts))
+        curve = "  ".join(f"{p.snr_db:+.0f}dB:{p.detection_probability:.2f}"
+                          for p in points)
+        health = last_sweep_health()
+        reply = f"P(detect)     : {curve}"
+        if health is not None:
+            reply += "\n" + health.summary()
+        return reply
 
     def _cmd_demo(self, args: list[str]) -> str:
         kind = args[0]

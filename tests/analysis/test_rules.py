@@ -547,3 +547,112 @@ class TestRJ009RawDspPrimitive:
             def energy(signal):
                 return np.sum(np.abs(signal) ** 2)
             """, "src/repro/dsp/good.py")
+
+
+class TestRJ014UnboundedRetry:
+    def test_fires_on_swallow_and_spin(self):
+        found = _run("RJ014", """\
+            import time
+
+            def read_forever(bus):
+                while True:
+                    try:
+                        return bus.read()
+                    except OSError:
+                        time.sleep(0.1)
+            """, "src/repro/hw/bad.py")
+        assert len(found) == 1
+        assert "unbounded retry" in found[0].message
+
+    def test_fires_on_explicit_continue(self):
+        found = _run("RJ014", """\
+            def poll(queue):
+                while True:
+                    try:
+                        item = queue.pop()
+                    except IndexError:
+                        continue
+                    return item
+            """, "src/repro/runtime/bad.py")
+        assert len(found) == 1
+
+    def test_clean_with_attempt_bound(self):
+        assert not _run("RJ014", """\
+            import time
+
+            def read_with_budget(bus, max_attempts=5):
+                attempts = 0
+                while True:
+                    try:
+                        return bus.read()
+                    except OSError:
+                        attempts += 1
+                        if attempts >= max_attempts:
+                            raise
+                        time.sleep(0.1)
+            """, "src/repro/hw/good.py")
+
+    def test_clean_with_deadline_bound(self):
+        assert not _run("RJ014", """\
+            import time
+
+            def read_until(bus, deadline):
+                while True:
+                    try:
+                        return bus.read()
+                    except OSError:
+                        if time.monotonic() > deadline:
+                            raise
+            """, "src/repro/faults/good.py")
+
+    def test_clean_when_handler_reraises(self):
+        assert not _run("RJ014", """\
+            def read_once(bus):
+                while True:
+                    try:
+                        return bus.read()
+                    except OSError:
+                        raise
+            """, "src/repro/hw/good.py")
+
+    def test_infinite_generators_are_clean(self):
+        assert not _run("RJ014", """\
+            def ticks(period):
+                while True:
+                    yield period
+            """, "src/repro/faults/plan.py")
+
+    def test_bounded_while_condition_is_clean(self):
+        assert not _run("RJ014", """\
+            def drain(queue, pending):
+                while pending:
+                    try:
+                        pending.pop().result()
+                    except ValueError:
+                        pass
+            """, "src/repro/runtime/good.py")
+
+    def test_unwatched_packages_are_exempt(self):
+        assert not _run("RJ014", """\
+            import time
+
+            def read_forever(bus):
+                while True:
+                    try:
+                        return bus.read()
+                    except OSError:
+                        time.sleep(0.1)
+            """, "src/repro/phy/elsewhere.py")
+
+    def test_nested_function_bound_does_not_count(self):
+        found = _run("RJ014", """\
+            def outer(bus):
+                while True:
+                    def helper(attempts):
+                        return attempts < 3
+                    try:
+                        return bus.read()
+                    except OSError:
+                        pass
+            """, "src/repro/hw/bad.py")
+        assert len(found) == 1

@@ -205,3 +205,27 @@ class TestTelemetryCommands:
         text = console.execute("help")
         assert "stats" in text
         assert "trace" in text
+
+
+class TestSweepCommands:
+    def test_help_lists_sweep_commands(self, console):
+        text = console.execute("help")
+        assert "sweep run" in text
+        assert "sweep status" in text
+
+    def test_status_before_any_run(self, console):
+        import repro.runtime.jobs as jobs
+
+        jobs._LAST_HEALTH = None  # isolate from other tests' sweeps
+        assert "no sweep has run yet" in console.execute("sweep status")
+
+    def test_run_then_status_shows_health(self, console):
+        reply = console.execute("sweep run")
+        assert "P(detect)" in reply
+        assert "crashes: 0" in reply
+        status = console.execute("sweep status")
+        assert "completed" in status
+        assert "retries" in status
+
+    def test_unknown_subcommand(self, console):
+        assert "error" in console.execute("sweep bogus")

@@ -1,0 +1,123 @@
+"""Tests for the process-level worker-fault plans and injector."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.faults.workers import (
+    NO_WORKER_FAULTS,
+    WorkerFaultInjector,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+    WorkerFaultSpec,
+)
+
+
+class TestSpecValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WorkerFaultSpec(WorkerFaultKind.KILL, rate=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkerFaultSpec(WorkerFaultKind.KILL, rate=-0.1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerFaultSpec(WorkerFaultKind.SLOW, duration_s=-1.0)
+
+    def test_hang_needs_a_duration(self):
+        with pytest.raises(ConfigurationError):
+            WorkerFaultSpec(WorkerFaultKind.HANG)
+        WorkerFaultSpec(WorkerFaultKind.HANG, duration_s=5.0)  # fine
+
+    def test_selects_filters(self):
+        spec = WorkerFaultSpec(WorkerFaultKind.KILL,
+                               shard_indices=frozenset({2}),
+                               attempts=frozenset({0, 1}))
+        assert spec.selects(2, 0)
+        assert spec.selects(2, 1)
+        assert not spec.selects(2, 2)
+        assert not spec.selects(3, 0)
+        poison = WorkerFaultSpec(WorkerFaultKind.KILL, attempts=None)
+        assert poison.selects(0, 99)
+
+
+class TestPlanDeterminism:
+    def test_replay_is_byte_identical(self):
+        plan = (WorkerFaultPlan(seed=42)
+                .kill_workers(0.3)
+                .hang_workers(0.1, duration_s=30.0)
+                .slow_workers(0.2, duration_s=0.5))
+        replayed = WorkerFaultPlan(seed=plan.seed, specs=plan.specs)
+        assert plan.schedule_digest() == replayed.schedule_digest()
+
+    def test_decision_is_order_independent(self):
+        plan = WorkerFaultPlan(seed=7).kill_workers(0.5)
+        forward = [plan.decision(i, 0) for i in range(16)]
+        backward = [plan.decision(i, 0) for i in reversed(range(16))]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_the_schedule(self):
+        a = WorkerFaultPlan(seed=1).kill_workers(0.5)
+        b = WorkerFaultPlan(seed=2).kill_workers(0.5)
+        assert a.schedule_digest() != b.schedule_digest()
+
+    def test_builders_do_not_mutate(self):
+        base = WorkerFaultPlan(seed=3)
+        extended = base.kill_shards([0])
+        assert base.specs == ()
+        assert len(extended.specs) == 1
+
+    def test_targeted_kill_hits_exactly_the_named_shards(self):
+        plan = WorkerFaultPlan(seed=5).kill_shards([1, 3])
+        hits = {(f.shard_index, f.attempt) for f in plan.schedule(6, 2)}
+        assert hits == {(1, 0), (3, 0)}
+
+    def test_rate_zero_and_rate_one(self):
+        never = WorkerFaultPlan(seed=9).kill_workers(0.0)
+        always = WorkerFaultPlan(seed=9).kill_workers(1.0, attempts=None)
+        assert never.schedule(32, 3) == []
+        assert len(always.schedule(32, 3)) == 32 * 3
+
+    def test_first_matching_spec_wins(self):
+        plan = (WorkerFaultPlan(seed=11)
+                .kill_shards([0])
+                .slow_workers(1.0, duration_s=0.1, attempts=None))
+        fault = plan.decision(0, 0)
+        assert fault.kind is WorkerFaultKind.KILL
+        assert fault.spec_index == 0
+
+    def test_no_faults_plan_is_empty(self):
+        assert NO_WORKER_FAULTS.schedule(64, 3) == []
+
+
+class TestInjector:
+    def test_kill_raises_in_serial_mode(self):
+        injector = WorkerFaultInjector(WorkerFaultPlan(seed=0)
+                                       .kill_shards([2]))
+        with pytest.raises(WorkerCrashError):
+            injector.apply(2, 0, in_worker=False)
+
+    def test_clean_attempts_pass_through(self):
+        injector = WorkerFaultInjector(WorkerFaultPlan(seed=0)
+                                       .kill_shards([2]))
+        injector.apply(2, 1, in_worker=False)  # attempt filter: first only
+        injector.apply(0, 0, in_worker=False)  # shard filter
+
+    def test_slow_stalls_for_the_configured_duration(self):
+        injector = WorkerFaultInjector(
+            WorkerFaultPlan(seed=0).slow_workers(1.0, duration_s=0.05))
+        start = time.perf_counter()
+        injector.apply(0, 0, in_worker=False)
+        assert time.perf_counter() - start >= 0.05
+
+    def test_injector_pickles_small(self):
+        import pickle
+
+        injector = WorkerFaultInjector(WorkerFaultPlan(seed=1)
+                                       .kill_workers(0.5))
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.plan.schedule_digest() \
+            == injector.plan.schedule_digest()

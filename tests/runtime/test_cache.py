@@ -10,6 +10,8 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.runtime.cache import (
+    CORRUPT_COUNTER,
+    EVICTIONS_COUNTER,
     HITS_COUNTER,
     MISSES_COUNTER,
     ArtifactCache,
@@ -137,6 +139,89 @@ class TestArtifactCache:
         cache.get_or_build("a", lambda: 1)
         assert registry.snapshot()["counters"][HITS_COUNTER] == 2
         assert cache.hits == 3
+
+
+class TestEviction:
+    def test_bound_is_enforced_oldest_first(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.get_or_build("c", lambda: 3)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # "a" was the LRU entry: rebuilding it is a miss.
+        cache.get_or_build("a", lambda: 1)
+        assert cache.misses == 4
+
+    def test_hit_refreshes_recency(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.get_or_build("a", lambda: 1)   # touch: "b" is now oldest
+        cache.get_or_build("c", lambda: 3)   # evicts "b", not "a"
+        assert cache.get_or_build("a", lambda: 99) == 1
+        cache.get_or_build("b", lambda: 2)
+        assert cache.misses == 4  # a, b, c, then b again
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = ArtifactCache(max_entries=None)
+        for k in range(64):
+            cache.get_or_build(str(k), lambda k=k: k)
+        assert len(cache) == 64
+        assert cache.evictions == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArtifactCache(max_entries=0)
+
+    def test_eviction_counter_reaches_metrics(self):
+        cache = ArtifactCache(max_entries=1)
+        registry = MetricsRegistry()
+        cache.attach_metrics(registry)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        counters = registry.snapshot()["counters"]
+        assert counters[EVICTIONS_COUNTER] == cache.evictions == 1
+
+
+class TestCorruptEntries:
+    def test_unfrozen_array_treated_as_miss_and_rebuilt(self):
+        cache = ArtifactCache()
+        first = cache.get_or_build("k", lambda: np.arange(4))
+        # Strip the read-only freeze — the precondition for silent
+        # mutation, e.g. a consumer that called setflags on the shared
+        # artifact.  The next lookup must refuse to serve it.
+        first.setflags(write=True)
+        second = cache.get_or_build("k", lambda: np.arange(4))
+        assert second is not first
+        assert not second.flags.writeable
+        assert cache.corrupt == 1
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_truncated_container_treated_as_miss(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", lambda: [np.zeros(2), np.ones(2)])
+        # Simulate a half-written artifact: replace the stored tuple
+        # with a shorter one behind the fingerprint's back.
+        value, stamp = cache._store["k"]
+        cache._store["k"] = (value[:1], stamp)
+        rebuilt = cache.get_or_build("k", lambda: [np.zeros(2), np.ones(2)])
+        assert len(rebuilt) == 2
+        assert cache.corrupt == 1
+
+    def test_corrupt_counter_reaches_metrics_and_stats(self):
+        cache = ArtifactCache()
+        registry = MetricsRegistry()
+        cache.attach_metrics(registry)
+        built = cache.get_or_build("k", lambda: np.arange(3))
+        built.setflags(write=True)
+        cache.get_or_build("k", lambda: np.arange(3))
+        assert registry.snapshot()["counters"][CORRUPT_COUNTER] == 1
+        stats = cache.stats()
+        assert stats["corrupt"] == 1
+        assert stats["evictions"] == 0
+        assert stats["max_entries"] == cache.max_entries
 
 
 class TestCachedArtifact:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.runtime.sweep import (
     CHUNKS_COUNTER,
     TASKS_COUNTER,
@@ -93,9 +93,28 @@ class TestParallelPath:
         with pytest.raises(ZeroDivisionError):
             sweep(_divide, [0], trials=1, workers=2)
 
+    def test_worker_death_raises_typed_crash_error(self):
+        # A worker dying mid-chunk (segfault/OOM-kill model) must not
+        # surface as a bare BrokenProcessPool: the typed error names
+        # the in-flight trial indices so the caller knows what was
+        # lost — and points at repro.runtime.jobs for the sweeps that
+        # must survive it.
+        with pytest.raises(WorkerCrashError) as excinfo:
+            sweep(_die, list(range(8)), trials=1, workers=2, chunk_size=2)
+        assert excinfo.value.trial_indices  # non-empty, sorted grid indices
+        assert list(excinfo.value.trial_indices) \
+            == sorted(excinfo.value.trial_indices)
+        assert "repro.runtime.jobs" in str(excinfo.value)
+
 
 def _divide(point, rng):
     return 1 / point
+
+
+def _die(point, rng):
+    import os
+
+    os._exit(137)
 
 
 class TestTelemetry:
