@@ -21,6 +21,7 @@ BENCH_TELEMETRY_PATH = _REPO_ROOT / "BENCH_telemetry.json"
 BENCH_RUNTIME_PATH = _REPO_ROOT / "BENCH_runtime.json"
 BENCH_KERNELS_PATH = _REPO_ROOT / "BENCH_kernels.json"
 BENCH_RESILIENCE_PATH = _REPO_ROOT / "BENCH_resilience.json"
+BENCH_DEFENSE_PATH = _REPO_ROOT / "BENCH_defense.json"
 
 
 def _record_fixture(path: Path):
@@ -55,3 +56,9 @@ def kernels_record():
 def resilience_record():
     """A dict the chaos-sweep benchmarks drop their results into."""
     yield from _record_fixture(BENCH_RESILIENCE_PATH)
+
+
+@pytest.fixture(scope="session")
+def defense_record():
+    """A dict the defense-tournament benchmarks drop their results into."""
+    yield from _record_fixture(BENCH_DEFENSE_PATH)

@@ -1,0 +1,105 @@
+"""Defense-tournament benchmark — detection quality and determinism.
+
+The acceptance contract for :mod:`repro.defense` (see
+docs/defense.md), measured on canned Fig. 10-style scenarios:
+
+* **detection floor** — on the deterministic always-jam policy the ML
+  detector reaches AUC >= 0.9 on both the reactive and the constant
+  scenario, and the rule-based baseline stays a usable detector
+  (AUC >= 0.75) rather than a coin flip;
+* **detectability tradeoff** — the randomized ``p=0.5`` policy's AUC
+  is *strictly below* the always-jam AUC for both detectors (the
+  An & Weber effect the subsystem exists to measure), and the ML
+  detector stays at or above the rule-based baseline on the
+  randomized reactive scenario;
+* **byte-identity** — the full tournament JSON is identical between
+  ``workers=1`` and ``workers=2`` runs of the same seed.
+
+Results land in ``BENCH_defense.json`` via the session fixture; the
+CI ``perf-smoke`` job uploads it as an artifact.  Run via the ``perf``
+marker: ``python -m pytest benchmarks -m perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.defense import (
+    ALWAYS_JAM,
+    DefenseScenario,
+    randomized_policy,
+    run_tournament,
+)
+
+SEED = 7
+N_TRIALS = 4
+POLICIES = [ALWAYS_JAM, randomized_policy(0.5), randomized_policy(0.1)]
+
+
+@pytest.mark.perf
+def test_bench_detection_quality(defense_record):
+    """AUC floors, the p=0.5 detectability drop, and byte-identity."""
+    t0 = time.perf_counter()
+    reactive = run_tournament(policies=POLICIES,
+                              scenario=DefenseScenario(),
+                              n_trials=N_TRIALS, seed=SEED, workers=1)
+    reactive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    constant = run_tournament(policies=[ALWAYS_JAM],
+                              scenario=DefenseScenario(kind="constant"),
+                              n_trials=N_TRIALS, seed=SEED)
+    constant_s = time.perf_counter() - t0
+
+    # -- detection floors on the deterministic jammer ------------------
+    ml_reactive = reactive.auc_for("always", "logistic")
+    rule_reactive = reactive.auc_for("always", "xu-rule")
+    ml_constant = constant.auc_for("always", "logistic")
+    rule_constant = constant.auc_for("always", "xu-rule")
+    assert ml_reactive >= 0.9
+    assert ml_constant >= 0.9
+    assert rule_reactive >= 0.75
+    assert rule_constant >= 0.75
+
+    # -- the detectability tradeoff ------------------------------------
+    ml_half = reactive.auc_for("p0.5", "logistic")
+    rule_half = reactive.auc_for("p0.5", "xu-rule")
+    assert ml_half < ml_reactive
+    assert rule_half < rule_reactive
+    # Degradation continues as p falls further.
+    assert reactive.auc_for("p0.1", "logistic") < ml_half
+    assert reactive.auc_for("p0.1", "xu-rule") < rule_half
+    # The ML model dominates the baseline where randomization bites.
+    assert ml_half > rule_half
+
+    # -- byte-identity across worker counts ----------------------------
+    t0 = time.perf_counter()
+    parallel = run_tournament(policies=POLICIES,
+                              scenario=DefenseScenario(),
+                              n_trials=N_TRIALS, seed=SEED, workers=2)
+    parallel_s = time.perf_counter() - t0
+    serial_json = json.dumps(reactive.to_dict(), sort_keys=True)
+    assert serial_json == json.dumps(parallel.to_dict(), sort_keys=True)
+
+    defense_record["tournament"] = {
+        "seed": SEED,
+        "n_trials": N_TRIALS,
+        "reactive_s": round(reactive_s, 3),
+        "constant_s": round(constant_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "byte_identical_workers": True,
+        "auc": {
+            "reactive": {cell.policy + "/" + cell.detector:
+                         round(cell.auc, 4) for cell in reactive.cells},
+            "constant": {cell.policy + "/" + cell.detector:
+                         round(cell.auc, 4) for cell in constant.cells},
+        },
+        "efficiency_curve": [
+            {key: (round(value, 4) if isinstance(value, float) else value)
+             for key, value in row.items()}
+            for row in reactive.curve_for("logistic")
+        ],
+    }

@@ -11,9 +11,11 @@ silently re-ties results to scheduling order and import history.
 
 Per-file analysis cannot see that a helper two modules away is called
 from a trial; this rule walks the project call graph from the entry
-points (every function under ``experiments/`` and ``runtime/``, plus
-any function whose name mentions sweep/trial/experiment) and flags
-violations in every reachable function.  Module-level RNG calls in
+points (every function under ``experiments/``, ``runtime/`` and
+``defense/`` — detector training and policy-vs-detector tournaments
+carry the same byte-identity guarantee as figure sweeps — plus any
+function whose name mentions sweep/trial/experiment/tournament) and
+flags violations in every reachable function.  Module-level RNG calls in
 ``src/`` are flagged unconditionally — import-time randomness is
 nondeterministic for every consumer.
 
@@ -38,10 +40,12 @@ from repro.analysis.project import (
 )
 
 #: Path fragments whose functions are determinism entry points.
-ENTRY_PATH_PARTS: tuple[str, ...] = ("/experiments/", "/runtime/")
+ENTRY_PATH_PARTS: tuple[str, ...] = ("/experiments/", "/runtime/",
+                                     "/defense/")
 
 #: Name fragments marking a function as an entry point anywhere.
-ENTRY_NAME_PARTS: tuple[str, ...] = ("sweep", "trial", "experiment")
+ENTRY_NAME_PARTS: tuple[str, ...] = ("sweep", "trial", "experiment",
+                                     "tournament")
 
 #: Legacy ``numpy.random`` module functions (process-global state).
 NUMPY_LEGACY: frozenset[str] = frozenset({

@@ -15,6 +15,12 @@ Trappe, Zhang & Wood (MobiHoc 2005 — the paper's reference [15]):
 Given a jamming verdict, the channel-busy fraction separates the two
 attacker types the paper demonstrates: a constant jammer keeps the
 medium busy nearly always, a reactive jammer only in short bursts.
+
+The window arithmetic (delivery ratio, busy fraction, mean RSSI) is
+shared with the ML detection stack: :class:`LinkStatistics` delegates
+to the scalar helpers in :mod:`repro.defense.features`, so this
+rule-based classifier and the windowed feature extractor can never
+drift apart.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.defense import features as _features
 from repro.errors import ConfigurationError
 from repro.mac.medium import Medium
 from repro.mac.nodes import AccessPoint
@@ -51,23 +58,18 @@ class LinkStatistics:
     @property
     def delivery_ratio(self) -> float:
         """Delivered / observed data frames."""
-        if self.frames_seen == 0:
-            return 1.0
-        return self.frames_delivered / self.frames_seen
+        return _features.delivery_ratio(self.frames_delivered,
+                                        self.frames_seen)
 
     @property
     def mean_rssi_dbm(self) -> float:
         """Mean received signal strength of observed frames."""
-        if self.frames_seen == 0:
-            return float("-inf")
-        return self.rssi_sum_dbm / self.frames_seen
+        return _features.mean_rssi_dbm(self.rssi_sum_dbm, self.frames_seen)
 
     @property
     def busy_fraction(self) -> float:
         """Fraction of CCA samples that reported busy."""
-        if self.busy_samples == 0:
-            return 0.0
-        return self.busy_hits / self.busy_samples
+        return _features.busy_fraction(self.busy_hits, self.busy_samples)
 
 
 class JammingDetector:

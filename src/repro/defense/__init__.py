@@ -1,0 +1,89 @@
+"""repro.defense — the victim's chair: ML jamming detection.
+
+The paper closes by positioning the testbed as "an effective tool for
+studying and developing countermeasures"; this package closes that
+loop from the defender's side and arms the attacker's side against it:
+
+* :mod:`repro.defense.features` — windowed feature extraction (PRR,
+  inter-arrival statistics, busy-time histograms, RSSI consistency)
+  from the victim-side MAC traces the simulator already produces.
+  Also the single source of truth for the delivery-ratio /
+  busy-fraction arithmetic the rule-based detector shares.
+* :mod:`repro.defense.detectors` — detection models behind one
+  :class:`~repro.defense.detectors.Detector` protocol: an online
+  numpy-only logistic-regression classifier (seeded SGD) and the
+  Xu-et-al consistency check recast as a graded baseline.
+* :mod:`repro.defense.roc` — threshold sweeps, AUC, operating points.
+* :mod:`repro.defense.policies` — jammer-side *randomized* reactive
+  policies (jam probability ``p``, duty jitter, off-period sampling)
+  that trade efficiency against detectability (An & Weber).
+* :mod:`repro.defense.tournament` — attack-vs-detect tournaments:
+  (policy x detector) grids swept through the fault-tolerant job
+  layer, emitting deterministic efficiency-vs-AUC curves.
+"""
+
+from __future__ import annotations
+
+from repro.defense.detectors import (
+    Detector,
+    OnlineLogisticDetector,
+    RuleBasedDetector,
+    default_detectors,
+)
+from repro.defense.features import (
+    FEATURE_NAMES,
+    LinkTraceRecorder,
+    WindowFeatures,
+    busy_fraction,
+    busy_runs,
+    delivery_ratio,
+    extract_windows,
+    feature_matrix,
+    mean_rssi_dbm,
+)
+from repro.defense.policies import (
+    ALWAYS_JAM,
+    JamPolicy,
+    PolicyGate,
+    RandomizedJammerNode,
+    randomized_policy,
+)
+from repro.defense.roc import RocCurve, auc, roc_curve
+from repro.defense.tournament import (
+    DefenseScenario,
+    TournamentCell,
+    TournamentResult,
+    TrialObservation,
+    run_tournament,
+    run_trial,
+)
+
+__all__ = [
+    "ALWAYS_JAM",
+    "DefenseScenario",
+    "Detector",
+    "FEATURE_NAMES",
+    "JamPolicy",
+    "LinkTraceRecorder",
+    "OnlineLogisticDetector",
+    "PolicyGate",
+    "RandomizedJammerNode",
+    "RocCurve",
+    "RuleBasedDetector",
+    "TournamentCell",
+    "TournamentResult",
+    "TrialObservation",
+    "WindowFeatures",
+    "auc",
+    "busy_fraction",
+    "busy_runs",
+    "default_detectors",
+    "delivery_ratio",
+    "extract_windows",
+    "feature_matrix",
+    "mean_rssi_dbm",
+    "randomized_policy",
+    "roc_curve",
+    "run_tournament",
+    "run_trial",
+]

@@ -1,0 +1,173 @@
+"""Jamming detectors over windowed link features.
+
+Two models behind one :class:`Detector` protocol:
+
+* :class:`OnlineLogisticDetector` — an online logistic-regression
+  classifier trained by seeded stochastic gradient descent.  Pure
+  numpy (the container has no sklearn and must not grow one), with
+  per-feature standardization fitted from the training split and L2
+  regularization.  The randomness of the epoch shuffles enters only
+  through the caller-supplied generator, so a fit is a pure function
+  of ``(X, y, rng)`` — the tournament's byte-identity guarantee rests
+  on that.
+* :class:`RuleBasedDetector` — the Xu, Trappe, Zhang & Wood
+  consistency check (the paper's reference [15], already shipped as
+  :class:`repro.apps.jamming_detector.JammingDetector`) recast as a
+  *graded* score so it can be swept through an ROC like any other
+  model.  It is the baseline the ML detector has to beat.
+
+Scores are "higher = more jam-like" for every detector, which is all
+:mod:`repro.defense.roc` assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.defense.features import FEATURE_NAMES
+from repro.errors import ConfigurationError
+
+_IDX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """What the tournament requires of a detection model."""
+
+    name: str
+
+    def fit(self, features: np.ndarray, labels: np.ndarray,
+            rng: np.random.Generator) -> None:
+        """Train on windows (rows) and 0/1 labels."""
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        """Per-window jam scores, higher = more jam-like."""
+
+
+class OnlineLogisticDetector:
+    """Seeded-SGD logistic regression on standardized features."""
+
+    name = "logistic"
+
+    def __init__(self, learning_rate: float = 0.15, epochs: int = 60,
+                 l2: float = 1e-3) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        if l2 < 0:
+            raise ConfigurationError("l2 must be >= 0")
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.l2 = float(l2)
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._weights is not None
+
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._scale is not None
+        return (features - self._mean) / self._scale
+
+    def fit(self, features: np.ndarray, labels: np.ndarray,
+            rng: np.random.Generator) -> None:
+        """One pass of seeded SGD per epoch over shuffled windows."""
+        X = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != y.shape[0]:
+            raise ConfigurationError(
+                "features must be (n_windows, n_features) matching labels")
+        if X.shape[0] == 0:
+            raise ConfigurationError("cannot fit on an empty window set")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0  # constant features carry no signal
+        self._scale = scale
+        Z = self._standardize(X)
+        w = np.zeros(Z.shape[1], dtype=np.float64)
+        b = 0.0
+        lr = self.learning_rate
+        for _epoch in range(self.epochs):
+            order = rng.permutation(Z.shape[0])
+            for i in order:
+                z = Z[i]
+                p = 1.0 / (1.0 + np.exp(-(z @ w + b)))
+                grad = p - y[i]
+                w -= lr * (grad * z + self.l2 * w)
+                b -= lr * grad
+        self._weights = w
+        self._bias = b
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        """P(jammed) per window under the fitted model."""
+        if self._weights is None:
+            raise ConfigurationError("fit() must be called before score()")
+        Z = self._standardize(np.asarray(features, dtype=np.float64))
+        return 1.0 / (1.0 + np.exp(-(Z @ self._weights + self._bias)))
+
+
+class RuleBasedDetector:
+    """The Xu-et-al consistency check as a graded jam score.
+
+    Mirrors :meth:`repro.apps.jamming_detector.JammingDetector.classify`
+    window-by-window, but instead of a categorical verdict it emits a
+    score built from the same three observables (PRR, mean RSSI, busy
+    fraction): near zero for healthy and channel-explained losses,
+    the loss fraction for a consistency violation, the busy fraction
+    for a pinned medium.  ``fit`` is a no-op — the thresholds *are*
+    the model — which is exactly what makes it the baseline.
+    """
+
+    name = "xu-rule"
+
+    def __init__(self, pdr_threshold: float = 0.6,
+                 rssi_threshold_dbm: float = -75.0,
+                 busy_threshold: float = 0.9) -> None:
+        if not 0.0 < pdr_threshold < 1.0:
+            raise ConfigurationError("pdr_threshold must be in (0, 1)")
+        if not 0.0 < busy_threshold <= 1.0:
+            raise ConfigurationError("busy_threshold must be in (0, 1]")
+        self.pdr_threshold = float(pdr_threshold)
+        self.rssi_threshold_dbm = float(rssi_threshold_dbm)
+        self.busy_threshold = float(busy_threshold)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray,
+            rng: np.random.Generator) -> None:
+        """Nothing to learn: the thresholds are the model."""
+        del features, labels, rng
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        X = np.asarray(features, dtype=np.float64)
+        frames = X[:, _IDX["frames_seen"]]
+        prr = X[:, _IDX["prr"]]
+        rssi = X[:, _IDX["mean_rssi_dbm"]]
+        busy = X[:, _IDX["busy_fraction"]]
+        scores = np.zeros(X.shape[0], dtype=np.float64)
+        # No traffic observed: only a pinned-busy medium is suspicious
+        # (the constant jammer silencing the client entirely).
+        silent = frames == 0
+        scores[silent] = np.where(busy[silent] > self.busy_threshold,
+                                  busy[silent], 0.0)
+        # Traffic observed: healthy and channel-explained losses score
+        # ~0; losses at high RSSI (the consistency violation) score
+        # the loss fraction; a pinned medium dominates either way.
+        active = ~silent
+        loss = 1.0 - prr
+        violation = (prr < self.pdr_threshold) \
+            & (rssi >= self.rssi_threshold_dbm)
+        scores[active] = np.where(violation[active], loss[active], 0.0)
+        pinned = active & (busy > self.busy_threshold)
+        scores[pinned] = np.maximum(scores[pinned], busy[pinned])
+        return scores
+
+
+def default_detectors() -> list[Detector]:
+    """The tournament's default field: the ML model and its baseline."""
+    return [OnlineLogisticDetector(), RuleBasedDetector()]

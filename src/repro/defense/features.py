@@ -1,0 +1,283 @@
+"""Victim-side link features for jamming detection.
+
+JamShield (PAPERS.md) shows over-the-air jamming is best detected by a
+classifier over *link* features rather than a single rule; this module
+turns the raw observations a monitoring access point already makes —
+per-frame ``(time, rssi, success)`` events and periodic CCA busy
+samples — into fixed-length windowed feature vectors:
+
+* packet reception ratio (PRR) and frame counts,
+* inter-arrival-time statistics (mean, coefficient of variation),
+* mean / spread of received signal strength,
+* channel-busy fraction plus busy-run (burst-length) statistics —
+  the histogram dimension that separates a constant jammer (one
+  endless run) from a reactive one (many short runs),
+* the Xu-et-al *consistency* product: losses at high signal strength.
+
+The scalar helpers at the top (:func:`delivery_ratio`,
+:func:`busy_fraction`, :func:`mean_rssi_dbm`) are the single source of
+truth for that arithmetic — :mod:`repro.apps.jamming_detector`
+delegates to them, so the rule-based classifier and the ML feature
+path can never drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.mac.medium import Medium
+    from repro.mac.nodes import AccessPoint
+    from repro.mac.simkernel import SimKernel
+
+#: Feature-vector layout, in :meth:`WindowFeatures.vector` order.
+FEATURE_NAMES: tuple[str, ...] = (
+    "prr",
+    "frames_seen",
+    "mean_rssi_dbm",
+    "rssi_spread_db",
+    "iat_mean_s",
+    "iat_cv",
+    "busy_fraction",
+    "busy_run_mean_s",
+    "busy_run_max_s",
+    "inconsistency",
+)
+
+#: RSSI placeholder for windows with no observed frames: the noise
+#: floor of the MAC-plane medium, so "nothing heard" sits at the low
+#: end of the scale instead of at ``-inf``.
+NO_FRAME_RSSI_DBM = -95.0
+
+#: RSSI pivot of the consistency feature (matches the rule-based
+#: classifier's default high-signal threshold).
+CONSISTENCY_RSSI_DBM = -75.0
+
+#: Logistic width (dB) of the consistency feature's RSSI gate.
+CONSISTENCY_RSSI_SCALE_DB = 4.0
+
+
+# ---------------------------------------------------------------------------
+# Scalar link arithmetic (shared with repro.apps.jamming_detector)
+
+
+def delivery_ratio(delivered: int, seen: int) -> float:
+    """Delivered over observed frames; a silent link counts as perfect."""
+    if seen == 0:
+        return 1.0
+    return delivered / seen
+
+
+def busy_fraction(hits: int, samples: int) -> float:
+    """Fraction of CCA samples that reported busy (0 with no samples)."""
+    if samples == 0:
+        return 0.0
+    return hits / samples
+
+
+def mean_rssi_dbm(rssi_sum_dbm: float, seen: int) -> float:
+    """Mean RSSI of observed frames (``-inf`` with none observed)."""
+    if seen == 0:
+        return float("-inf")
+    return rssi_sum_dbm / seen
+
+
+def busy_runs(busy: np.ndarray) -> np.ndarray:
+    """Lengths (in samples) of each consecutive busy run.
+
+    ``busy`` is a boolean CCA sample sequence; the return value is the
+    empirical busy-burst-length histogram's raw data.
+    """
+    flags = np.asarray(busy, dtype=bool)
+    if flags.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    edges = np.diff(flags.astype(np.int8))
+    starts = np.flatnonzero(edges == 1) + 1
+    ends = np.flatnonzero(edges == -1) + 1
+    if flags[0]:
+        starts = np.concatenate(([0], starts))
+    if flags[-1]:
+        ends = np.concatenate((ends, [flags.size]))
+    return (ends - starts).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Windowed features
+
+
+@dataclass(frozen=True)
+class WindowFeatures:
+    """One observation window's feature vector, with provenance."""
+
+    start_s: float
+    duration_s: float
+    frames_seen: int
+    frames_delivered: int
+    prr: float
+    mean_rssi_dbm: float
+    rssi_spread_db: float
+    iat_mean_s: float
+    iat_cv: float
+    busy_fraction: float
+    busy_run_mean_s: float
+    busy_run_max_s: float
+    inconsistency: float
+
+    def vector(self) -> np.ndarray:
+        """The feature vector in :data:`FEATURE_NAMES` order."""
+        return np.array([getattr(self, name) for name in FEATURE_NAMES],
+                        dtype=np.float64)
+
+
+def _consistency_score(prr: float, rssi_dbm: float) -> float:
+    """The Xu-et-al inconsistency: losses *at high signal strength*.
+
+    A smooth product of loss fraction and an RSSI sigmoid centred on
+    :data:`CONSISTENCY_RSSI_DBM` — near zero for healthy links and for
+    weak links whose losses the channel explains, near the loss
+    fraction when strong frames are dying.
+    """
+    if not math.isfinite(rssi_dbm):
+        return 0.0
+    gate = 1.0 / (1.0 + math.exp(
+        -(rssi_dbm - CONSISTENCY_RSSI_DBM) / CONSISTENCY_RSSI_SCALE_DB))
+    return (1.0 - prr) * gate
+
+
+def extract_windows(frames: list[tuple[float, float, bool]],
+                    busy: list[tuple[float, bool]],
+                    duration_s: float, window_s: float,
+                    start_s: float = 0.0) -> list[WindowFeatures]:
+    """Cut a raw link trace into fixed windows of features.
+
+    ``frames`` holds ``(time, rssi_dbm, delivered)`` per observed data
+    frame; ``busy`` holds ``(time, is_busy)`` per CCA sample.  Windows
+    tile ``[start_s, start_s + duration_s)``; a trailing partial
+    window shorter than half ``window_s`` is dropped (its statistics
+    would be noise).
+    """
+    if window_s <= 0:
+        raise ConfigurationError("window_s must be positive")
+    if duration_s < window_s:
+        raise ConfigurationError("duration_s must cover at least one window")
+    n_windows = int(duration_s / window_s + 0.5)
+    frame_times = np.array([t for t, _r, _d in frames], dtype=np.float64)
+    windows: list[WindowFeatures] = []
+    for w in range(n_windows):
+        lo = start_s + w * window_s
+        hi = lo + window_s
+        in_window = [(t, r, d) for t, r, d in frames if lo <= t < hi]
+        seen = len(in_window)
+        delivered = sum(1 for _t, _r, d in in_window if d)
+        prr = delivery_ratio(delivered, seen)
+        if seen:
+            rssi = np.array([r for _t, r, _d in in_window])
+            rssi_mean = float(rssi.mean())
+            rssi_spread = float(rssi.std())
+        else:
+            rssi_mean = NO_FRAME_RSSI_DBM
+            rssi_spread = 0.0
+        # Inter-arrival statistics; a window with < 2 frames has no
+        # arrival process to speak of, so it reports the window length
+        # (the censoring bound) with zero variation.
+        times = frame_times[(frame_times >= lo) & (frame_times < hi)]
+        if times.size >= 2:
+            iat = np.diff(np.sort(times))
+            iat_mean = float(iat.mean())
+            iat_cv = float(iat.std() / iat.mean()) if iat.mean() > 0 else 0.0
+        else:
+            iat_mean = window_s
+            iat_cv = 0.0
+        samples = [flag for t, flag in busy if lo <= t < hi]
+        hits = sum(1 for flag in samples if flag)
+        frac = busy_fraction(hits, len(samples))
+        runs = busy_runs(np.array(samples, dtype=bool))
+        sample_s = window_s / len(samples) if samples else 0.0
+        run_mean_s = float(runs.mean()) * sample_s if runs.size else 0.0
+        run_max_s = float(runs.max()) * sample_s if runs.size else 0.0
+        windows.append(WindowFeatures(
+            start_s=lo, duration_s=window_s,
+            frames_seen=seen, frames_delivered=delivered, prr=prr,
+            mean_rssi_dbm=rssi_mean, rssi_spread_db=rssi_spread,
+            iat_mean_s=iat_mean, iat_cv=iat_cv,
+            busy_fraction=frac, busy_run_mean_s=run_mean_s,
+            busy_run_max_s=run_max_s,
+            inconsistency=_consistency_score(prr, rssi_mean),
+        ))
+    return windows
+
+
+def feature_matrix(windows: list[WindowFeatures]) -> np.ndarray:
+    """Stack window vectors into an ``(n_windows, n_features)`` matrix."""
+    if not windows:
+        return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+    return np.stack([w.vector() for w in windows])
+
+
+class LinkTraceRecorder:
+    """Raw victim-side trace capture at a monitoring access point.
+
+    Attaches to the AP's per-frame monitor hook and schedules periodic
+    CCA sampling on the kernel — the same two observables
+    :class:`repro.apps.jamming_detector.JammingDetector` aggregates,
+    kept raw here so they can be windowed afterwards::
+
+        recorder = LinkTraceRecorder(kernel, medium, ap)
+        recorder.start(duration_s)
+        ... run traffic ...
+        windows = recorder.windows(window_s=0.02)
+    """
+
+    def __init__(self, kernel: "SimKernel", medium: "Medium",
+                 ap: "AccessPoint",
+                 cca_sample_interval_s: float = 5e-4) -> None:
+        if cca_sample_interval_s <= 0:
+            raise ConfigurationError(
+                "cca_sample_interval_s must be positive")
+        self._kernel = kernel
+        self._medium = medium
+        self._ap = ap
+        self._cca_interval_s = cca_sample_interval_s
+        self._start_s = 0.0
+        self._stop_at = 0.0
+        self.frames: list[tuple[float, float, bool]] = []
+        self.busy: list[tuple[float, bool]] = []
+        ap.monitor = self._on_frame
+
+    def _on_frame(self, rssi_dbm: float | None, success: bool,
+                  time_s: float) -> None:
+        if rssi_dbm is None:
+            return
+        self.frames.append((time_s, rssi_dbm, success))
+
+    def start(self, duration_s: float) -> None:
+        """Begin CCA sampling for ``duration_s`` from the current time."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        self._start_s = self._kernel.now
+        self._stop_at = self._kernel.now + duration_s
+        self._kernel.schedule(self._cca_interval_s, self._sample_cca)
+
+    def _sample_cca(self) -> None:
+        if self._kernel.now > self._stop_at:
+            return
+        self.busy.append((self._kernel.now,
+                          self._medium.is_busy(self._ap.name,
+                                               self._kernel.now)))
+        self._kernel.schedule(self._cca_interval_s, self._sample_cca)
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the recorded observation interval."""
+        return self._stop_at - self._start_s
+
+    def windows(self, window_s: float) -> list[WindowFeatures]:
+        """The recorded trace cut into feature windows."""
+        return extract_windows(self.frames, self.busy, self.duration_s,
+                               window_s, start_s=self._start_s)

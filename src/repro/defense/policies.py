@@ -1,0 +1,182 @@
+"""Jammer-side randomized policies: efficiency vs detectability.
+
+An & Weber (PAPERS.md) formalize what a carrier-sense monitor can and
+cannot see of a *random* reactive jammer: jamming every packet
+maximizes disruption but lights up every victim-side statistic, while
+jamming each trigger with probability ``p < 1`` (plus duty jitter and
+randomized holdoffs) pulls the victim's observed feature distribution
+back toward the clean one at the cost of letting traffic through.
+
+A :class:`JamPolicy` is the pure value object; a :class:`PolicyGate`
+binds it to one seeded generator and answers the three questions the
+trigger/TX gate asks — *fire at all?  for how long?  then hold off
+how long?* — so the same gate logic layers onto any jammer plane.
+:class:`RandomizedJammerNode` is that layering on the MAC-plane
+:class:`~repro.mac.nodes.JammerNode` the Fig. 10/11 harness uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import units
+from repro.core.presets import JammerPersonality
+from repro.errors import ConfigurationError
+from repro.mac.medium import Emission, Medium
+from repro.mac.nodes import JammerNode
+from repro.mac.simkernel import SimKernel
+
+
+@dataclass(frozen=True)
+class JamPolicy:
+    """A randomized response policy on top of a reactive personality.
+
+    Attributes:
+        name: Label used in tournament tables and telemetry.
+        jam_probability: Bernoulli ``p`` that an eligible trigger
+            actually fires a burst (1.0 = the deterministic jammer).
+        duty_jitter: Fractional burst-length jitter; each fired burst's
+            uptime is scaled by a uniform draw from
+            ``[1 - j, 1 + j]``.  0 keeps the personality's uptime.
+        off_period_s: Mean of an exponential holdoff sampled after
+            each burst, during which further triggers are ignored.
+            0 disables the holdoff.
+    """
+
+    name: str
+    jam_probability: float = 1.0
+    duty_jitter: float = 0.0
+    off_period_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.jam_probability <= 1.0:
+            raise ConfigurationError("jam_probability must be in (0, 1]")
+        if not 0.0 <= self.duty_jitter < 1.0:
+            raise ConfigurationError("duty_jitter must be in [0, 1)")
+        if self.off_period_s < 0.0:
+            raise ConfigurationError("off_period_s must be >= 0")
+
+    @property
+    def randomized(self) -> bool:
+        """Whether any decision of this policy involves randomness."""
+        return (self.jam_probability < 1.0 or self.duty_jitter > 0.0
+                or self.off_period_s > 0.0)
+
+    def describe(self) -> str:
+        """One-line summary for console tables."""
+        parts = [f"p={self.jam_probability:g}"]
+        if self.duty_jitter:
+            parts.append(f"jitter={self.duty_jitter:g}")
+        if self.off_period_s:
+            parts.append(f"off={self.off_period_s * 1e3:g}ms")
+        return " ".join(parts)
+
+
+#: The deterministic reference policy: every trigger fires a burst.
+ALWAYS_JAM = JamPolicy(name="always", jam_probability=1.0)
+
+
+def randomized_policy(jam_probability: float, duty_jitter: float = 0.0,
+                      off_period_s: float = 0.0) -> JamPolicy:
+    """A named randomized policy (``p0.5`` style labels)."""
+    name = f"p{jam_probability:g}"
+    if duty_jitter:
+        name += f"-j{duty_jitter:g}"
+    if off_period_s:
+        name += f"-off{off_period_s * 1e3:g}ms"
+    return JamPolicy(name=name, jam_probability=jam_probability,
+                     duty_jitter=duty_jitter, off_period_s=off_period_s)
+
+
+class PolicyGate:
+    """One seeded decision stream for one policy instance.
+
+    Pure given ``(policy, rng)``: the gate draws from the supplied
+    generator only, and only when the policy is actually randomized in
+    that dimension — ``ALWAYS_JAM`` consumes zero draws, so layering
+    the gate onto a deterministic jammer changes nothing downstream.
+    """
+
+    def __init__(self, policy: JamPolicy, rng: np.random.Generator) -> None:
+        self.policy = policy
+        self._rng = rng
+        self.triggers_seen = 0
+        self.triggers_fired = 0
+        self.triggers_suppressed = 0
+
+    def should_fire(self) -> bool:
+        """Bernoulli(``p``) gate decision for one eligible trigger."""
+        self.triggers_seen += 1
+        fire = self.policy.jam_probability >= 1.0 \
+            or self._rng.random() < self.policy.jam_probability
+        if fire:
+            self.triggers_fired += 1
+        else:
+            self.triggers_suppressed += 1
+        return fire
+
+    def uptime_s(self, base_uptime_s: float) -> float:
+        """The burst length for one fired trigger, jitter applied."""
+        jitter = self.policy.duty_jitter
+        if jitter <= 0.0:
+            return base_uptime_s
+        scale = 1.0 + jitter * (2.0 * self._rng.random() - 1.0)
+        return base_uptime_s * scale
+
+    def holdoff_s(self) -> float:
+        """Exponential off-period sampled after one burst."""
+        mean = self.policy.off_period_s
+        if mean <= 0.0:
+            return 0.0
+        return -mean * math.log(1.0 - self._rng.random())
+
+
+class RandomizedJammerNode(JammerNode):
+    """A MAC-plane reactive jammer whose TX gate consults a policy.
+
+    Identical trigger path to :class:`~repro.mac.nodes.JammerNode`
+    (frame-start listener, sensitivity check, busy-until lockout), but
+    every eligible trigger is filtered through a :class:`PolicyGate`:
+    suppressed with probability ``1 - p``, fired with jittered uptime,
+    then locked out for the burst plus a sampled holdoff.  Continuous
+    personalities are rejected — randomizing an always-on carrier is
+    meaningless.
+    """
+
+    def __init__(self, name: str, kernel: SimKernel, medium: Medium,
+                 personality: JammerPersonality, tx_power_dbm: float,
+                 policy: JamPolicy, rng: np.random.Generator,
+                 response_time_s: float | None = None,
+                 sensitivity_dbm: float = -80.0) -> None:
+        if personality.continuous:
+            raise ConfigurationError(
+                "randomized policies apply to reactive personalities only")
+        super().__init__(name, kernel, medium, personality, tx_power_dbm,
+                         response_time_s=response_time_s,
+                         sensitivity_dbm=sensitivity_dbm)
+        self.gate = PolicyGate(policy, rng)
+        #: Total transmitted jam airtime (jitter included), seconds.
+        self.jam_airtime_s = 0.0
+
+    def _on_frame_start(self, emission: Emission) -> None:
+        if emission.src == self.name:
+            return
+        power = self._medium.rx_power_dbm(emission, self.name)
+        if power is None or power < self._sensitivity_dbm:
+            return
+        now = emission.start
+        if now < self._busy_until:
+            return
+        if not self.gate.should_fire():
+            return
+        delay_s = units.samples_to_seconds(self.personality.delay_samples)
+        burst_start = now + self._response_time_s + delay_s
+        burst_len = self.gate.uptime_s(self.personality.uptime_seconds)
+        self._busy_until = burst_start + burst_len + self.gate.holdoff_s()
+        self._medium.emit_jam(self.name, burst_start, burst_len,
+                              self.tx_power_dbm)
+        self.bursts += 1
+        self.jam_airtime_s += burst_len

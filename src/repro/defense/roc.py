@@ -1,0 +1,114 @@
+"""ROC analysis for jamming detectors.
+
+A detector emits one scalar score per observation window, higher =
+more jam-like; sweeping a decision threshold over those scores traces
+the receiver operating characteristic.  This module computes the full
+curve (one operating point per distinct score value, ties collapsed),
+its area (trapezoidal — with tied scores this equals the
+Mann-Whitney U statistic, so the AUC is invariant under any strictly
+order-preserving transform of the scores), and threshold selection
+against a false-positive budget.
+
+Degenerate inputs — every window the same class — have no defined
+ROC; they raise :class:`~repro.errors.ConfigurationError` rather than
+dividing by zero, and the tournament treats them as a configuration
+mistake (a scenario that produced no clean or no jammed windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """One detector's full threshold sweep.
+
+    ``thresholds`` are the distinct score values in descending order;
+    operating point ``i`` classifies "jammed" when
+    ``score >= thresholds[i]``.  The arrays carry a leading
+    ``(fpr=0, tpr=0)`` anchor (threshold ``+inf``) and end at
+    ``(1, 1)``; both rates are non-decreasing along the sweep.
+    """
+
+    thresholds: np.ndarray
+    fpr: np.ndarray
+    tpr: np.ndarray
+    auc: float
+    positives: int
+    negatives: int
+
+    def operating_point(self, max_fpr: float) -> tuple[float, float, float]:
+        """The ``(threshold, fpr, tpr)`` maximizing TPR within an FP budget.
+
+        Picks the highest-TPR point whose false-positive rate does not
+        exceed ``max_fpr``; the ``(0, 0)`` anchor guarantees one exists.
+        """
+        if not 0.0 <= max_fpr <= 1.0:
+            raise ConfigurationError("max_fpr must be in [0, 1]")
+        allowed = np.flatnonzero(self.fpr <= max_fpr)
+        best = allowed[np.argmax(self.tpr[allowed])]
+        return (float(self.thresholds[best]), float(self.fpr[best]),
+                float(self.tpr[best]))
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form for perf records and reports."""
+        return {
+            "thresholds": [float(t) for t in self.thresholds],
+            "fpr": [float(f) for f in self.fpr],
+            "tpr": [float(t) for t in self.tpr],
+            "auc": float(self.auc),
+            "positives": int(self.positives),
+            "negatives": int(self.negatives),
+        }
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> RocCurve:
+    """Sweep every distinct score as a threshold.
+
+    ``labels`` are 0 (clean) / 1 (jammed).  Requires at least one
+    window of each class.
+    """
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    y = np.asarray(labels).ravel()
+    if s.shape != y.shape:
+        raise ConfigurationError("scores and labels must have equal length")
+    if s.size == 0:
+        raise ConfigurationError("cannot build an ROC from zero windows")
+    if not np.all(np.isfinite(s)):
+        raise ConfigurationError("scores must be finite")
+    positive = y != 0
+    n_pos = int(np.count_nonzero(positive))
+    n_neg = int(y.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ConfigurationError(
+            f"ROC needs both classes; got {n_pos} jammed and {n_neg} "
+            "clean windows"
+        )
+    order = np.argsort(-s, kind="stable")
+    sorted_scores = s[order]
+    sorted_pos = positive[order].astype(np.int64)
+    tp = np.cumsum(sorted_pos)
+    fp = np.cumsum(1 - sorted_pos)
+    # Collapse tied scores: an operating point exists only where the
+    # score actually drops, otherwise the "threshold" between tied
+    # values is not realizable.
+    distinct = np.flatnonzero(np.diff(sorted_scores) != 0.0)
+    last = np.concatenate((distinct, [s.size - 1]))
+    tpr = np.concatenate(([0.0], tp[last] / n_pos))
+    fpr = np.concatenate(([0.0], fp[last] / n_neg))
+    thresholds = np.concatenate(([np.inf], sorted_scores[last]))
+    return RocCurve(
+        thresholds=thresholds, fpr=fpr, tpr=tpr,
+        auc=float(np.trapezoid(tpr, fpr)),
+        positives=n_pos, negatives=n_neg,
+    )
+
+
+def auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC (ties credited 1/2, Mann-Whitney)."""
+    return roc_curve(scores, labels).auc

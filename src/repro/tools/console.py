@@ -90,6 +90,14 @@ commands:
                                                       on the job layer
   sweep status          health of the last sweep (retries, crashes,
                         quarantines, checkpoint hits)
+  defense roc [--p=P] [--scenario=reactive|constant] [--trials=N]
+              [--seed=N]                              detector ROC under
+                                                      one jam policy
+  defense tournament [--policies=1,0.5,0.1] [--trials=N] [--workers=N]
+              [--seed=N] [--scenario=reactive|constant]
+                                                      policy x detector
+                                                      grid (AUC vs
+                                                      efficiency)
   help                  this text
   quit                  leave the console"""
 
@@ -342,6 +350,56 @@ class JammerConsole:
         if health is not None:
             reply += "\n" + health.summary()
         return reply
+
+    def _cmd_defense(self, args: list[str]) -> str:
+        """Victim-side detection: ROC evaluation and policy tournaments."""
+        from repro.defense import (
+            ALWAYS_JAM,
+            DefenseScenario,
+            randomized_policy,
+            run_tournament,
+        )
+
+        sub = args[0] if args else ""
+        if sub not in ("roc", "tournament"):
+            return f"error: unknown defense subcommand {sub!r} " \
+                   "(roc|tournament)"
+        probs = [1.0, 0.5, 0.1] if sub == "tournament" else [1.0]
+        trials, seed, workers, kind = 2, 1, 1, "reactive"
+        for opt in args[1:]:
+            if opt.startswith("--p="):
+                probs = [float(opt.split("=", 1)[1])]
+            elif opt.startswith("--policies="):
+                probs = [float(p) for p in
+                         opt.split("=", 1)[1].split(",") if p]
+            elif opt.startswith("--trials="):
+                trials = int(opt.split("=", 1)[1])
+            elif opt.startswith("--seed="):
+                seed = int(opt.split("=", 1)[1])
+            elif opt.startswith("--workers="):
+                workers = int(opt.split("=", 1)[1])
+            elif opt.startswith("--scenario="):
+                kind = opt.split("=", 1)[1]
+            else:
+                return f"error: unknown defense option {opt!r}"
+        policies = [ALWAYS_JAM if p >= 1.0 else randomized_policy(p)
+                    for p in probs]
+        result = run_tournament(
+            policies=policies, scenario=DefenseScenario(kind=kind),
+            n_trials=trials, seed=seed, workers=workers,
+            telemetry=self.telemetry if self.telemetry.enabled else None)
+        if sub == "tournament":
+            return result.table()
+        lines = []
+        for policy in policies:
+            for name in result.detectors:
+                curve = result.curves[(policy.name, name)]
+                threshold, fpr, tpr = curve.operating_point(0.1)
+                lines.append(
+                    f"{policy.name:<8}{name:<10}auc={curve.auc:.3f}  "
+                    f"op@fpr<=0.1: thr={threshold:.3g} "
+                    f"fpr={fpr:.2f} tpr={tpr:.2f}")
+        return "\n".join(lines)
 
     def _cmd_demo(self, args: list[str]) -> str:
         kind = args[0]

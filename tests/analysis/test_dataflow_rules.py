@@ -217,6 +217,37 @@ class TestDeterminismRJ011:
         }, "RJ011")
         assert findings == []
 
+    def test_defense_modules_are_entry_points(self):
+        # Detector training and tournaments carry the same
+        # byte-identity guarantee as figure sweeps: any function under
+        # defense/ roots the reachability walk.
+        findings = _run({
+            "src/repro/defense/detectorx.py": FUT + (
+                "from repro.util.noisex import make_noise\n"
+                "def fit_model(n):\n"
+                "    return make_noise(n)\n"
+            ),
+            "src/repro/util/noisex.py": FUT + (
+                "from numpy.random import default_rng\n"
+                "def make_noise(n):\n"
+                "    rng = default_rng()\n"
+                "    return rng.normal(size=n)\n"
+            ),
+        }, "RJ011")
+        assert [(f.rule, f.path) for f in findings] == [
+            ("RJ011", "src/repro/util/noisex.py")]
+
+    def test_tournament_named_functions_are_entry_points(self):
+        findings = _run({
+            "src/repro/apps/defendx.py": FUT + (
+                "from numpy.random import default_rng\n"
+                "def run_tournament(grid):\n"
+                "    rng = default_rng()\n"
+                "    return [rng.normal() for _ in grid]\n"
+            ),
+        }, "RJ011")
+        assert [f.rule for f in findings] == ["RJ011"]
+
 
 class TestSpanPairingRJ012:
     PROFILER = FUT + (

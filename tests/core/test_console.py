@@ -229,3 +229,38 @@ class TestSweepCommands:
 
     def test_unknown_subcommand(self, console):
         assert "error" in console.execute("sweep bogus")
+
+
+class TestDefenseCommands:
+    def test_help_lists_defense_commands(self, console):
+        text = console.execute("help")
+        assert "defense roc" in text
+        assert "defense tournament" in text
+
+    def test_roc_reports_auc_per_detector(self, console):
+        reply = console.execute(
+            "defense roc --trials=2 --seed=3")
+        assert "logistic" in reply and "xu-rule" in reply
+        assert "auc=" in reply
+        assert "op@fpr<=0.1" in reply
+
+    def test_tournament_prints_policy_table(self, console):
+        reply = console.execute(
+            "defense tournament --policies=1,0.5 --trials=2 --seed=3")
+        assert "always" in reply and "p0.5" in reply
+        assert "auc:logistic" in reply and "auc:xu-rule" in reply
+        assert "effic" in reply
+
+    def test_constant_scenario(self, console):
+        reply = console.execute(
+            "defense roc --scenario=constant --trials=2")
+        assert "error" not in reply
+        assert "auc=" in reply
+
+    def test_unknown_subcommand_and_option(self, console):
+        assert "error" in console.execute("defense bogus")
+        assert "error" in console.execute("defense roc --frobnicate=1")
+
+    def test_invalid_policy_probability_is_reported(self, console):
+        reply = console.execute("defense tournament --policies=0")
+        assert reply.startswith("error:")

@@ -1,0 +1,159 @@
+"""The detector protocol and both model implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defense.detectors import (
+    Detector,
+    OnlineLogisticDetector,
+    RuleBasedDetector,
+    default_detectors,
+)
+from repro.defense.features import FEATURE_NAMES
+from repro.defense.roc import auc
+from repro.errors import ConfigurationError
+
+_N = len(FEATURE_NAMES)
+_IDX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+def _synthetic_windows(rng: np.random.Generator, n: int = 120
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Separable clean/jammed windows with overlapping noise."""
+    labels = (np.arange(n) >= n // 2).astype(np.int64)
+    X = rng.normal(size=(n, _N))
+    # Jammed windows: lower PRR, higher inconsistency and busy time.
+    X[:, _IDX["prr"]] = np.where(labels == 1,
+                                 rng.uniform(0.0, 0.5, n),
+                                 rng.uniform(0.7, 1.0, n))
+    X[:, _IDX["inconsistency"]] = np.where(labels == 1,
+                                           rng.uniform(0.4, 1.0, n),
+                                           rng.uniform(0.0, 0.2, n))
+    X[:, _IDX["busy_fraction"]] = np.where(labels == 1,
+                                           rng.uniform(0.2, 0.6, n),
+                                           rng.uniform(0.0, 0.1, n))
+    return X, labels
+
+
+class TestProtocol:
+    def test_both_models_satisfy_detector(self):
+        for detector in default_detectors():
+            assert isinstance(detector, Detector)
+
+    def test_default_field_names(self):
+        assert [d.name for d in default_detectors()] \
+            == ["logistic", "xu-rule"]
+
+
+class TestOnlineLogisticDetector:
+    def test_validates_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            OnlineLogisticDetector(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            OnlineLogisticDetector(epochs=0)
+        with pytest.raises(ConfigurationError):
+            OnlineLogisticDetector(l2=-1.0)
+
+    def test_score_before_fit_raises(self):
+        detector = OnlineLogisticDetector()
+        with pytest.raises(ConfigurationError):
+            detector.score(np.zeros((1, _N)))
+
+    def test_fit_validates_shapes(self):
+        detector = OnlineLogisticDetector()
+        rng = np.random.default_rng(1)
+        with pytest.raises(ConfigurationError):
+            detector.fit(np.zeros((0, _N)), np.zeros(0), rng)
+        with pytest.raises(ConfigurationError):
+            detector.fit(np.zeros((4, _N)), np.zeros(3), rng)
+
+    def test_learns_separable_windows(self):
+        X, y = _synthetic_windows(np.random.default_rng(3))
+        detector = OnlineLogisticDetector()
+        detector.fit(X[::2], y[::2], np.random.default_rng(7))
+        assert detector.fitted
+        scores = detector.score(X[1::2])
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+        assert auc(scores, y[1::2]) > 0.95
+
+    def test_fit_is_pure_in_the_rng(self):
+        X, y = _synthetic_windows(np.random.default_rng(3))
+        scores = []
+        for _ in range(2):
+            detector = OnlineLogisticDetector()
+            detector.fit(X, y, np.random.default_rng(11))
+            scores.append(detector.score(X))
+        np.testing.assert_array_equal(scores[0], scores[1])
+
+    def test_constant_feature_columns_are_tolerated(self):
+        X, y = _synthetic_windows(np.random.default_rng(3), n=40)
+        X[:, _IDX["frames_seen"]] = 5.0
+        detector = OnlineLogisticDetector()
+        detector.fit(X, y, np.random.default_rng(1))
+        assert np.all(np.isfinite(detector.score(X)))
+
+
+class TestRuleBasedDetector:
+    def _window(self, prr: float, rssi: float, busy: float,
+                frames: float = 4.0) -> np.ndarray:
+        row = np.zeros(_N)
+        row[_IDX["prr"]] = prr
+        row[_IDX["mean_rssi_dbm"]] = rssi
+        row[_IDX["busy_fraction"]] = busy
+        row[_IDX["frames_seen"]] = frames
+        return row
+
+    def test_validates_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            RuleBasedDetector(pdr_threshold=1.0)
+        with pytest.raises(ConfigurationError):
+            RuleBasedDetector(busy_threshold=0.0)
+
+    def test_healthy_scores_zero(self):
+        detector = RuleBasedDetector()
+        X = np.stack([self._window(0.95, -60.0, 0.05)])
+        assert detector.score(X)[0] == 0.0
+
+    def test_poor_link_scores_zero(self):
+        # Losses at low RSSI are channel-explained, not jamming.
+        detector = RuleBasedDetector()
+        X = np.stack([self._window(0.2, -90.0, 0.05)])
+        assert detector.score(X)[0] == 0.0
+
+    def test_consistency_violation_scores_loss_fraction(self):
+        detector = RuleBasedDetector()
+        X = np.stack([self._window(0.2, -60.0, 0.05)])
+        assert detector.score(X)[0] == pytest.approx(0.8)
+
+    def test_pinned_medium_dominates(self):
+        detector = RuleBasedDetector()
+        X = np.stack([
+            self._window(0.95, -60.0, 0.97),        # busy but delivering
+            self._window(1.0, -95.0, 0.99, frames=0.0),  # silenced
+            self._window(1.0, -95.0, 0.1, frames=0.0),   # just quiet
+        ])
+        scores = detector.score(X)
+        assert scores[0] == pytest.approx(0.97)
+        assert scores[1] == pytest.approx(0.99)
+        assert scores[2] == 0.0
+
+    def test_fit_is_a_no_op(self):
+        detector = RuleBasedDetector()
+        X = np.stack([self._window(0.2, -60.0, 0.05)])
+        before = detector.score(X)
+        detector.fit(X, np.ones(1), np.random.default_rng(1))
+        np.testing.assert_array_equal(detector.score(X), before)
+
+    def test_matches_rule_classifier_verdict_ordering(self):
+        """Jam-like windows outrank healthy and poor-link windows."""
+        detector = RuleBasedDetector()
+        X = np.stack([
+            self._window(0.2, -60.0, 0.1),   # reactive-jam signature
+            self._window(0.2, -90.0, 0.1),   # poor link
+            self._window(0.98, -60.0, 0.05),  # healthy
+        ])
+        scores = detector.score(X)
+        assert scores[0] > scores[1]
+        assert scores[0] > scores[2]

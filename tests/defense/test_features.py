@@ -1,0 +1,195 @@
+"""Windowed feature extraction from victim-side link traces."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.defense.features import (
+    FEATURE_NAMES,
+    NO_FRAME_RSSI_DBM,
+    LinkTraceRecorder,
+    busy_fraction,
+    busy_runs,
+    delivery_ratio,
+    extract_windows,
+    feature_matrix,
+    mean_rssi_dbm,
+)
+from repro.errors import ConfigurationError
+from repro.mac.medium import Medium
+from repro.mac.nodes import AccessPoint, JammerNode, Station
+from repro.mac.simkernel import SimKernel
+from repro.core.presets import continuous_jammer
+
+
+class TestScalarHelpers:
+    def test_delivery_ratio_silent_link_is_perfect(self):
+        assert delivery_ratio(0, 0) == 1.0
+
+    def test_delivery_ratio(self):
+        assert delivery_ratio(3, 4) == 0.75
+
+    def test_busy_fraction_no_samples(self):
+        assert busy_fraction(0, 0) == 0.0
+
+    def test_busy_fraction(self):
+        assert busy_fraction(9, 10) == 0.9
+
+    def test_mean_rssi_no_frames(self):
+        assert mean_rssi_dbm(0.0, 0) == float("-inf")
+
+    def test_mean_rssi(self):
+        assert mean_rssi_dbm(-150.0, 2) == -75.0
+
+
+class TestBusyRuns:
+    def test_empty(self):
+        assert busy_runs(np.array([], dtype=bool)).size == 0
+
+    def test_all_idle(self):
+        assert busy_runs(np.zeros(8, dtype=bool)).size == 0
+
+    def test_all_busy_is_one_run(self):
+        runs = busy_runs(np.ones(5, dtype=bool))
+        assert list(runs) == [5]
+
+    def test_mixed_runs(self):
+        flags = np.array([1, 1, 0, 1, 0, 0, 1, 1, 1], dtype=bool)
+        assert list(busy_runs(flags)) == [2, 1, 3]
+
+    def test_runs_at_both_edges(self):
+        flags = np.array([1, 0, 1], dtype=bool)
+        assert list(busy_runs(flags)) == [1, 1]
+
+
+class TestExtractWindows:
+    def test_validates_window_length(self):
+        with pytest.raises(ConfigurationError):
+            extract_windows([], [], duration_s=1.0, window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            extract_windows([], [], duration_s=0.01, window_s=0.02)
+
+    def test_window_count_tiles_duration(self):
+        windows = extract_windows([], [], duration_s=0.1, window_s=0.02)
+        assert len(windows) == 5
+        assert windows[0].start_s == 0.0
+        assert windows[-1].start_s == pytest.approx(0.08)
+
+    def test_empty_window_placeholders(self):
+        [w] = extract_windows([], [], duration_s=0.02, window_s=0.02)
+        assert w.frames_seen == 0
+        assert w.prr == 1.0
+        assert w.mean_rssi_dbm == NO_FRAME_RSSI_DBM
+        assert w.iat_mean_s == 0.02
+        assert w.iat_cv == 0.0
+        assert w.busy_fraction == 0.0
+
+    def test_prr_and_rssi_per_window(self):
+        frames = [(0.001, -70.0, True), (0.005, -72.0, False),
+                  (0.021, -60.0, True)]
+        w0, w1 = extract_windows(frames, [], duration_s=0.04,
+                                 window_s=0.02)
+        assert w0.frames_seen == 2 and w0.frames_delivered == 1
+        assert w0.prr == 0.5
+        assert w0.mean_rssi_dbm == pytest.approx(-71.0)
+        assert w1.frames_seen == 1 and w1.prr == 1.0
+        assert w1.mean_rssi_dbm == pytest.approx(-60.0)
+
+    def test_inter_arrival_statistics(self):
+        frames = [(0.002, -70.0, True), (0.006, -70.0, True),
+                  (0.010, -70.0, True)]
+        [w] = extract_windows(frames, [], duration_s=0.02, window_s=0.02)
+        assert w.iat_mean_s == pytest.approx(0.004)
+        assert w.iat_cv == pytest.approx(0.0)
+
+    def test_busy_run_statistics(self):
+        busy = [(i * 0.001, flag) for i, flag in
+                enumerate([False, True, True, True, False, True,
+                           False, False, False, False])]
+        [w] = extract_windows([], busy, duration_s=0.01, window_s=0.01)
+        assert w.busy_fraction == pytest.approx(0.4)
+        # Runs of 3 and 1 samples at 1 ms per sample.
+        assert w.busy_run_mean_s == pytest.approx(0.002)
+        assert w.busy_run_max_s == pytest.approx(0.003)
+
+    def test_inconsistency_high_for_strong_signal_losses(self):
+        strong_loss = [(0.001, -60.0, False)]
+        weak_loss = [(0.001, -92.0, False)]
+        healthy = [(0.001, -60.0, True)]
+        [w_jam] = extract_windows(strong_loss, [], 0.02, 0.02)
+        [w_poor] = extract_windows(weak_loss, [], 0.02, 0.02)
+        [w_ok] = extract_windows(healthy, [], 0.02, 0.02)
+        assert w_jam.inconsistency > 0.9
+        assert w_poor.inconsistency < 0.05
+        assert w_ok.inconsistency == pytest.approx(0.0)
+
+    def test_vector_follows_feature_names(self):
+        frames = [(0.001, -70.0, True)]
+        [w] = extract_windows(frames, [], 0.02, 0.02)
+        vec = w.vector()
+        assert vec.shape == (len(FEATURE_NAMES),)
+        assert vec[FEATURE_NAMES.index("prr")] == w.prr
+        assert vec[FEATURE_NAMES.index("frames_seen")] == 1.0
+        assert all(math.isfinite(v) for v in vec)
+
+    def test_feature_matrix_shapes(self):
+        windows = extract_windows([], [], duration_s=0.06, window_s=0.02)
+        assert feature_matrix(windows).shape == (3, len(FEATURE_NAMES))
+        assert feature_matrix([]).shape == (0, len(FEATURE_NAMES))
+
+
+def _loss_free(_src: str, _dst: str) -> float:
+    return 0.0
+
+
+class TestLinkTraceRecorder:
+    def test_validates_configuration(self):
+        kernel = SimKernel()
+        medium = Medium(_loss_free)
+        rng = np.random.default_rng(1)
+        ap = AccessPoint("ap", kernel, medium, rng, tx_power_dbm=20.0)
+        with pytest.raises(ConfigurationError):
+            LinkTraceRecorder(kernel, medium, ap,
+                              cca_sample_interval_s=0.0)
+        recorder = LinkTraceRecorder(kernel, medium, ap)
+        with pytest.raises(ConfigurationError):
+            recorder.start(0.0)
+
+    def test_records_frames_and_busy_samples(self):
+        kernel = SimKernel()
+        medium = Medium(_loss_free)
+        rng = np.random.default_rng(1)
+        ap = AccessPoint("ap", kernel, medium, rng, tx_power_dbm=20.0)
+        station = Station("client", kernel, medium, ap, rng,
+                          tx_power_dbm=14.0)
+        recorder = LinkTraceRecorder(kernel, medium, ap,
+                                     cca_sample_interval_s=1e-3)
+        recorder.start(0.05)
+        for i in range(10):
+            kernel.schedule(0.004 * i,
+                            lambda: station.enqueue_datagram(200))
+        kernel.run_until(0.05)
+        assert len(recorder.frames) == 10
+        assert all(delivered for _t, _r, delivered in recorder.frames)
+        assert len(recorder.busy) >= 40
+        windows = recorder.windows(0.01)
+        assert len(windows) == 5
+        assert sum(w.frames_seen for w in windows) == 10
+
+    def test_busy_fraction_sees_constant_jammer(self):
+        kernel = SimKernel()
+        medium = Medium(_loss_free)
+        rng = np.random.default_rng(1)
+        ap = AccessPoint("ap", kernel, medium, rng, tx_power_dbm=20.0)
+        recorder = LinkTraceRecorder(kernel, medium, ap,
+                                     cca_sample_interval_s=1e-3)
+        recorder.start(0.02)
+        jammer = JammerNode("jammer", kernel, medium, continuous_jammer(),
+                            tx_power_dbm=10.0)
+        jammer.start(0.02)
+        kernel.run_until(0.02)
+        [w] = recorder.windows(0.02)
+        assert w.busy_fraction > 0.9

@@ -1,0 +1,151 @@
+"""Randomized jamming policies and the MAC-plane policy gate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.presets import continuous_jammer, reactive_jammer
+from repro.defense.policies import (
+    ALWAYS_JAM,
+    JamPolicy,
+    PolicyGate,
+    RandomizedJammerNode,
+    randomized_policy,
+)
+from repro.errors import ConfigurationError
+from repro.mac.medium import Medium
+from repro.mac.nodes import AccessPoint, Station
+from repro.mac.simkernel import SimKernel
+
+
+class TestJamPolicy:
+    def test_validates_probability(self):
+        with pytest.raises(ConfigurationError):
+            JamPolicy(name="bad", jam_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            JamPolicy(name="bad", jam_probability=1.5)
+
+    def test_validates_jitter_and_off_period(self):
+        with pytest.raises(ConfigurationError):
+            JamPolicy(name="bad", duty_jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            JamPolicy(name="bad", off_period_s=-1e-3)
+
+    def test_always_jam_is_not_randomized(self):
+        assert not ALWAYS_JAM.randomized
+        assert ALWAYS_JAM.jam_probability == 1.0
+
+    def test_randomized_policy_names(self):
+        assert randomized_policy(0.5).name == "p0.5"
+        assert randomized_policy(0.5, duty_jitter=0.2).name == "p0.5-j0.2"
+        assert randomized_policy(0.5, off_period_s=1e-3).name \
+            == "p0.5-off1ms"
+
+    def test_describe_mentions_every_active_dimension(self):
+        text = randomized_policy(0.3, duty_jitter=0.1,
+                                 off_period_s=2e-3).describe()
+        assert "p=0.3" in text and "jitter=0.1" in text and "off=2ms" in text
+
+
+class TestPolicyGate:
+    def test_always_jam_consumes_no_draws(self):
+        rng = np.random.default_rng(5)
+        gate = PolicyGate(ALWAYS_JAM, rng)
+        for _ in range(10):
+            assert gate.should_fire()
+        assert gate.uptime_s(1e-4) == 1e-4
+        assert gate.holdoff_s() == 0.0
+        # The generator was never touched: a fresh twin agrees.
+        assert rng.random() == np.random.default_rng(5).random()
+
+    def test_bernoulli_rate_tracks_probability(self):
+        gate = PolicyGate(randomized_policy(0.3), np.random.default_rng(2))
+        fired = sum(gate.should_fire() for _ in range(4000))
+        assert gate.triggers_seen == 4000
+        assert gate.triggers_fired == fired
+        assert gate.triggers_suppressed == 4000 - fired
+        assert 0.25 < fired / 4000 < 0.35
+
+    def test_jittered_uptime_stays_in_band(self):
+        gate = PolicyGate(randomized_policy(1.0, duty_jitter=0.25),
+                          np.random.default_rng(3))
+        draws = [gate.uptime_s(1e-4) for _ in range(500)]
+        assert all(0.75e-4 <= d <= 1.25e-4 for d in draws)
+        assert max(draws) > 1.1e-4 and min(draws) < 0.9e-4
+
+    def test_holdoff_has_exponential_mean(self):
+        gate = PolicyGate(randomized_policy(1.0, off_period_s=2e-3),
+                          np.random.default_rng(4))
+        draws = [gate.holdoff_s() for _ in range(4000)]
+        assert all(d >= 0.0 for d in draws)
+        assert np.mean(draws) == pytest.approx(2e-3, rel=0.1)
+
+    def test_gate_is_pure_in_the_rng(self):
+        policy = randomized_policy(0.5, duty_jitter=0.2, off_period_s=1e-3)
+        trace = []
+        for _ in range(2):
+            gate = PolicyGate(policy, np.random.default_rng(9))
+            trace.append([(gate.should_fire(), gate.uptime_s(1e-4),
+                           gate.holdoff_s()) for _ in range(50)])
+        assert trace[0] == trace[1]
+
+
+def _loss_free(_src: str, _dst: str) -> float:
+    return 0.0
+
+
+def _run_jammed(policy: JamPolicy, seed: int = 1,
+                duration_s: float = 0.05) -> RandomizedJammerNode:
+    rng = np.random.default_rng(seed)
+    kernel = SimKernel()
+    medium = Medium(_loss_free)
+    ap = AccessPoint("ap", kernel, medium, rng, tx_power_dbm=20.0)
+    station = Station("client", kernel, medium, ap, rng,
+                      tx_power_dbm=14.0)
+    jammer = RandomizedJammerNode(
+        "jammer", kernel, medium, reactive_jammer(1e-4),
+        tx_power_dbm=10.0, policy=policy, rng=rng)
+    jammer.start(duration_s)
+    for i in range(40):
+        kernel.schedule(duration_s / 40 * i,
+                        lambda: station.enqueue_datagram(200))
+    kernel.run_until(duration_s)
+    return jammer
+
+
+class TestRandomizedJammerNode:
+    def test_rejects_continuous_personalities(self):
+        kernel = SimKernel()
+        medium = Medium(_loss_free)
+        with pytest.raises(ConfigurationError):
+            RandomizedJammerNode(
+                "jammer", kernel, medium, continuous_jammer(),
+                tx_power_dbm=10.0, policy=ALWAYS_JAM,
+                rng=np.random.default_rng(1))
+
+    def test_always_jam_fires_every_eligible_trigger(self):
+        jammer = _run_jammed(ALWAYS_JAM)
+        assert jammer.bursts > 0
+        assert jammer.gate.triggers_fired == jammer.bursts
+        assert jammer.gate.triggers_suppressed == 0
+        assert jammer.jam_airtime_s == pytest.approx(jammer.bursts * 1e-4)
+
+    def test_low_probability_suppresses_most_triggers(self):
+        always = _run_jammed(ALWAYS_JAM)
+        rare = _run_jammed(randomized_policy(0.1))
+        assert rare.gate.triggers_suppressed > 0
+        assert rare.bursts < always.bursts
+        assert rare.jam_airtime_s < always.jam_airtime_s
+
+    def test_holdoff_reduces_burst_count(self):
+        no_hold = _run_jammed(ALWAYS_JAM)
+        held = _run_jammed(JamPolicy(name="held", off_period_s=5e-3))
+        assert held.bursts < no_hold.bursts
+
+    def test_runs_are_reproducible_per_seed(self):
+        a = _run_jammed(randomized_policy(0.5), seed=6)
+        b = _run_jammed(randomized_policy(0.5), seed=6)
+        assert a.bursts == b.bursts
+        assert a.jam_airtime_s == b.jam_airtime_s
+        assert a.gate.triggers_seen == b.gate.triggers_seen

@@ -14,7 +14,8 @@ def quick_report() -> str:
     # Shrink the quick profile further for test speed.
     small = dict(report_mod.QUICK)
     small.update(n_frames=60, iperf_s=0.1, wimax_frames=6,
-                 snrs=[-3.0, 0.0, 6.0], sirs=[40.0, 8.0])
+                 snrs=[-3.0, 0.0, 6.0], sirs=[40.0, 8.0],
+                 defense_trials=1, jam_probabilities=[1.0, 0.5])
     original = report_mod.QUICK
     report_mod.QUICK = small
     try:
@@ -27,8 +28,14 @@ class TestReport:
     def test_contains_every_paper_item(self, quick_report):
         for heading in ("Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8",
                         "Table 1", "Figs. 10/11", "Fig. 12",
-                        "802.15.4"):
+                        "Countermeasures", "802.15.4"):
             assert heading in quick_report
+
+    def test_defense_tournament_table(self, quick_report):
+        assert "AUC (logistic)" in quick_report
+        assert "AUC (xu-rule)" in quick_report
+        assert "| always |" in quick_report
+        assert "| p0.5 |" in quick_report
 
     def test_headline_numbers_present(self, quick_report):
         assert "2.640 µs" in quick_report    # T_resp(xcorr)
@@ -42,7 +49,8 @@ class TestReport:
     def test_cli_writes_file(self, tmp_path, capsys):
         small = dict(report_mod.QUICK)
         small.update(n_frames=40, iperf_s=0.08, wimax_frames=4,
-                     snrs=[0.0], sirs=[40.0])
+                     snrs=[0.0], sirs=[40.0],
+                     defense_trials=1, jam_probabilities=[1.0])
         original = report_mod.QUICK
         report_mod.QUICK = small
         try:

@@ -1,0 +1,139 @@
+"""Properties of the defense ROC sweep.
+
+What any receiver operating characteristic must satisfy, regardless
+of the detector that produced the scores:
+
+* **monotonicity** — sweeping the threshold downward can only admit
+  more windows on both sides, so FPR and TPR are non-decreasing along
+  the curve, anchored at (0, 0) and ending at (1, 1);
+* **bounded area** — the AUC is a probability (of ranking a random
+  jammed window above a random clean one) and stays in [0, 1];
+* **rank invariance** — the AUC depends on the scores only through
+  their order, so any strictly increasing transform leaves it (and
+  the whole curve's rates) untouched;
+* **degenerate refusal** — a single-class window set has no ROC and
+  must raise :class:`~repro.errors.ConfigurationError` instead of
+  dividing by zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.defense.roc import auc, roc_curve
+from repro.errors import ConfigurationError
+
+# ----------------------------------------------------------------------
+# Strategies
+
+#: Finite scores as detectors emit them.  Drawn from a 0.1-spaced
+#: lattice in [-8, 8] so the order-preserving transforms below stay
+#: order-preserving *in float64 arithmetic* — free-range floats can
+#: sit close enough that an offset or a saturating tanh collapses two
+#: distinct scores into a tie, which tests the strategy, not the ROC.
+scores = st.integers(min_value=-80, max_value=80).map(lambda i: i / 10)
+
+
+@st.composite
+def scored_windows(draw):
+    """(scores, labels) with at least one window of each class."""
+    n = draw(st.integers(min_value=2, max_value=40))
+    values = draw(st.lists(scores, min_size=n, max_size=n))
+    labels = draw(st.lists(st.integers(min_value=0, max_value=1),
+                           min_size=n, max_size=n))
+    # Force both classes to exist (distinct indices since n >= 2).
+    pos = draw(st.integers(min_value=0, max_value=n - 1))
+    neg = draw(st.integers(min_value=0, max_value=n - 2))
+    if neg >= pos:
+        neg += 1
+    labels[pos] = 1
+    labels[neg] = 0
+    return np.array(values), np.array(labels)
+
+
+# ----------------------------------------------------------------------
+# Monotonicity and bounds
+
+
+@given(scored_windows())
+def test_roc_rates_monotone_non_decreasing(data):
+    s, y = data
+    curve = roc_curve(s, y)
+    assert np.all(np.diff(curve.fpr) >= 0)
+    assert np.all(np.diff(curve.tpr) >= 0)
+
+
+@given(scored_windows())
+def test_roc_anchored_at_corners(data):
+    s, y = data
+    curve = roc_curve(s, y)
+    assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+    assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0
+    assert np.isinf(curve.thresholds[0])
+
+
+@given(scored_windows())
+def test_auc_within_unit_interval(data):
+    s, y = data
+    assert 0.0 <= auc(s, y) <= 1.0
+
+
+@given(scored_windows())
+def test_thresholds_strictly_descending(data):
+    s, y = data
+    curve = roc_curve(s, y)
+    assert np.all(np.diff(curve.thresholds) < 0)
+
+
+# ----------------------------------------------------------------------
+# Rank invariance
+
+
+@given(scored_windows(),
+       st.floats(min_value=0.01, max_value=10.0),
+       st.floats(min_value=-50.0, max_value=50.0))
+def test_auc_invariant_under_affine_transforms(data, gain, offset):
+    s, y = data
+    assert auc(gain * s + offset, y) == pytest.approx(auc(s, y))
+
+
+@given(scored_windows())
+def test_auc_invariant_under_monotone_nonlinear_transforms(data):
+    s, y = data
+    reference = auc(s, y)
+    for transform in (np.tanh, lambda v: v ** 3,
+                      lambda v: 1 / (1 + np.exp(-v))):
+        assert auc(transform(s), y) == pytest.approx(reference)
+
+
+@given(scored_windows())
+def test_curve_rates_invariant_under_order_preserving_transform(data):
+    s, y = data
+    base = roc_curve(s, y)
+    warped = roc_curve(np.arctan(s), y)
+    np.testing.assert_allclose(warped.fpr, base.fpr)
+    np.testing.assert_allclose(warped.tpr, base.tpr)
+
+
+# ----------------------------------------------------------------------
+# Degenerate inputs
+
+
+@given(st.lists(scores, min_size=1, max_size=20),
+       st.sampled_from([0, 1]))
+def test_single_class_inputs_raise(values, label):
+    s = np.array(values)
+    y = np.full(s.size, label)
+    with pytest.raises(ConfigurationError):
+        roc_curve(s, y)
+
+
+def test_empty_and_mismatched_inputs_raise():
+    with pytest.raises(ConfigurationError):
+        roc_curve(np.array([]), np.array([]))
+    with pytest.raises(ConfigurationError):
+        roc_curve(np.array([1.0, 2.0]), np.array([1]))
+    with pytest.raises(ConfigurationError):
+        roc_curve(np.array([np.nan, 1.0]), np.array([0, 1]))
