@@ -22,6 +22,7 @@ BENCH_RUNTIME_PATH = _REPO_ROOT / "BENCH_runtime.json"
 BENCH_KERNELS_PATH = _REPO_ROOT / "BENCH_kernels.json"
 BENCH_RESILIENCE_PATH = _REPO_ROOT / "BENCH_resilience.json"
 BENCH_DEFENSE_PATH = _REPO_ROOT / "BENCH_defense.json"
+BENCH_MULTISTANDARD_PATH = _REPO_ROOT / "BENCH_multistandard.json"
 
 
 def _record_fixture(path: Path):
@@ -62,3 +63,9 @@ def resilience_record():
 def defense_record():
     """A dict the defense-tournament benchmarks drop their results into."""
     yield from _record_fixture(BENCH_DEFENSE_PATH)
+
+
+@pytest.fixture(scope="session")
+def multistandard_record():
+    """A dict the stacked-bank benchmarks drop their results into."""
+    yield from _record_fixture(BENCH_MULTISTANDARD_PATH)

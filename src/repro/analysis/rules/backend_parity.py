@@ -19,7 +19,14 @@ in the file under analysis:
   (signature drift -> ERROR at the sibling method);
 * a public method on a sibling that the reference lacks is reported
   at WARNING severity — it is unreachable through the dispatch
-  contract and likely dead or divergent.
+  contract and likely dead or divergent;
+* the dispatch contract's **required ops** (:data:`REQUIRED_OPS` —
+  the primitives the hw facades call unconditionally, including the
+  stacked multi-standard correlator pass) must exist on the reference
+  backend itself (missing required op -> ERROR at the reference
+  class).  This leg runs only against the real
+  ``repro.kernels.dispatch`` base, not fixture stand-ins, so small
+  test projects can model the rule without carrying the full op set.
 
 An op that intentionally has no counterpart carries a scoped
 ``# repro-lint: disable=RJ013`` on the backend class or method line.
@@ -35,6 +42,11 @@ from repro.analysis.project import ClassInfo, ProjectContext
 
 #: The dispatch registry's reference backend ``name`` attribute.
 REFERENCE_BACKEND_NAME = "numpy"
+
+#: Ops every registered backend must implement: the primitives the hw
+#: facades dispatch to unconditionally.  Enforced on the reference
+#: backend (the sibling checks then propagate them everywhere).
+REQUIRED_OPS = ("moving_sums", "xcorr_metric", "xcorr_metric_stacked")
 
 _DISPATCH_BASE = "repro.kernels.dispatch:KernelBackend"
 
@@ -98,6 +110,17 @@ class BackendParityRule(ProjectRule):
         module = project.module_for(ctx.posix_path)
         if module is None:
             return
+        if _DISPATCH_BASE in project.classes \
+                and any(klass.qualname == reference.qualname
+                        for klass in module.classes.values()):
+            for op in REQUIRED_OPS:
+                if op not in reference_ops:
+                    yield self.finding(
+                        ctx, reference.node,
+                        f"reference backend '{reference.name}' is missing "
+                        f"required dispatch op {op}(); the hw facades "
+                        "call it unconditionally on every backend",
+                    )
         for klass in module.classes.values():
             if klass.qualname == reference.qualname:
                 continue

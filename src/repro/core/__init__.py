@@ -25,7 +25,7 @@ from repro.core.coeffs import (
     wimax_preamble_template,
     zigbee_preamble_template,
 )
-from repro.core.detection import DetectionConfig
+from repro.core.detection import DetectionConfig, ProtocolBank
 from repro.core.events import JammingEventBuilder
 from repro.core.jammer import JammingReport, ReactiveJammer
 from repro.core.presets import (
@@ -45,6 +45,7 @@ __all__ = [
     "wimax_preamble_template",
     "zigbee_preamble_template",
     "DetectionConfig",
+    "ProtocolBank",
     "JammingEventBuilder",
     "JammingReport",
     "ReactiveJammer",

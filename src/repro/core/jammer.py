@@ -152,6 +152,19 @@ class JammingReport:
         """Detections from one detector block."""
         return [d for d in self.detections if d.source == source]
 
+    def detections_by_protocol(self, protocol: str) -> list[DetectionEvent]:
+        """Detections attributed to one stacked correlator bank."""
+        return [d for d in self.detections if d.protocol == protocol]
+
+    @property
+    def protocol_counts(self) -> dict[str, int]:
+        """Detections per protocol label (stacked-bank runs only)."""
+        counts: dict[str, int] = {}
+        for d in self.detections:
+            if d.protocol is not None:
+                counts[d.protocol] = counts.get(d.protocol, 0) + 1
+        return counts
+
     @property
     def jam_spans_seconds(self) -> list[tuple[float, float]]:
         """Jam bursts as (start, end) in seconds."""
@@ -174,6 +187,9 @@ class JammingReport:
             "sample_rate": self.sample_rate,
             "detections": [
                 {"time": d.time, "source": d.source.name}
+                if d.protocol is None else
+                {"time": d.time, "source": d.source.name,
+                 "protocol": d.protocol}
                 for d in self.detections
             ],
             "jams": [
@@ -200,7 +216,8 @@ class JammingReport:
             tx=tx,
             detections=[
                 DetectionEvent(time=d["time"],
-                               source=TriggerSource[d["source"]])
+                               source=TriggerSource[d["source"]],
+                               protocol=d.get("protocol"))
                 for d in data.get("detections", [])
             ],
             jams=[
@@ -255,13 +272,34 @@ class ReactiveJammer:
     def configure(self, detection: DetectionConfig,
                   events: JammingEventBuilder,
                   personality: JammerPersonality) -> None:
-        """Program detection, event combination, and response."""
-        if detection.template is not None:
-            self.driver.set_correlator_template(detection.template)
-        elif any(s is TriggerSource.XCORR for s in events.stages):
-            raise ConfigurationError(
-                "event definition uses the correlator but no template is set"
+        """Program detection, event combination, and response.
+
+        With ``detection.banks`` set, the stacked multi-standard
+        correlator is programmed through
+        :meth:`repro.hw.uhd.UhdDriver.set_correlator_banks`, whose
+        write order is atomic against stale thresholds: every per-bank
+        threshold register is written (readback-verified) while the
+        bank count is parked at zero, and only the final count write
+        enables the correlator stage — the same discipline
+        :meth:`~repro.hw.uhd.UhdDriver.set_trigger_stages` applies to
+        the trigger window.
+        """
+        if detection.banks is not None:
+            self.driver.set_correlator_banks(
+                [bank.template for bank in detection.banks],
+                [bank.threshold for bank in detection.banks],
+                labels=[bank.name for bank in detection.banks],
             )
+        else:
+            if self.device.core.bank_count:
+                self.driver.set_bank_count(0)
+            if detection.template is not None:
+                self.driver.set_correlator_template(detection.template)
+            elif any(s is TriggerSource.XCORR for s in events.stages):
+                raise ConfigurationError(
+                    "event definition uses the correlator but no template "
+                    "is set"
+                )
         self.driver.set_xcorr_threshold(detection.xcorr_threshold)
         self.driver.set_energy_thresholds(detection.energy_high_db,
                                           detection.energy_low_db)

@@ -30,7 +30,9 @@ from repro.telemetry.tracer import CAT_DETECTOR, CAT_TX, NULL_TRACER, Tracer
 if TYPE_CHECKING:
     from repro.telemetry.profiler import HostProfiler
 from repro.hw.watchdog import Watchdog
-from repro.hw.cross_correlator import CrossCorrelator
+from repro.hw.banked_correlator import DEFAULT_BANK_LABELS, \
+    BankedCrossCorrelator
+from repro.hw.cross_correlator import METRIC_MAX, CrossCorrelator
 from repro.hw.energy_differentiator import EnergyDifferentiator
 from repro.hw.registers import UserRegisterBus, unpack_signed_fields
 from repro.hw.trigger import (
@@ -43,10 +45,17 @@ from repro.hw.tx_controller import JamInterval, JamWaveform, TransmitController
 
 @dataclass(frozen=True)
 class DetectionEvent:
-    """A rising-edge detection from one of the detector blocks."""
+    """A rising-edge detection from one of the detector blocks.
+
+    ``protocol`` names the correlator bank that fired when the core
+    runs in stacked multi-standard mode (the ``which_protocol``
+    telemetry dimension); it is ``None`` for energy detections and for
+    the legacy single-bank correlator.
+    """
 
     time: int
     source: TriggerSource
+    protocol: str | None = None
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,28 @@ class CustomDspCore:
         #: safe state).  ``None`` reproduces the unguarded core.
         self.watchdog = watchdog
         self.correlator = CrossCorrelator()
+        #: The stacked multi-standard bank (K protocols, one GEMM
+        #: pass).  Dormant until ``REG_BANK_COUNT`` selects K >= 1,
+        #: at which point it replaces ``correlator`` on the data path.
+        self.banked = BankedCrossCorrelator()
+        #: Host-side protocol names for the banked correlator; strings
+        #: cannot cross the register bus, so the host (driver) sets
+        #: them directly before programming the bank count.
+        self.bank_labels = list(DEFAULT_BANK_LABELS)
+        self._bank_count = 0
+        self._bank_select = 0
+        # Per-bank coefficient shadow storage behind the windowed
+        # write path: words latch into the *selected* bank's slot.
+        self._bank_words_i = [[0] * regmap.COEFF_WORDS
+                              for _ in range(regmap.MAX_BANKS)]
+        self._bank_words_q = [[0] * regmap.COEFF_WORDS
+                              for _ in range(regmap.MAX_BANKS)]
+        # METRIC_MAX never fires (the trigger needs metric > threshold),
+        # matching the single correlator's quiet power-on default.
+        self._bank_thresholds = np.full(regmap.MAX_BANKS, METRIC_MAX,
+                                        dtype=np.int64)
+        self._protocol_registry = None
+        self._protocol_counters: dict[str, object] = {}
         self.energy = EnergyDifferentiator()
         self.fsm = TriggerStateMachine([TriggerSource.ENERGY_HIGH])
         self.tx = TransmitController()
@@ -119,8 +150,20 @@ class CustomDspCore:
             (regmap.REG_JAM_WAVEFORM, self._set_jam_waveform),
             (regmap.REG_CONTROL_FLAGS, self._set_control_flags),
             (regmap.REG_REPLAY_LENGTH, self._set_replay_length),
+            (regmap.REG_BANK_COUNT, self._set_bank_count),
+            (regmap.REG_BANK_SELECT, self._set_bank_select),
         ):
             self.bus.watch(address, self._guarded(address, handler))
+        for offset in range(regmap.COEFF_WORDS):
+            self.bus.watch(regmap.REG_BANK_COEFF_I_BASE + offset,
+                           self._bank_coeff_watch(self._bank_words_i,
+                                                  offset))
+            self.bus.watch(regmap.REG_BANK_COEFF_Q_BASE + offset,
+                           self._bank_coeff_watch(self._bank_words_q,
+                                                  offset))
+        for index in range(regmap.MAX_BANKS):
+            self.bus.watch(regmap.REG_BANK_THRESHOLD_BASE + index,
+                           self._bank_threshold_watch(index))
 
     def _guarded(self, address, handler):
         """Route a register decode through the watchdog's safe state.
@@ -154,6 +197,66 @@ class CustomDspCore:
         coeffs_q = unpack_signed_fields(words_q, regmap.COEFF_BITS,
                                         regmap.CORRELATOR_LENGTH)
         self.correlator.load_coefficients(np.array(coeffs_i), np.array(coeffs_q))
+
+    def _unpacked_bank(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        coeffs_i = unpack_signed_fields(self._bank_words_i[index],
+                                        regmap.COEFF_BITS,
+                                        regmap.CORRELATOR_LENGTH)
+        coeffs_q = unpack_signed_fields(self._bank_words_q[index],
+                                        regmap.COEFF_BITS,
+                                        regmap.CORRELATOR_LENGTH)
+        return np.array(coeffs_i), np.array(coeffs_q)
+
+    def _set_bank_count(self, value: int) -> None:
+        count = int(value)
+        if not 0 <= count <= regmap.MAX_BANKS:
+            raise ConfigurationError(
+                f"bank count must be 0..{regmap.MAX_BANKS}, got {count}"
+            )
+        if count == 0:
+            # Back to the legacy single-bank correlator; the shadows
+            # keep their contents for a later re-enable.
+            self._bank_count = 0
+            return
+        banks = [self._unpacked_bank(k) for k in range(count)]
+        self.banked.load_banks(banks, self._bank_thresholds[:count],
+                               labels=self.bank_labels[:count])
+        self._bank_count = count
+
+    def _set_bank_select(self, value: int) -> None:
+        self._bank_select = int(value)
+
+    def _bank_coeff_watch(self, words, offset):
+        """Latch a windowed coefficient word into the selected bank.
+
+        A write targeting a *live* bank hot-swaps it immediately — the
+        new template takes effect on the next processed chunk, with
+        the sign history and trigger carries intact.
+        """
+        def handler(value: int) -> None:
+            index = self._bank_select
+            words[index][offset] = int(value)
+            if index < self._bank_count:
+                coeffs_i, coeffs_q = self._unpacked_bank(index)
+                self.banked.load_bank(index, coeffs_i, coeffs_q)
+        return handler
+
+    def _bank_threshold_watch(self, index):
+        def handler(value: int) -> None:
+            self._bank_thresholds[index] = int(value)
+            if index < self._bank_count:
+                self.banked.set_threshold(index, int(value))
+        return handler
+
+    def set_bank_label(self, index: int, label: str) -> None:
+        """Name the protocol a bank detects (host-side metadata)."""
+        if not 0 <= index < regmap.MAX_BANKS:
+            raise ConfigurationError(
+                f"bank index {index} outside 0..{regmap.MAX_BANKS - 1}"
+            )
+        self.bank_labels[index] = str(label)
+        if index < self._bank_count:
+            self.banked.set_label(index, label)
 
     def _set_xcorr_threshold(self, value: int) -> None:
         self.correlator.threshold = value
@@ -238,6 +341,28 @@ class CustomDspCore:
         return self._clock
 
     @property
+    def bank_count(self) -> int:
+        """Active stacked banks (0 = legacy single-bank correlator)."""
+        return self._bank_count
+
+    def attach_metrics(self, registry) -> None:
+        """Expose per-protocol detection counters on a registry.
+
+        Counters are created lazily as ``detect.which_protocol.<label>``
+        the first time each protocol fires.  Pass ``None`` to detach.
+        """
+        self._protocol_registry = registry
+        self._protocol_counters = {}
+
+    def _protocol_counter(self, label: str):
+        counter = self._protocol_counters.get(label)
+        if counter is None:
+            counter = self._protocol_registry.counter(
+                f"detect.which_protocol.{label}")
+            self._protocol_counters[label] = counter
+        return counter
+
+    @property
     def jammer_enabled(self) -> bool:
         """Whether jam bursts are transmitted at all."""
         return self._jammer_enabled
@@ -262,6 +387,7 @@ class CustomDspCore:
     def reset(self) -> None:
         """Hardware reset: clears all block state but keeps registers."""
         self.correlator.reset()
+        self.banked.reset()
         self.energy.reset()
         self.fsm.reset()
         self.tx.reset()
@@ -307,26 +433,38 @@ class CustomDspCore:
             self.watchdog.check_rearm(self.fsm, chunk_start)
 
         profiler = self.profiler
+        banked = self._bank_count >= 1
         if profiler is None:
-            xcorr_trig, xcorr_edges = self.correlator.detect(
-                samples, self._last_xcorr)
+            if banked:
+                _trig, banked_edges = self.banked.detect(samples)
+            else:
+                xcorr_trig, xcorr_edges = self.correlator.detect(
+                    samples, self._last_xcorr)
             ehigh_trig, elow_trig, ehigh_edges, elow_edges = \
                 self.energy.detect(samples, self._last_ehigh,
                                    self._last_elow)
         else:
             with profiler.profile("xcorr"):
-                xcorr_trig, xcorr_edges = self.correlator.detect(
-                    samples, self._last_xcorr)
+                if banked:
+                    _trig, banked_edges = self.banked.detect(samples)
+                else:
+                    xcorr_trig, xcorr_edges = self.correlator.detect(
+                        samples, self._last_xcorr)
             with profiler.profile("energy"):
                 ehigh_trig, elow_trig, ehigh_edges, elow_edges = \
                     self.energy.detect(samples, self._last_ehigh,
                                        self._last_elow)
-        self._last_xcorr = bool(xcorr_trig[-1])
+        if banked:
+            # The stacked facade owns the per-bank trigger carries.
+            xcorr_banks = list(zip(banked_edges, self.banked.labels))
+        else:
+            self._last_xcorr = bool(xcorr_trig[-1])
+            xcorr_banks = [(xcorr_edges, None)]
         self._last_ehigh = bool(ehigh_trig[-1])
         self._last_elow = bool(elow_trig[-1])
 
         detections = self._collect_detections(
-            chunk_start, xcorr_edges, ehigh_edges, elow_edges
+            chunk_start, xcorr_banks, ehigh_edges, elow_edges
         )
         jam_times = self.fsm.process_events(
             [(event.time, event.source) for event in detections]
@@ -375,40 +513,69 @@ class CustomDspCore:
         self._last_xcorr = False
         self._last_ehigh = False
         self._last_elow = False
+        self.banked.clear_last()
         self._retire_intervals()
 
     def _collect_detections(self, chunk_start: int,
-                            xcorr_edges: np.ndarray,
+                            xcorr_banks: list,
                             ehigh_edges: np.ndarray,
                             elow_edges: np.ndarray
                             ) -> list[DetectionEvent]:
-        self.detection_counts[TriggerSource.XCORR] += xcorr_edges.size
+        """Merge per-bank correlator edges with the energy detector's.
+
+        ``xcorr_banks`` is a list of ``(edges, protocol)`` pairs — one
+        entry (protocol ``None``) in legacy mode, K entries in stacked
+        mode.  Events sort by time, then source, then bank index, so
+        coincident multi-protocol hits come out in bank order.
+        """
+        xcorr_total = sum(edges.size for edges, _ in xcorr_banks)
+        self.detection_counts[TriggerSource.XCORR] += xcorr_total
         self.detection_counts[TriggerSource.ENERGY_HIGH] += ehigh_edges.size
         self.detection_counts[TriggerSource.ENERGY_LOW] += elow_edges.size
-        total = xcorr_edges.size + ehigh_edges.size + elow_edges.size
+        total = xcorr_total + ehigh_edges.size + elow_edges.size
         if not total:
             # The common chunk: no edges, no objects built at all.
             return []
-        times = np.concatenate([xcorr_edges, ehigh_edges, elow_edges])
+        times = np.concatenate([edges for edges, _ in xcorr_banks]
+                               + [ehigh_edges, elow_edges])
         times += chunk_start
         sources = np.empty(total, dtype=np.int64)
-        split_a = xcorr_edges.size
-        split_b = split_a + ehigh_edges.size
-        sources[:split_a] = TriggerSource.XCORR
-        sources[split_a:split_b] = TriggerSource.ENERGY_HIGH
+        banks = np.full(total, -1, dtype=np.int64)
+        sources[:xcorr_total] = TriggerSource.XCORR
+        cursor = 0
+        for bank, (edges, _) in enumerate(xcorr_banks):
+            banks[cursor:cursor + edges.size] = bank
+            cursor += edges.size
+        split_b = xcorr_total + ehigh_edges.size
+        sources[xcorr_total:split_b] = TriggerSource.ENERGY_HIGH
         sources[split_b:] = TriggerSource.ENERGY_LOW
-        order = np.lexsort((sources, times))
-        events = [
-            DetectionEvent(time=int(times[k]),
-                           source=TriggerSource(int(sources[k])))
-            for k in order
-        ]
+        order = np.lexsort((banks, sources, times))
+        labels = [protocol for _, protocol in xcorr_banks]
+        events = []
+        for k in order:
+            bank = int(banks[k])
+            events.append(DetectionEvent(
+                time=int(times[k]),
+                source=TriggerSource(int(sources[k])),
+                protocol=labels[bank] if bank >= 0 else None,
+            ))
+        if self._protocol_registry is not None:
+            for event in events:
+                if event.protocol is not None:
+                    self._protocol_counter(event.protocol).inc()
         if self._tracer.enabled:
             for event in events:
-                self._tracer.instant(
-                    f"detect.{event.source.name.lower()}", CAT_DETECTOR,
-                    event.time,
-                )
+                if event.protocol is None:
+                    self._tracer.instant(
+                        f"detect.{event.source.name.lower()}",
+                        CAT_DETECTOR, event.time,
+                    )
+                else:
+                    self._tracer.instant(
+                        f"detect.{event.source.name.lower()}",
+                        CAT_DETECTOR, event.time,
+                        which_protocol=event.protocol,
+                    )
         return events
 
     def _admit_intervals(self, intervals: list[JamInterval]

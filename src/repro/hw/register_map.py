@@ -27,6 +27,32 @@ Address     Contents
             freeze, bits 8-15 antenna control
 23          replay length, samples (1..512)
 ==========  =====================================================
+
+The multi-standard correlator bank (the Drexel lab's FPGA packet
+detector generalized onto this core) extends the layout past the
+paper's 24 registers with a bank-select write window plus per-bank
+thresholds:
+
+==========  =====================================================
+Address     Contents
+==========  =====================================================
+24          bank count: 0 = banked mode off (legacy single
+            correlator), 1..4 = number of active stacked banks
+25          bank select: which bank (0..3) the coefficient write
+            window at 26..39 targets
+26 .. 32    selected bank's I coefficients, same 3-bit packing
+33 .. 39    selected bank's Q coefficients, same packing
+40 .. 43    per-bank correlation thresholds (direct-mapped, one
+            register per bank — not windowed, so the host can
+            retune any bank's threshold in one write)
+==========  =====================================================
+
+The windowed coefficient path mirrors how the real register bus
+hot-swaps banks: the host parks the select register on a bank, streams
+the 14 coefficient words, and the core latches them into that bank's
+shadow storage — taking effect on the next processed chunk when the
+bank is live.  ``REGISTERS_USED`` stays the paper's 24 (the base
+core); ``TOTAL_REGISTERS_USED`` covers the banked extension.
 """
 
 from __future__ import annotations
@@ -60,6 +86,24 @@ REG_REPLAY_LENGTH = 23
 
 #: Total registers consumed by the design (matches the paper's 24).
 REGISTERS_USED = 24
+
+#: Maximum concurrently-stacked correlator banks (WiFi short / DSSS /
+#: WiMAX / ZigBee fit in one pass; matches the multi-standard FPGA
+#: detector's concurrent-correlator count).
+MAX_BANKS = 4
+
+REG_BANK_COUNT = 24
+REG_BANK_SELECT = 25
+REG_BANK_COEFF_I_BASE = 26
+REG_BANK_COEFF_Q_BASE = REG_BANK_COEFF_I_BASE + COEFF_WORDS      # 33
+REG_BANK_THRESHOLD_BASE = REG_BANK_COEFF_Q_BASE + COEFF_WORDS    # 40
+
+#: Registers added by the banked extension (count + select + one
+#: windowed coefficient bank + MAX_BANKS thresholds).
+BANKED_REGISTERS_USED = 2 + 2 * COEFF_WORDS + MAX_BANKS
+
+#: Full footprint: the paper's 24 plus the banked extension.
+TOTAL_REGISTERS_USED = REGISTERS_USED + BANKED_REGISTERS_USED
 
 # Control-flag bit positions (register 22).
 FLAG_JAMMER_ENABLE = 1 << 0
@@ -148,7 +192,26 @@ REGISTER_SPECS: tuple[RegisterSpec, ...] = tuple(
                      "enable/continuous/freeze flags + antenna bits 8-15"),
         RegisterSpec("REG_REPLAY_LENGTH", REG_REPLAY_LENGTH, 10,
                      "replay capture length, samples (1..512)", max_value=512),
+        RegisterSpec("REG_BANK_COUNT", REG_BANK_COUNT, 3,
+                     "active stacked banks (0 = banked mode off, 1..4)",
+                     max_value=MAX_BANKS),
+        RegisterSpec("REG_BANK_SELECT", REG_BANK_SELECT, 2,
+                     "bank targeted by the coefficient write window",
+                     max_value=MAX_BANKS - 1),
     ]
+    + [RegisterSpec(f"REG_BANK_COEFF_I_{k}", REG_BANK_COEFF_I_BASE + k,
+                    COEFF_WORD_WIDTH,
+                    f"selected bank's I coefficients, word {k} "
+                    "(10 x 3-bit signed)")
+       for k in range(COEFF_WORDS)]
+    + [RegisterSpec(f"REG_BANK_COEFF_Q_{k}", REG_BANK_COEFF_Q_BASE + k,
+                    COEFF_WORD_WIDTH,
+                    f"selected bank's Q coefficients, word {k} "
+                    "(10 x 3-bit signed)")
+       for k in range(COEFF_WORDS)]
+    + [RegisterSpec(f"REG_BANK_THRESHOLD_{k}", REG_BANK_THRESHOLD_BASE + k,
+                    32, f"bank {k} correlation threshold (unsigned)")
+       for k in range(MAX_BANKS)]
 )
 
 #: Address -> spec, for bounds checks and the static analyzer.
@@ -156,7 +219,8 @@ SPEC_BY_ADDRESS: dict[int, RegisterSpec] = {
     spec.address: spec for spec in REGISTER_SPECS
 }
 
-assert len(SPEC_BY_ADDRESS) == REGISTERS_USED, "register spec table has gaps"
+assert len(SPEC_BY_ADDRESS) == TOTAL_REGISTERS_USED, \
+    "register spec table has gaps"
 
 
 def register_spec(address: int) -> RegisterSpec | None:

@@ -220,6 +220,104 @@ class UhdDriver:
         """Set the correlation detection threshold."""
         self._write(regmap.REG_XCORR_THRESHOLD, int(threshold))
 
+    # ------------------------------------------------------------------
+    # Multi-standard stacked banks
+
+    def _check_bank_index(self, index: int) -> int:
+        index = int(index)
+        if not 0 <= index < regmap.MAX_BANKS:
+            raise ConfigurationError(
+                f"bank index {index} outside 0..{regmap.MAX_BANKS - 1}"
+            )
+        return index
+
+    def _write_bank_coefficients(self, index: int, coeffs_i: np.ndarray,
+                                 coeffs_q: np.ndarray) -> None:
+        words_i = pack_signed_fields([int(c) for c in coeffs_i],
+                                     regmap.COEFF_BITS)
+        words_q = pack_signed_fields([int(c) for c in coeffs_q],
+                                     regmap.COEFF_BITS)
+        if len(words_i) != regmap.COEFF_WORDS \
+                or len(words_q) != regmap.COEFF_WORDS:
+            raise ConfigurationError(
+                f"expected {regmap.CORRELATOR_LENGTH} coefficients per bank"
+            )
+        self._write(regmap.REG_BANK_SELECT, index)
+        for offset, word in enumerate(words_i):
+            self._write(regmap.REG_BANK_COEFF_I_BASE + offset, word)
+        for offset, word in enumerate(words_q):
+            self._write(regmap.REG_BANK_COEFF_Q_BASE + offset, word)
+
+    def set_bank_threshold(self, index: int, threshold: int) -> None:
+        """Retune one stacked bank's threshold (one verified write)."""
+        index = self._check_bank_index(index)
+        self._write(regmap.REG_BANK_THRESHOLD_BASE + index, int(threshold))
+
+    def set_bank_count(self, count: int) -> None:
+        """Select how many stacked banks run (0 = legacy correlator)."""
+        count = int(count)
+        if not 0 <= count <= regmap.MAX_BANKS:
+            raise ConfigurationError(
+                f"bank count must be 0..{regmap.MAX_BANKS}, got {count}"
+            )
+        self._write(regmap.REG_BANK_COUNT, count)
+
+    def set_correlator_bank(self, index: int, template: np.ndarray,
+                            threshold: int | None = None,
+                            label: str | None = None) -> None:
+        """Hot-swap one stacked bank over the register bus (verified).
+
+        The threshold, when given, is written *before* the coefficient
+        words — a chunk processed mid-swap may see the old template
+        with the new threshold, never the new template with a stale
+        threshold.  Takes effect on the next processed chunk; the
+        core's sign history and trigger carries are untouched, so
+        :meth:`repro.core.jammer.ReactiveJammer.run` keeps streaming.
+        """
+        index = self._check_bank_index(index)
+        if label is not None:
+            self.device.core.set_bank_label(index, label)
+        if threshold is not None:
+            self.set_bank_threshold(index, threshold)
+        coeffs_i, coeffs_q = quantize_coefficients(template)
+        self._write_bank_coefficients(index, coeffs_i, coeffs_q)
+
+    def set_correlator_banks(self, templates, thresholds,
+                             labels=None) -> None:
+        """Program K protocol banks and enable stacked detection.
+
+        Atomic in the same sense as :meth:`set_trigger_stages`: the
+        bank count is parked at 0 first, then every per-bank threshold
+        and coefficient word is shipped (verified), and only then does
+        the final count write arm the stacked correlator — no chunk
+        can ever be processed against a partially-programmed bank set.
+        """
+        templates = list(templates)
+        count = len(templates)
+        if not 1 <= count <= regmap.MAX_BANKS:
+            raise ConfigurationError(
+                f"bank count must be 1..{regmap.MAX_BANKS}, got {count}"
+            )
+        thresholds = [int(t) for t in thresholds]
+        if len(thresholds) != count:
+            raise ConfigurationError(
+                f"expected {count} thresholds, got {len(thresholds)}"
+            )
+        if labels is not None and len(labels) != count:
+            raise ConfigurationError(
+                f"expected {count} labels, got {len(labels)}"
+            )
+        self._write(regmap.REG_BANK_COUNT, 0)
+        if labels is not None:
+            for index, label in enumerate(labels):
+                self.device.core.set_bank_label(index, label)
+        for index, threshold in enumerate(thresholds):
+            self.set_bank_threshold(index, threshold)
+        for index, template in enumerate(templates):
+            coeffs_i, coeffs_q = quantize_coefficients(template)
+            self._write_bank_coefficients(index, coeffs_i, coeffs_q)
+        self._write(regmap.REG_BANK_COUNT, count)
+
     def set_energy_thresholds(self, high_db: float, low_db: float) -> None:
         """Set energy rise/fall thresholds (3..30 dB)."""
         self._write(regmap.REG_ENERGY_THRESHOLD_HIGH,

@@ -37,16 +37,24 @@ from repro.kernels.energy import (
 from repro.kernels.numba_backend import make_numba_backend
 from repro.kernels.numpy_backend import NumpyKernelBackend
 from repro.kernels.xcorr import (
+    StackedBatchResult,
+    StackedCoefficients,
+    StackedDetection,
     XcorrBatchResult,
     XcorrCoefficients,
     XcorrDetection,
     chained_edges,
     prepare_coefficients,
+    prepare_stacked,
     rising_edge_plane,
     sign_plane,
+    stacked_bank_program,
     xcorr_detect,
     xcorr_detect_batch,
+    xcorr_detect_stacked,
+    xcorr_detect_stacked_batch,
     xcorr_metric,
+    xcorr_metric_stacked,
 )
 
 register_backend("numpy", NumpyKernelBackend)
@@ -59,6 +67,9 @@ __all__ = [
     "EnergyBatchResult",
     "KernelBackend",
     "NumpyKernelBackend",
+    "StackedBatchResult",
+    "StackedCoefficients",
+    "StackedDetection",
     "XcorrBatchResult",
     "XcorrCoefficients",
     "XcorrDetection",
@@ -69,10 +80,15 @@ __all__ = [
     "make_numba_backend",
     "moving_sums",
     "prepare_coefficients",
+    "prepare_stacked",
     "register_backend",
     "rising_edge_plane",
     "sign_plane",
+    "stacked_bank_program",
     "xcorr_detect",
     "xcorr_detect_batch",
+    "xcorr_detect_stacked",
+    "xcorr_detect_stacked_batch",
     "xcorr_metric",
+    "xcorr_metric_stacked",
 ]

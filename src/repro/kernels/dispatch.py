@@ -69,6 +69,21 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def xcorr_metric_stacked(self, plane: np.ndarray, coeffs,
+                             out: np.ndarray | None = None,
+                             scratch=None) -> np.ndarray:
+        """Per-bank squared metric over one shared sign plane.
+
+        ``plane`` is laid out exactly as for :meth:`xcorr_metric` with
+        the history depth of the *stacked* bank
+        (``2 * (coeffs.taps - 1)`` leading entries); ``coeffs`` is a
+        :class:`repro.kernels.xcorr.StackedCoefficients` carrying the
+        ``K`` zero-padded protocol banks.  Returns ``(..., K, n)``
+        int64 — bank ``k``'s row is byte-identical to
+        :meth:`xcorr_metric` run with bank ``k`` alone.
+        """
+        raise NotImplementedError
+
     def moving_sums(self, padded: np.ndarray, window: int,
                     out: np.ndarray | None = None,
                     csum_scratch=None) -> np.ndarray:

@@ -41,6 +41,24 @@ def _compile_kernels():
                 out[r, t] = corr_re * corr_re + corr_im * corr_im
 
     @njit(parallel=True, cache=True)
+    def xcorr_metric_stacked(plane, stacked, history_pairs, out):
+        rows, length = plane.shape
+        taps2 = stacked.shape[0]
+        banks = stacked.shape[1] // 2
+        n = length // 2 - history_pairs
+        for r in prange(rows):
+            for t in range(n):
+                base = 2 * t
+                for b in range(banks):
+                    corr_re = np.int64(0)
+                    corr_im = np.int64(0)
+                    for j in range(taps2):
+                        value = np.int64(plane[r, base + j])
+                        corr_re += stacked[j, 2 * b] * value
+                        corr_im += stacked[j, 2 * b + 1] * value
+                    out[r, b, t] = corr_re * corr_re + corr_im * corr_im
+
+    @njit(parallel=True, cache=True)
     def moving_sums(padded, window, csum, out):
         rows, length = padded.shape
         n = length - window
@@ -52,7 +70,7 @@ def _compile_kernels():
             for i in range(n):
                 out[r, i] = csum[r, window + i] - csum[r, i]
 
-    return xcorr_metric, moving_sums
+    return xcorr_metric, xcorr_metric_stacked, moving_sums
 
 
 class NumbaKernelBackend(KernelBackend):
@@ -62,7 +80,8 @@ class NumbaKernelBackend(KernelBackend):
 
     def __init__(self) -> None:
         try:
-            self._xcorr, self._sums = _compile_kernels()
+            self._xcorr, self._xcorr_stacked, self._sums = \
+                _compile_kernels()
         except ImportError as exc:
             raise BackendUnavailable(
                 "the numba backend needs the optional 'numba' package"
@@ -81,6 +100,23 @@ class NumbaKernelBackend(KernelBackend):
         self._xcorr(np.ascontiguousarray(plane.reshape(rows, length)),
                     coeffs.stacked, coeffs.history_pairs,
                     out.reshape(rows, n))
+        return out
+
+    def xcorr_metric_stacked(self, plane: np.ndarray, coeffs,
+                             out: np.ndarray | None = None,
+                             scratch=None) -> np.ndarray:
+        plane = np.asarray(plane, dtype=np.int8)
+        lead = plane.shape[:-1]
+        length = plane.shape[-1]
+        n = length // 2 - coeffs.history_pairs
+        banks = coeffs.n_banks
+        if out is None:
+            out = np.empty(lead + (banks, n), dtype=np.int64)
+        rows = int(np.prod(lead, dtype=np.int64)) if lead else 1
+        self._xcorr_stacked(
+            np.ascontiguousarray(plane.reshape(rows, length)),
+            coeffs.stacked, coeffs.history_pairs,
+            out.reshape(rows, banks, n))
         return out
 
     def moving_sums(self, padded: np.ndarray, window: int,

@@ -93,6 +93,64 @@ class NumpyKernelBackend(KernelBackend):
         np.add(sq_re, sq_im, out=out.reshape(rows, n), casting="unsafe")
         return out
 
+    def xcorr_metric_stacked(self, plane: np.ndarray, coeffs,
+                             out: np.ndarray | None = None,
+                             scratch=None) -> np.ndarray:
+        plane = np.asarray(plane)
+        lead = plane.shape[:-1]
+        length = plane.shape[-1]
+        pairs = length // 2
+        n = pairs - coeffs.history_pairs
+        k = coeffs.n_banks
+        two_s = 2 * coeffs.block
+        n_blocks = -(-pairs // coeffs.block)
+        rows = int(np.prod(lead, dtype=np.int64)) if lead else 1
+        padded_len = (n_blocks + 1) * two_s
+        dtype = coeffs.gemm_dtype
+
+        # Identical padded-plane layout to xcorr_metric: the sign plane
+        # is shared across banks, only the Toeplitz bands grow wider.
+        if scratch is not None and scratch.dtype == dtype:
+            flat = scratch.view(rows * padded_len)
+        else:
+            flat = self._view("padded", dtype, rows * padded_len)
+        padded = flat.reshape(rows, padded_len)
+        padded[:, :length] = plane.reshape(rows, length)
+        padded[:, length:] = 0
+
+        # One GEMM pair over all K banks: the operand columns carry
+        # every bank's corr_re/corr_im per window (flattened index
+        # j*2K + 2k + c), so the output row reshapes straight into the
+        # (window, bank, component) metric layout.
+        m = rows * (n_blocks + 1)
+        width = two_s * k
+        x0 = flat.reshape(m, two_s)
+        x1 = flat[two_s:m * two_s].reshape(m - 1, two_s)
+        gemm = self._view("gemm0", dtype, m * width).reshape(m, width)
+        gemm_b = self._view("gemm1", dtype, m * width).reshape(m, width)
+        np.matmul(x0, coeffs.a_matrix, out=gemm)
+        np.matmul(x1, coeffs.b_matrix, out=gemm_b[:m - 1])
+        gemm_b[m - 1:] = 0
+        gemm += gemm_b
+        corr = gemm.reshape(rows, (n_blocks + 1) * coeffs.block, k, 2)
+        corr_re = corr[:, :n, :, 0]
+        corr_im = corr[:, :n, :, 1]
+
+        count = rows * n * k
+        sq_re = self._view("sq_re", dtype, count).reshape(rows, n, k)
+        sq_im = self._view("sq_im", dtype, count).reshape(rows, n, k)
+        np.multiply(corr_re, corr_re, out=sq_re)
+        np.multiply(corr_im, corr_im, out=sq_im)
+        summed = self._view("stacked_sum", np.int64,
+                            count).reshape(rows, n, k)
+        np.add(sq_re, sq_im, out=summed, casting="unsafe")
+        if out is None:
+            out = np.empty(lead + (k, n), dtype=np.int64)
+        # (rows, n, k) -> (rows, k, n): one transposed copy into the
+        # caller-facing per-bank layout.
+        np.copyto(out.reshape(rows, k, n), summed.transpose(0, 2, 1))
+        return out
+
     def moving_sums(self, padded: np.ndarray, window: int,
                     out: np.ndarray | None = None,
                     csum_scratch=None) -> np.ndarray:

@@ -85,6 +85,8 @@ class Telemetry:
         device.core.profiler = self.profiler
         device.profiler = self.profiler
         device.core.correlator.attach_metrics(self.metrics)
+        device.core.banked.attach_metrics(self.metrics)
+        device.core.attach_metrics(self.metrics)
         device.core.energy.attach_metrics(self.metrics)
         if device.core.watchdog is not None:
             device.core.watchdog.tracer = self.tracer

@@ -155,7 +155,8 @@ class TestRegisterSpecTable:
     """The declarative field-width table backing repro-lint RJ002."""
 
     def test_covers_exactly_the_used_registers(self):
-        assert sorted(regmap.SPEC_BY_ADDRESS) == list(range(regmap.REGISTERS_USED))
+        assert sorted(regmap.SPEC_BY_ADDRESS) == \
+            list(range(regmap.TOTAL_REGISTERS_USED))
 
     def test_max_values_fit_widths(self):
         for spec in regmap.REGISTER_SPECS:
@@ -168,8 +169,19 @@ class TestRegisterSpecTable:
         assert spec.max_value == 512
 
     def test_unassigned_address_has_no_spec(self):
-        assert regmap.register_spec(regmap.REGISTERS_USED) is None
+        assert regmap.register_spec(regmap.TOTAL_REGISTERS_USED) is None
         assert regmap.register_spec(200) is None
+
+    def test_banked_extension_is_contiguous_with_the_core_map(self):
+        # The paper's 24 registers stay untouched; the multi-standard
+        # extension occupies the next 20 addresses exactly.
+        assert regmap.REG_BANK_COUNT == regmap.REGISTERS_USED
+        assert regmap.TOTAL_REGISTERS_USED == \
+            regmap.REGISTERS_USED + regmap.BANKED_REGISTERS_USED
+        for index in range(regmap.MAX_BANKS):
+            spec = regmap.register_spec(
+                regmap.REG_BANK_THRESHOLD_BASE + index)
+            assert spec is not None and spec.width == 32
 
     def test_coeff_words_use_30_bits(self):
         for k in range(regmap.COEFF_WORDS):
